@@ -1,0 +1,101 @@
+// Experiment CH — chase engine substrate throughput.
+//
+// Not a paper table; measures the engine every other experiment sits on:
+// restricted vs. oblivious chase throughput (derived atoms per second)
+// and the cost of level tracking on non-recursive workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "chase/chase.h"
+#include "generators/families.h"
+
+namespace omqc {
+namespace {
+
+Database Grid(int side) {
+  Database db;
+  auto c = [&](int x, int y) {
+    return Term::Constant("g" + std::to_string(x) + "_" + std::to_string(y));
+  };
+  for (int x = 0; x < side; ++x) {
+    for (int y = 0; y < side; ++y) {
+      if (x + 1 < side) db.Add(Atom::Make("E", {c(x, y), c(x + 1, y)}));
+      if (y + 1 < side) db.Add(Atom::Make("E", {c(x, y), c(x, y + 1)}));
+    }
+  }
+  return db;
+}
+
+void BM_RestrictedChase(benchmark::State& state) {
+  int side = static_cast<int>(state.range(0));
+  Database db = Grid(side);
+  TgdSet tgds = ParseTgds(
+                    "E(X,Y) -> Deg(X)."
+                    "E(X,Y), E(Y,Z) -> Hop2(X,Z)."
+                    "Hop2(X,Z) -> Reach(X,Z).")
+                    .value();
+  size_t derived = 0;
+  for (auto _ : state) {
+    auto result = Chase(db, tgds);
+    if (!result.ok() || !result->complete) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    derived = result->instance.size() - db.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(derived) *
+                          state.iterations());
+  state.counters["derived_atoms"] = static_cast<double>(derived);
+}
+BENCHMARK(BM_RestrictedChase)->DenseRange(4, 12, 4);
+
+void BM_ObliviousChase(benchmark::State& state) {
+  int side = static_cast<int>(state.range(0));
+  Database db = Grid(side);
+  TgdSet tgds = ParseTgds(
+                    "E(X,Y) -> Deg(X)."
+                    "E(X,Y), E(Y,Z) -> Hop2(X,Z).")
+                    .value();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kOblivious;
+  size_t derived = 0;
+  for (auto _ : state) {
+    auto result = Chase(db, tgds, options);
+    if (!result.ok() || !result->complete) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    derived = result->instance.size() - db.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(derived) *
+                          state.iterations());
+}
+BENCHMARK(BM_ObliviousChase)->DenseRange(4, 12, 4);
+
+/// Existential rules with a depth budget: the guarded-evaluation chase.
+void BM_BudgetedGuardedChase(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Database db;
+  db.Add(Atom::Make("A", {Term::Constant("seed")}));
+  db.Add(Atom::Make("C", {Term::Constant("seed")}));
+  TgdSet tgds = ParseTgds("A(X), C(X) -> R(X,Y), A(Y), C(Y).").value();
+  ChaseOptions options;
+  options.max_level = depth;
+  size_t atoms = 0;
+  for (auto _ : state) {
+    auto result = Chase(db, tgds, options);
+    if (!result.ok()) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    atoms = result->instance.size();
+  }
+  state.counters["atoms_at_depth"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_BudgetedGuardedChase)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+}  // namespace omqc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Experiment F1 — Figure 1 (stickiness and marking).
+//
+// Paper: Figure 1 illustrates the inductive marking procedure that defines
+// sticky sets: the variant keeping the join variable (S(y,w)) is sticky,
+// the variant dropping it (S(x,w)) is not.
+//
+// Reproduced shape: the two Figure 1 programs classify as in the paper,
+// and the marking fixpoint scales linearly in the number of chained rules
+// (rounds and marked-variable counters reported).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "generators/families.h"
+#include "tgd/classify.h"
+
+namespace omqc {
+namespace {
+
+void BM_Figure1Classification(benchmark::State& state) {
+  TgdSet sticky = ParseTgds(
+                      "T(X,Y,Z) -> S(Y,W)."
+                      "R(X,Y), P(Y,Z) -> T(X,Y,W).")
+                      .value();
+  TgdSet non_sticky = ParseTgds(
+                          "T(X,Y,Z) -> S(X,W)."
+                          "R(X,Y), P(Y,Z) -> T(X,Y,W).")
+                          .value();
+  for (auto _ : state) {
+    bool a = IsSticky(sticky);
+    bool b = IsSticky(non_sticky);
+    if (!a || b) {
+      state.SkipWithError("Figure 1 classification mismatch");
+      return;
+    }
+  }
+  state.counters["figure1_sticky"] = 1;
+  state.counters["figure1_non_sticky"] = 0;
+}
+BENCHMARK(BM_Figure1Classification);
+
+/// Marking propagation through a chain of k rules: each T_i head feeds
+/// T_{i+1}'s body, and a final projection rule starts the marking, which
+/// must travel back through all k rules.
+void BM_MarkingPropagationChain(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i < k; ++i) {
+    text += "T" + std::to_string(i) + "(X,Y) -> T" + std::to_string(i + 1) +
+            "(X,Y).";
+  }
+  text += "T" + std::to_string(k) + "(X,Y) -> Last(X).";  // drops Y
+  TgdSet tgds = ParseTgds(text).value();
+  int rounds = 0;
+  size_t marked = 0;
+  for (auto _ : state) {
+    StickyMarking marking = ComputeStickyMarking(tgds);
+    rounds = marking.rounds;
+    marked = 0;
+    for (const auto& per_tgd : marking.marked) marked += per_tgd.size();
+  }
+  state.counters["fixpoint_rounds"] = rounds;
+  state.counters["marked_variables"] = static_cast<double>(marked);
+  state.counters["chain_length"] = k;
+}
+BENCHMARK(BM_MarkingPropagationChain)->RangeMultiplier(2)->Range(2, 64);
+
+/// Full classification cost on random ontologies of growing size.
+void BM_ClassifyRandom(benchmark::State& state) {
+  int num_tgds = static_cast<int>(state.range(0));
+  RandomOmqConfig config;
+  config.target = TgdClass::kSticky;
+  config.num_tgds = num_tgds;
+  config.seed = 11;
+  Omq q = MakeRandomOmq(config);
+  for (auto _ : state) {
+    ClassificationReport report = Classify(q.tgds);
+    benchmark::DoNotOptimize(report.sticky);
+  }
+}
+BENCHMARK(BM_ClassifyRandom)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+}  // namespace omqc
+
+BENCHMARK_MAIN();

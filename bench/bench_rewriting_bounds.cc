@@ -1,0 +1,102 @@
+// Experiment P12/14/17 — the rewriting-size propositions.
+//
+// Paper: the maximum disjunct size of a UCQ rewriting is bounded by |q|
+// for linear tgds (Prop. 12), |q|·b^{|sch(Σ)|} for non-recursive sets
+// (Prop. 14) and |S|·(|T(q)|+|C(Σ)|+1)^{ar(S)} for sticky sets (Prop. 17).
+//
+// Reproduced shape: measured max-disjunct sizes against the three
+// analytic bounds on growing workloads (the bound/measured ratio is
+// reported; it must stay >= 1).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace omqc {
+namespace {
+
+using bench::MakeSchema;
+
+void ReportBound(benchmark::State& state, size_t measured, size_t bound) {
+  state.counters["measured_max_disjunct"] = static_cast<double>(measured);
+  state.counters["analytic_bound"] = static_cast<double>(bound);
+  if (measured > 0) {
+    state.counters["bound_over_measured"] =
+        static_cast<double>(bound) / static_cast<double>(measured);
+  }
+}
+
+void BM_LinearBound(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"R", 2}, {"P", 1}});
+  TgdSet tgds = ParseTgds(
+                    "P(X) -> R(X,Y)."
+                    "R(X,Y) -> P(X).")
+                    .value();
+  ConjunctiveQuery q = bench::ChainQuery("R", len);
+  size_t measured = 0;
+  for (auto _ : state) {
+    XRewriteStats stats;
+    auto rewriting = XRewrite(schema, tgds, q, XRewriteOptions(), &stats);
+    if (!rewriting.ok()) {
+      state.SkipWithError("rewriting failed");
+      return;
+    }
+    measured = stats.max_disjunct_atoms;
+  }
+  ReportBound(state, measured, LinearRewriteBound(q));
+}
+BENCHMARK(BM_LinearBound)->DenseRange(1, 8);
+
+void BM_NonRecursiveBound(benchmark::State& state) {
+  int layers = static_cast<int>(state.range(0));
+  std::string sigma;
+  for (int i = 0; i < layers; ++i) {
+    std::string from = i == 0 ? "E" : "L" + std::to_string(i - 1);
+    sigma += from + "(X,Y), " + from + "(Y,Z) -> L" + std::to_string(i) +
+             "(X,Z).";
+  }
+  Schema schema = MakeSchema({{"E", 2}});
+  TgdSet tgds = ParseTgds(sigma).value();
+  ConjunctiveQuery q =
+      ParseQuery("Q(X) :- L" + std::to_string(layers - 1) + "(X,Y)").value();
+  size_t measured = 0;
+  for (auto _ : state) {
+    XRewriteStats stats;
+    auto rewriting = XRewrite(schema, tgds, q, XRewriteOptions(), &stats);
+    if (!rewriting.ok()) {
+      state.SkipWithError("rewriting failed");
+      return;
+    }
+    measured = stats.max_disjunct_atoms;
+  }
+  ReportBound(state, measured, NonRecursiveRewriteBound(tgds, q));
+}
+BENCHMARK(BM_NonRecursiveBound)->DenseRange(1, 3);
+
+void BM_StickyBound(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"R", 2}, {"P", 2}});
+  TgdSet tgds = ParseTgds(
+                    "R(X,Y), P(X,Z) -> T(X,Y,Z)."
+                    "T(X,Y,Z) -> R(Y,X).")
+                    .value();
+  ConjunctiveQuery q = bench::ChainQuery("R", len);
+  size_t measured = 0;
+  for (auto _ : state) {
+    XRewriteStats stats;
+    auto rewriting = XRewrite(schema, tgds, q, XRewriteOptions(), &stats);
+    if (!rewriting.ok()) {
+      state.SkipWithError(rewriting.status().ToString().c_str());
+      return;
+    }
+    measured = stats.max_disjunct_atoms;
+  }
+  ReportBound(state, measured, StickyRewriteBound(schema, tgds, q));
+}
+BENCHMARK(BM_StickyBound)->DenseRange(1, 3);
+
+}  // namespace
+}  // namespace omqc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+// Experiment T1-EV — Table 1, small-font rows (OMQ evaluation).
+//
+// Paper: evaluation is PSpace-c (linear), ExpTime-c (sticky), NExpTime-c
+// (non-recursive), 2ExpTime-c (guarded) — and containment is harder than
+// evaluation in every row except linear/unbounded arity.
+//
+// Reproduced shape: per-class evaluation runtime scaling in |D|, plus a
+// direct evaluation-vs-containment runtime pair on a shared workload
+// showing the gap.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "generators/families.h"
+
+namespace omqc {
+namespace {
+
+using bench::MakeSchema;
+
+Database ChainWithFlags(int length) {
+  Database db = MakeChainDatabase(length);
+  return db;
+}
+
+void BM_EvalLinear(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"R", 2}, {"A", 1}, {"B", 1}});
+  Omq q{schema,
+        ParseTgds("R(X,Y) -> Conn(X,Y). A(X) -> Start(X).").value(),
+        ParseQuery("Q(X) :- Start(X), Conn(X,Y)").value()};
+  Database db = ChainWithFlags(size);
+  for (auto _ : state) {
+    auto answers = EvalAll(q, db);
+    if (!answers.ok()) {
+      state.SkipWithError("eval failed");
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_EvalLinear)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_EvalSticky(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"R", 2}, {"P", 2}});
+  // Sticky (and recursive, so the rewriting path is exercised).
+  Omq q{schema,
+        ParseTgds("R(X,Y), P(X,Z) -> T(X,Y,Z). T(X,Y,Z) -> R(Y,X).").value(),
+        ParseQuery("Q(X) :- T(X,Y,Z)").value()};
+  Database db;
+  for (int i = 0; i < size; ++i) {
+    db.Add(Atom::Make("R", {Term::Constant("c" + std::to_string(i)),
+                            Term::Constant("c" + std::to_string(i + 1))}));
+    db.Add(Atom::Make("P", {Term::Constant("c" + std::to_string(i)),
+                            Term::Constant("d")}));
+  }
+  EvalOptions options;
+  options.rewrite.max_queries = 100000;
+  for (auto _ : state) {
+    auto answers = EvalAll(q, db, options);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_EvalSticky)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_EvalNonRecursive(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"R", 2}, {"A", 1}, {"B", 1}});
+  Omq q{schema,
+        ParseTgds("R(X,Y), R(Y,Z) -> P2(X,Z). P2(X,Y), R(Y,Z) -> P3(X,Z).")
+            .value(),
+        ParseQuery("Q(X) :- P3(X,Y)").value()};
+  Database db = ChainWithFlags(size);
+  for (auto _ : state) {
+    auto answers = EvalAll(q, db);
+    if (!answers.ok()) {
+      state.SkipWithError("eval failed");
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_EvalNonRecursive)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity();
+
+void BM_EvalGuarded(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"R", 2}, {"A", 1}, {"B", 1}});
+  Omq q{schema,
+        ParseTgds("R(X,Y), A(X) -> A(Y).").value(),
+        ParseQuery("Q(X) :- A(X), B(X)").value()};
+  Database db = ChainWithFlags(size);
+  for (auto _ : state) {
+    auto answers = EvalAll(q, db);
+    if (!answers.ok()) {
+      state.SkipWithError("eval failed");
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_EvalGuarded)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+/// Evaluation vs containment on one workload: the containment/evaluation
+/// runtime ratio is reported as a counter (the paper's "containment is
+/// harder than evaluation" gap).
+void BM_EvalVsContainmentGap(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  Schema schema = MakeSchema({{"Edge", 2}, {"Marked", 1}});
+  TgdSet tgds = ParseTgds("Edge(X,Y) -> Conn(X,Y).").value();
+  Omq q1{schema, tgds, bench::ChainQuery("Edge", len)};
+  Omq q2{schema, tgds, bench::ChainQuery("Conn", len)};
+  Database edges;
+  for (int i = 0; i < 32; ++i) {
+    edges.Add(Atom::Make("Edge",
+                         {Term::Constant("c" + std::to_string(i)),
+                          Term::Constant("c" + std::to_string(i + 1))}));
+  }
+  double eval_ns = 0, cont_ns = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(EvalAll(q1, edges));
+    auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(CheckContainment(q1, q2));
+    auto t2 = std::chrono::steady_clock::now();
+    eval_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    cont_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+  }
+  if (eval_ns > 0) {
+    state.counters["containment_over_eval"] = cont_ns / eval_ns;
+  }
+}
+BENCHMARK(BM_EvalVsContainmentGap)->DenseRange(2, 6, 2);
+
+}  // namespace
+}  // namespace omqc
+
+BENCHMARK_MAIN();

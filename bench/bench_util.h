@@ -1,0 +1,51 @@
+// Shared helpers for the omqc benchmark harness.
+//
+// Every bench binary regenerates one row/figure of the paper (see
+// DESIGN.md's experiment index); besides google-benchmark timings, each
+// reports the *shape* quantities the paper predicts (witness sizes,
+// rewriting sizes, chase level counts) as benchmark counters.
+
+#ifndef OMQC_BENCH_BENCH_UTIL_H_
+#define OMQC_BENCH_BENCH_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "core/containment.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace bench {
+
+inline Schema MakeSchema(
+    std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+inline Omq MakeOmq(Schema schema, const std::string& tgds,
+                   const std::string& query) {
+  return Omq{std::move(schema), ParseTgds(tgds).value(),
+             ParseQuery(query).value()};
+}
+
+/// A chain CQ over predicate `pred`: Q(X0) :- pred(X0,X1), ...,
+/// pred(X_{len-1}, X_len).
+inline ConjunctiveQuery ChainQuery(const std::string& pred, int len) {
+  std::string text = "Q(X0) :- ";
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) text += ", ";
+    text += pred + "(X" + std::to_string(i) + ",X" + std::to_string(i + 1) +
+            ")";
+  }
+  return ParseQuery(text).value();
+}
+
+}  // namespace bench
+}  // namespace omqc
+
+#endif  // OMQC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,196 @@
+// omqc_cli — a command-line front end for the library.
+//
+// Usage:
+//   omqc_cli classify <program-file>
+//   omqc_cli eval <program-file> <query-name>
+//   omqc_cli rewrite <program-file> <query-name>
+//   omqc_cli contain <program-file> <query-name-1> <query-name-2>
+//   omqc_cli distribute <program-file> <query-name>
+//   omqc_cli explain <program-file> <query-name> [answer constants...]
+//
+// The program file holds tgds, named queries and facts in the DLGP-style
+// format (see README). The data schema is taken to be the set of
+// predicates occurring in the facts plus any query-body predicates that
+// no tgd derives.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/string_util.h"
+#include "core/applications.h"
+#include "core/containment.h"
+#include "core/eval.h"
+#include "core/explain.h"
+#include "rewrite/xrewrite.h"
+#include "tgd/parser.h"
+
+using namespace omqc;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<Program> LoadProgram(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(std::string("cannot open ") + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProgram(text.str());
+}
+
+/// Data schema heuristic: fact predicates + underived query predicates.
+Schema InferDataSchema(const Program& program) {
+  Schema schema = program.facts.InducedSchema();
+  Schema derived = program.tgds.HeadPredicates();
+  for (const NamedQuery& nq : program.queries) {
+    for (const Atom& a : nq.query.body) {
+      if (!derived.Contains(a.predicate)) schema.Add(a.predicate);
+    }
+  }
+  for (const Tgd& tgd : program.tgds.tgds) {
+    for (const Atom& a : tgd.body) {
+      if (!derived.Contains(a.predicate)) schema.Add(a.predicate);
+    }
+  }
+  return schema;
+}
+
+Result<Omq> QueryNamed(const Program& program, const Schema& schema,
+                       const std::string& name) {
+  UnionOfCQs ucq = program.QueriesNamed(name);
+  if (ucq.empty()) {
+    return Status::NotFound("no query named " + name);
+  }
+  if (ucq.size() > 1) {
+    return Status::Unsupported(
+        "query " + name + " is a UCQ; this command expects a single CQ");
+  }
+  return Omq{schema, program.tgds, ucq.disjuncts.front()};
+}
+
+int Classify(const Program& program) {
+  ClassificationReport report = omqc::Classify(program.tgds);
+  std::printf("tgds: %zu\nclasses: %s\nprimary class: %s\n",
+              program.tgds.size(), report.ToString().c_str(),
+              TgdClassToString(PrimaryClass(program.tgds)));
+  return 0;
+}
+
+int Eval(const Program& program, const Schema& schema,
+         const std::string& name) {
+  auto omq = QueryNamed(program, schema, name);
+  if (!omq.ok()) return Fail(omq.status().ToString());
+  auto answers = EvalAll(*omq, program.facts);
+  if (!answers.ok()) return Fail(answers.status().ToString());
+  std::printf("%zu answer(s):\n", answers->size());
+  for (const auto& tuple : *answers) {
+    std::printf("  (%s)\n",
+                omqc::JoinMapped(tuple, ", ",
+                           [](const Term& t) { return t.ToString(); })
+                    .c_str());
+  }
+  return 0;
+}
+
+int Rewrite(const Program& program, const Schema& schema,
+            const std::string& name) {
+  auto omq = QueryNamed(program, schema, name);
+  if (!omq.ok()) return Fail(omq.status().ToString());
+  XRewriteStats stats;
+  auto rewriting = XRewrite(schema, omq->tgds, omq->query,
+                            XRewriteOptions(), &stats);
+  if (!rewriting.ok()) return Fail(rewriting.status().ToString());
+  UnionOfCQs minimized = MinimizeUCQ(*rewriting);
+  std::printf("UCQ rewriting over %s (%zu disjuncts, %zu minimized):\n%s\n",
+              schema.ToString().c_str(), rewriting->size(),
+              minimized.size(), minimized.ToString().c_str());
+  return 0;
+}
+
+int Contain(const Program& program, const Schema& schema,
+            const std::string& lhs, const std::string& rhs) {
+  auto q1 = QueryNamed(program, schema, lhs);
+  auto q2 = QueryNamed(program, schema, rhs);
+  if (!q1.ok()) return Fail(q1.status().ToString());
+  if (!q2.ok()) return Fail(q2.status().ToString());
+  auto result = CheckContainment(*q1, *q2);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("%s ⊆ %s: %s\n", lhs.c_str(), rhs.c_str(),
+              ContainmentOutcomeToString(result->outcome));
+  if (!result->detail.empty()) {
+    std::printf("  %s\n", result->detail.c_str());
+  }
+  if (result->witness.has_value()) {
+    std::printf("counterexample database:\n%s\n",
+                PrettifiedCopy(result->witness->database)
+                    .ToString()
+                    .c_str());
+  }
+  std::printf("candidates checked: %zu (largest: %zu atoms)\n",
+              result->candidates_checked, result->max_witness_size);
+  return 0;
+}
+
+int Explain(const Program& program, const Schema& schema,
+            const std::string& name, int argc, char** argv) {
+  auto omq = QueryNamed(program, schema, name);
+  if (!omq.ok()) return Fail(omq.status().ToString());
+  std::vector<Term> tuple;
+  for (int i = 4; i < argc; ++i) tuple.push_back(Term::Constant(argv[i]));
+  auto why = ExplainTuple(*omq, program.facts, tuple);
+  if (!why.ok()) return Fail(why.status().ToString());
+  std::printf("%s", why->ToString(program.tgds).c_str());
+  return 0;
+}
+
+int Distribute(const Program& program, const Schema& schema,
+               const std::string& name) {
+  auto omq = QueryNamed(program, schema, name);
+  if (!omq.ok()) return Fail(omq.status().ToString());
+  auto result = DistributesOverComponents(*omq);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("%s distributes over components: %s\n", name.c_str(),
+              ContainmentOutcomeToString(result->outcome));
+  if (!result->detail.empty()) std::printf("  %s\n", result->detail.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s classify|eval|rewrite|contain|distribute|"
+                 "explain <program-file> [query names / constants...]\n",
+                 argv[0]);
+    return 2;
+  }
+  auto program = LoadProgram(argv[2]);
+  if (!program.ok()) return Fail(program.status().ToString());
+  Schema schema = InferDataSchema(*program);
+
+  std::string command = argv[1];
+  if (command == "classify") return Classify(*program);
+  if (command == "eval" && argc >= 4) {
+    return Eval(*program, schema, argv[3]);
+  }
+  if (command == "rewrite" && argc >= 4) {
+    return Rewrite(*program, schema, argv[3]);
+  }
+  if (command == "contain" && argc >= 5) {
+    return Contain(*program, schema, argv[3], argv[4]);
+  }
+  if (command == "distribute" && argc >= 4) {
+    return Distribute(*program, schema, argv[3]);
+  }
+  if (command == "explain" && argc >= 4) {
+    return Explain(*program, schema, argv[3], argc, argv);
+  }
+  std::fprintf(stderr, "unknown or incomplete command '%s'\n",
+               command.c_str());
+  return 2;
+}

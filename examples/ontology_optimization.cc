@@ -1,0 +1,81 @@
+// Ontology-aware query optimization: use containment and equivalence to
+// (a) drop redundant disjuncts from a UCQ under an ontology, and (b)
+// replace a query by a cheaper equivalent one.
+//
+//   $ ./examples/ontology_optimization
+//
+// This is the classic application of containment cited in the paper's
+// introduction (query optimization / view-based answering): a disjunct
+// q_i of a UCQ is redundant when (S,Σ,q_i) ⊆ (S,Σ,q_j) for some other
+// disjunct q_j — the ontology can make disjuncts redundant that are
+// incomparable as plain CQs.
+
+#include <cstdio>
+
+#include "core/containment.h"
+#include "tgd/parser.h"
+
+using namespace omqc;
+
+int main() {
+  Schema data_schema;
+  for (const char* name : {"Flight", "Train"}) {
+    data_schema.Add(Predicate::Get(name, 2));
+  }
+  data_schema.Add(Predicate::Get("Hub", 1));
+
+  // Ontology: every flight or train is a connection; hubs have an
+  // (unknown) outgoing flight.
+  TgdSet tgds = ParseTgds(R"(
+    Flight(X,Y) -> Connected(X,Y).
+    Train(X,Y) -> Connected(X,Y).
+    Hub(X) -> Flight(X,Y).
+  )").value();
+
+  // A UCQ a user might write: three ways to be "reachable from a hub".
+  UnionOfCQs user_query = ParseUCQ(R"(
+    Q(X) :- Hub(X).
+    Q(X) :- Hub(X), Connected(X,Y).
+    Q(X) :- Hub(X), Flight(X,Y).
+  )").value();
+
+  std::printf("user UCQ (%zu disjuncts):\n%s\n\n", user_query.size(),
+              user_query.ToString().c_str());
+
+  // Pairwise containment under the ontology: drop disjunct i if it is
+  // contained in another kept disjunct.
+  std::vector<ConjunctiveQuery> kept;
+  for (size_t i = 0; i < user_query.size(); ++i) {
+    Omq candidate{data_schema, tgds, user_query.disjuncts[i]};
+    bool redundant = false;
+    for (size_t j = 0; j < user_query.size(); ++j) {
+      if (i == j) continue;
+      // Keep the first representative among equivalent disjuncts.
+      Omq other{data_schema, tgds, user_query.disjuncts[j]};
+      auto fwd = CheckContainment(candidate, other);
+      if (!fwd.ok() || fwd->outcome != ContainmentOutcome::kContained) {
+        continue;
+      }
+      auto bwd = CheckContainment(other, candidate);
+      bool equivalent =
+          bwd.ok() && bwd->outcome == ContainmentOutcome::kContained;
+      if (!equivalent || j < i) {
+        redundant = true;
+        std::printf("  disjunct %zu ⊆ disjunct %zu under Σ -> dropped\n",
+                    i, j);
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(user_query.disjuncts[i]);
+  }
+
+  std::printf("\noptimized UCQ (%zu disjunct%s):\n", kept.size(),
+              kept.size() == 1 ? "" : "s");
+  for (const ConjunctiveQuery& q : kept) {
+    std::printf("%s\n", q.ToString().c_str());
+  }
+
+  // All three disjuncts collapse to Hub(x): the ontology says every hub
+  // has an outgoing flight, which is a connection.
+  return kept.size() == 1 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Quickstart: parse an ontology-mediated query, evaluate it, and decide a
+// containment — the three core operations of the library.
+//
+//   $ ./examples/quickstart
+//
+// The scenario: a tiny staff ontology. "Everyone who supervises
+// someone is a manager; managers are employees" — and we ask whether the
+// query "supervisors of engineers" is contained in "employees".
+
+#include <cstdio>
+
+#include "core/containment.h"
+#include "core/eval.h"
+#include "tgd/parser.h"
+
+using namespace omqc;
+
+int main() {
+  // 1. Parse a program: an ontology (tgds), queries and data in one text.
+  auto program = ParseProgram(R"(
+    % Ontology: supervision implies management implies employment.
+    Supervises(X,Y) -> Manager(X).
+    Manager(X) -> Employee(X).
+    % Every employee has a (possibly unknown) department.
+    Employee(X) -> WorksIn(X,D).
+
+    % Two queries over the data schema {Supervises, Engineer}.
+    SupervisorsOfEngineers(X) :- Supervises(X,Y), Engineer(Y).
+    Employees(X) :- Employee(X).
+
+    % Data.
+    Supervises(ada, grace).
+    Engineer(grace).
+    Engineer(edsger).
+  )");
+  if (!program.ok()) {
+    std::printf("parse error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  Schema data_schema;
+  data_schema.Add(Predicate::Get("Supervises", 2));
+  data_schema.Add(Predicate::Get("Engineer", 1));
+
+  Omq supervisors{data_schema, program->tgds,
+                  program->QueriesNamed("SupervisorsOfEngineers")
+                      .disjuncts.front()};
+  Omq employees{data_schema, program->tgds,
+                program->QueriesNamed("Employees").disjuncts.front()};
+
+  // 2. Evaluate: certain answers over the parsed database.
+  auto answers = EvalAll(supervisors, program->facts);
+  if (!answers.ok()) {
+    std::printf("evaluation error: %s\n",
+                answers.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("supervisors of engineers:");
+  for (const auto& tuple : *answers) {
+    std::printf(" %s", tuple[0].ToString().c_str());
+  }
+  std::printf("\n");
+
+  // 3. Containment: is every supervisor-of-an-engineer always an
+  // employee, on every possible database?
+  auto contained = CheckContainment(supervisors, employees);
+  if (!contained.ok()) {
+    std::printf("containment error: %s\n",
+                contained.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SupervisorsOfEngineers ⊆ Employees: %s\n",
+              ContainmentOutcomeToString(contained->outcome));
+
+  // The converse fails — and the engine hands us a counterexample.
+  auto converse = CheckContainment(employees, supervisors);
+  std::printf("Employees ⊆ SupervisorsOfEngineers: %s\n",
+              ContainmentOutcomeToString(converse->outcome));
+  if (converse->witness.has_value()) {
+    std::printf("counterexample database:\n%s\n",
+                PrettifiedCopy(converse->witness->database)
+                    .ToString()
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Rewriting explorer: run XRewrite on the paper's Example 1 and on a
+// sticky ontology, showing the produced UCQ rewritings, their sizes and
+// the analytic bounds of Props. 12/17 — then verify the rewriting against
+// chase-based evaluation on sample data.
+//
+//   $ ./examples/rewriting_explorer
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "logic/homomorphism.h"
+#include "rewrite/xrewrite.h"
+#include "tgd/parser.h"
+
+using namespace omqc;
+
+namespace {
+
+void Explore(const char* title, const Schema& schema, const TgdSet& tgds,
+             const ConjunctiveQuery& q, const Database& sample) {
+  std::printf("=== %s ===\nontology:\n%s\nquery: %s\n\n", title,
+              tgds.ToString().c_str(), q.ToString().c_str());
+  XRewriteStats stats;
+  auto rewriting = XRewrite(schema, tgds, q, XRewriteOptions(), &stats);
+  if (!rewriting.ok()) {
+    std::printf("rewriting failed: %s\n\n",
+                rewriting.status().ToString().c_str());
+    return;
+  }
+  UnionOfCQs minimized = MinimizeUCQ(*rewriting);
+  std::printf("UCQ rewriting (%zu disjuncts, %zu after minimization):\n%s\n",
+              rewriting->size(), minimized.size(),
+              minimized.ToString().c_str());
+  std::printf("max disjunct atoms: %zu (Prop. 12 linear bound: %zu, "
+              "Prop. 17 sticky bound: %zu)\n",
+              stats.max_disjunct_atoms, LinearRewriteBound(q),
+              StickyRewriteBound(schema, tgds, q));
+
+  // Cross-check: rewriting evaluation == chase evaluation on the sample.
+  auto via_rewriting = EvaluateUCQ(minimized, sample);
+  ChaseOptions chase_options;
+  chase_options.max_level = 10;
+  auto chased = Chase(sample, tgds, chase_options).value();
+  auto via_chase = EvaluateCQ(q, chased.instance);
+  std::printf("sample data: %zu answers via rewriting, %zu via chase (%s)"
+              "\n\n",
+              via_rewriting.size(), via_chase.size(),
+              via_rewriting == via_chase ? "agree" : "DISAGREE");
+}
+
+}  // namespace
+
+int main() {
+  // Example 1 of the paper: rewriting is P(x) ∨ T(x).
+  {
+    Schema schema;
+    schema.Add(Predicate::Get("P", 1));
+    schema.Add(Predicate::Get("T", 1));
+    Explore("Paper Example 1 (linear)", schema,
+            ParseTgds("P(X) -> R(X,Y). R(X,Y) -> P(Y). T(X) -> P(X).")
+                .value(),
+            ParseQuery("Q(X) :- R(X,Y), P(Y)").value(),
+            ParseDatabase("T(a). P(b).").value());
+  }
+  // A sticky, recursive ontology: joins beyond guardedness.
+  {
+    Schema schema;
+    schema.Add(Predicate::Get("R", 2));
+    schema.Add(Predicate::Get("P", 2));
+    Explore("Sticky join ontology", schema,
+            ParseTgds("R(X,Y), P(X,Z) -> T(X,Y,Z). T(X,Y,Z) -> R(Y,X).")
+                .value(),
+            ParseQuery("Q(X) :- T(X,Y,Z)").value(),
+            ParseDatabase("R(a,b). P(a,c). P(b,d).").value());
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "automata/downward.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+using StateSet = std::set<int>;
+
+/// A DNF disjunct over downward transition atoms: the existential
+/// obligations (each needs some child) and the universal ones (needed at
+/// every child).
+struct Disjunct {
+  StateSet existential;
+  StateSet universal;
+};
+
+/// Computes the DNF of a formula over kChild atoms. Empty result = false;
+/// a single empty disjunct = true.
+Result<std::vector<Disjunct>> ToDnf(const Formula& f, size_t max_disjuncts) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return std::vector<Disjunct>{Disjunct{}};
+    case Formula::Kind::kFalse:
+      return std::vector<Disjunct>{};
+    case Formula::Kind::kAtom: {
+      const TransitionAtom& atom = f.atom();
+      if (atom.move != Move::kChild) {
+        return Status::Unsupported(
+            "only downward (child-moving) automata are convertible");
+      }
+      Disjunct d;
+      (atom.universal ? d.universal : d.existential).insert(atom.state);
+      return std::vector<Disjunct>{d};
+    }
+    case Formula::Kind::kAnd: {
+      OMQC_ASSIGN_OR_RETURN(std::vector<Disjunct> left,
+                            ToDnf(f.left(), max_disjuncts));
+      OMQC_ASSIGN_OR_RETURN(std::vector<Disjunct> right,
+                            ToDnf(f.right(), max_disjuncts));
+      std::vector<Disjunct> out;
+      for (const Disjunct& a : left) {
+        for (const Disjunct& b : right) {
+          Disjunct merged = a;
+          merged.existential.insert(b.existential.begin(),
+                                    b.existential.end());
+          merged.universal.insert(b.universal.begin(), b.universal.end());
+          out.push_back(std::move(merged));
+          if (out.size() > max_disjuncts) {
+            return Status::ResourceExhausted("DNF blow-up");
+          }
+        }
+      }
+      return out;
+    }
+    case Formula::Kind::kOr: {
+      OMQC_ASSIGN_OR_RETURN(std::vector<Disjunct> left,
+                            ToDnf(f.left(), max_disjuncts));
+      OMQC_ASSIGN_OR_RETURN(std::vector<Disjunct> right,
+                            ToDnf(f.right(), max_disjuncts));
+      left.insert(left.end(), right.begin(), right.end());
+      if (left.size() > max_disjuncts) {
+        return Status::ResourceExhausted("DNF blow-up");
+      }
+      return left;
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+}  // namespace
+
+Result<Nta> DownwardToNta(const Twapa& automaton,
+                          const DownwardOptions& options) {
+  if (automaton.mode != AcceptanceMode::kFiniteRuns) {
+    return Status::Unsupported(
+        "the conversion targets finite-runs (all-priorities-odd) automata");
+  }
+  Nta nta;
+  nta.num_labels = automaton.num_labels;
+
+  std::map<StateSet, int> state_id;
+  std::vector<StateSet> worklist;
+  auto intern = [&](const StateSet& s) {
+    auto it = state_id.find(s);
+    if (it != state_id.end()) return it->second;
+    int id = static_cast<int>(state_id.size());
+    state_id.emplace(s, id);
+    worklist.push_back(s);
+    return id;
+  };
+  nta.initial_state = intern({automaton.initial_state});
+
+  for (size_t next = 0; next < worklist.size(); ++next) {
+    if (state_id.size() > options.max_states) {
+      return Status::ResourceExhausted(
+          StrCat("more than ", options.max_states, " obligation sets"));
+    }
+    // Copy: intern() may grow the worklist.
+    StateSet obligations = worklist[next];
+    int from = state_id.at(obligations);
+    for (int label = 0; label < automaton.num_labels; ++label) {
+      // Conjoin the transition formulas of all obligations.
+      Formula conj = Formula::True();
+      for (int q : obligations) {
+        conj = Formula::And(conj, automaton.delta(q, label));
+      }
+      OMQC_ASSIGN_OR_RETURN(std::vector<Disjunct> dnf,
+                            ToDnf(conj, options.max_disjuncts));
+      for (const Disjunct& d : dnf) {
+        if (static_cast<int>(d.existential.size()) > options.max_branching) {
+          return Status::InvalidArgument(
+              "a disjunct needs more children than max_branching");
+        }
+        Nta::Rule rule;
+        rule.state = from;
+        rule.label = label;
+        if (d.existential.empty()) {
+          // Leaf rule: universal obligations are vacuous with no children.
+          nta.rules.push_back(std::move(rule));
+          continue;
+        }
+        for (int e : d.existential) {
+          StateSet child = d.universal;
+          child.insert(e);
+          rule.child_states.push_back(intern(child));
+        }
+        nta.rules.push_back(std::move(rule));
+      }
+    }
+  }
+  nta.num_states = static_cast<int>(state_id.size());
+  return nta;
+}
+
+Result<bool> DownwardIsEmpty(const Twapa& automaton,
+                             const DownwardOptions& options) {
+  OMQC_ASSIGN_OR_RETURN(Nta nta, DownwardToNta(automaton, options));
+  return IsEmpty(nta);
+}
+
+}  // namespace omqc

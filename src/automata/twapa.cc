@@ -1,0 +1,344 @@
+#include "automata/twapa.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+LabeledTree LabeledTree::Leaf(int label) {
+  LabeledTree tree;
+  tree.nodes.push_back(Node{label, -1, {}});
+  return tree;
+}
+
+int LabeledTree::AddChild(int parent, int label) {
+  int index = static_cast<int>(nodes.size());
+  nodes.push_back(Node{label, parent, {}});
+  nodes[static_cast<size_t>(parent)].children.push_back(index);
+  return index;
+}
+
+namespace {
+
+std::string EncodeSubtree(const LabeledTree& tree, int node) {
+  std::string out = StrCat(tree.nodes[static_cast<size_t>(node)].label);
+  out += "(";
+  for (int c : tree.nodes[static_cast<size_t>(node)].children) {
+    out += EncodeSubtree(tree, c);
+    out += ",";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string LabeledTree::ToString() const {
+  if (nodes.empty()) return "()";
+  return EncodeSubtree(*this, root());
+}
+
+bool Accepts(const Twapa& automaton, const LabeledTree& tree) {
+  const size_t n = tree.nodes.size();
+  const size_t s = static_cast<size_t>(automaton.num_states);
+  if (n == 0) return false;
+
+  // Memoize δ per (state, label of node) lazily.
+  std::vector<std::vector<std::optional<Formula>>> delta_cache(
+      s, std::vector<std::optional<Formula>>(n));
+  auto delta_at = [&](size_t state, size_t node) -> const Formula& {
+    std::optional<Formula>& slot = delta_cache[state][node];
+    if (!slot.has_value()) {
+      slot = automaton.delta(static_cast<int>(state),
+                             tree.nodes[node].label);
+    }
+    return *slot;
+  };
+
+  const bool least = automaton.mode == AcceptanceMode::kFiniteRuns;
+  // winning[node * s + state]
+  std::vector<char> winning(n * s, least ? 0 : 1);
+  auto holds = [&](size_t node, int state) {
+    return winning[node * s + static_cast<size_t>(state)] != 0;
+  };
+
+  auto valuation_at = [&](size_t node) {
+    return [&, node](const TransitionAtom& atom) -> bool {
+      const LabeledTree::Node& tn = tree.nodes[node];
+      switch (atom.move) {
+        case Move::kStay:
+          return holds(node, atom.state);
+        case Move::kUp:
+          if (tn.parent < 0) return atom.universal;  // [−1] vacuous, ⟨−1⟩ fails
+          return holds(static_cast<size_t>(tn.parent), atom.state);
+        case Move::kChild:
+          if (atom.universal) {
+            for (int c : tn.children) {
+              if (!holds(static_cast<size_t>(c), atom.state)) return false;
+            }
+            return true;
+          }
+          for (int c : tn.children) {
+            if (holds(static_cast<size_t>(c), atom.state)) return true;
+          }
+          return false;
+      }
+      return false;
+    };
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t node = 0; node < n; ++node) {
+      auto valuation = valuation_at(node);
+      for (size_t state = 0; state < s; ++state) {
+        bool value = delta_at(state, node).Evaluate(valuation);
+        char encoded = value ? 1 : 0;
+        char& slot = winning[node * s + state];
+        if (least) {
+          if (encoded && !slot) {
+            slot = 1;
+            changed = true;
+          }
+        } else {
+          if (!encoded && slot) {
+            slot = 0;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return holds(static_cast<size_t>(tree.root()), automaton.initial_state);
+}
+
+Twapa Complement(const Twapa& automaton) {
+  Twapa out;
+  out.num_states = automaton.num_states;
+  out.num_labels = automaton.num_labels;
+  out.initial_state = automaton.initial_state;
+  out.mode = automaton.mode == AcceptanceMode::kFiniteRuns
+                 ? AcceptanceMode::kSafety
+                 : AcceptanceMode::kFiniteRuns;
+  std::function<Formula(int, int)> inner = automaton.delta;
+  out.delta = [inner](int state, int label) {
+    return inner(state, label).Dual();
+  };
+  return out;
+}
+
+namespace {
+
+Formula ShiftStates(const Formula& f, int offset) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return Formula::True();
+    case Formula::Kind::kFalse:
+      return Formula::False();
+    case Formula::Kind::kAtom: {
+      TransitionAtom atom = f.atom();
+      atom.state += offset;
+      return Formula::Atom(atom);
+    }
+    case Formula::Kind::kAnd:
+      return Formula::And(ShiftStates(f.left(), offset),
+                          ShiftStates(f.right(), offset));
+    case Formula::Kind::kOr:
+      return Formula::Or(ShiftStates(f.left(), offset),
+                         ShiftStates(f.right(), offset));
+  }
+  return Formula::False();
+}
+
+}  // namespace
+
+Result<Twapa> Intersect(const Twapa& a, const Twapa& b) {
+  if (a.num_labels != b.num_labels) {
+    return Status::InvalidArgument("intersection needs a common alphabet");
+  }
+  if (a.mode != b.mode) {
+    return Status::Unsupported(
+        "intersection of mixed acceptance modes is not supported; "
+        "complement first or intersect same-mode automata");
+  }
+  Twapa out;
+  out.num_labels = a.num_labels;
+  out.mode = a.mode;
+  out.num_states = 1 + a.num_states + b.num_states;
+  out.initial_state = 0;
+  const int off_a = 1;
+  const int off_b = 1 + a.num_states;
+  std::function<Formula(int, int)> da = a.delta;
+  std::function<Formula(int, int)> db = b.delta;
+  int init_a = a.initial_state, init_b = b.initial_state;
+  out.delta = [da, db, off_a, off_b, init_a, init_b](int state,
+                                                     int label) -> Formula {
+    if (state == 0) {
+      return Formula::And(ShiftStates(da(init_a, label), off_a),
+                          ShiftStates(db(init_b, label), off_b));
+    }
+    if (state < off_b) return ShiftStates(da(state - off_a, label), off_a);
+    return ShiftStates(db(state - off_b, label), off_b);
+  };
+  return out;
+}
+
+std::optional<LabeledTree> FindAcceptedTree(const Twapa& automaton,
+                                            int max_nodes,
+                                            int max_branching) {
+  // Breadth-first tree growing with canonical-form deduplication.
+  std::vector<LabeledTree> frontier;
+  std::set<std::string> seen;
+  for (int label = 0; label < automaton.num_labels; ++label) {
+    LabeledTree leaf = LabeledTree::Leaf(label);
+    if (Accepts(automaton, leaf)) return leaf;
+    seen.insert(leaf.ToString());
+    frontier.push_back(std::move(leaf));
+  }
+  while (!frontier.empty()) {
+    std::vector<LabeledTree> next;
+    for (const LabeledTree& tree : frontier) {
+      if (static_cast<int>(tree.nodes.size()) >= max_nodes) continue;
+      for (size_t node = 0; node < tree.nodes.size(); ++node) {
+        if (static_cast<int>(tree.nodes[node].children.size()) >=
+            max_branching) {
+          continue;
+        }
+        for (int label = 0; label < automaton.num_labels; ++label) {
+          LabeledTree extended = tree;
+          extended.AddChild(static_cast<int>(node), label);
+          std::string key = extended.ToString();
+          if (!seen.insert(std::move(key)).second) continue;
+          if (Accepts(automaton, extended)) return extended;
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<char> ProductiveStates(const Nta& automaton) {
+  std::vector<char> productive(static_cast<size_t>(automaton.num_states), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nta::Rule& rule : automaton.rules) {
+      if (productive[static_cast<size_t>(rule.state)]) continue;
+      bool all = true;
+      for (int c : rule.child_states) {
+        if (!productive[static_cast<size_t>(c)]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        productive[static_cast<size_t>(rule.state)] = 1;
+        changed = true;
+      }
+    }
+  }
+  return productive;
+}
+
+}  // namespace
+
+bool IsEmpty(const Nta& automaton) {
+  std::vector<char> productive = ProductiveStates(automaton);
+  return !productive[static_cast<size_t>(automaton.initial_state)];
+}
+
+bool Accepts(const Nta& automaton, const LabeledTree& tree) {
+  // memo[node][state]: -1 unknown, 0 no, 1 yes.
+  std::vector<std::vector<int>> memo(
+      tree.nodes.size(),
+      std::vector<int>(static_cast<size_t>(automaton.num_states), -1));
+  std::function<bool(int, int)> run = [&](int node, int state) -> bool {
+    int& slot = memo[static_cast<size_t>(node)][static_cast<size_t>(state)];
+    if (slot >= 0) return slot == 1;
+    slot = 0;
+    const LabeledTree::Node& tn = tree.nodes[static_cast<size_t>(node)];
+    for (const Nta::Rule& rule : automaton.rules) {
+      if (rule.state != state || rule.label != tn.label) continue;
+      if (rule.child_states.size() != tn.children.size()) continue;
+      bool all = true;
+      for (size_t i = 0; i < tn.children.size(); ++i) {
+        if (!run(tn.children[i], rule.child_states[i])) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        slot = 1;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (tree.nodes.empty()) return false;
+  return run(tree.root(), automaton.initial_state);
+}
+
+bool IsInfinite(const Nta& automaton) {
+  std::vector<char> productive = ProductiveStates(automaton);
+  if (!productive[static_cast<size_t>(automaton.initial_state)]) {
+    return false;  // empty language
+  }
+  // Useful = reachable through rules whose children are all productive.
+  std::vector<char> useful(static_cast<size_t>(automaton.num_states), 0);
+  std::vector<int> stack{automaton.initial_state};
+  useful[static_cast<size_t>(automaton.initial_state)] = 1;
+  std::vector<std::vector<int>> edges(
+      static_cast<size_t>(automaton.num_states));
+  for (const Nta::Rule& rule : automaton.rules) {
+    bool all = true;
+    for (int c : rule.child_states) {
+      if (!productive[static_cast<size_t>(c)]) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    for (int c : rule.child_states) {
+      edges[static_cast<size_t>(rule.state)].push_back(c);
+    }
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int c : edges[static_cast<size_t>(s)]) {
+      if (!useful[static_cast<size_t>(c)]) {
+        useful[static_cast<size_t>(c)] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  // Infinite iff the useful subgraph has a cycle.
+  std::vector<int> color(static_cast<size_t>(automaton.num_states), 0);
+  std::function<bool(int)> has_cycle = [&](int s) -> bool {
+    color[static_cast<size_t>(s)] = 1;
+    for (int c : edges[static_cast<size_t>(s)]) {
+      if (!useful[static_cast<size_t>(c)]) continue;
+      if (color[static_cast<size_t>(c)] == 1) return true;
+      if (color[static_cast<size_t>(c)] == 0 && has_cycle(c)) return true;
+    }
+    color[static_cast<size_t>(s)] = 2;
+    return false;
+  };
+  for (int s = 0; s < automaton.num_states; ++s) {
+    if (useful[static_cast<size_t>(s)] && color[static_cast<size_t>(s)] == 0 &&
+        has_cycle(s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace omqc

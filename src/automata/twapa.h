@@ -1,0 +1,119 @@
+// Two-way alternating parity automata on finite labeled trees
+// (Defs. 10 and 11 of the paper's appendix).
+//
+// This substrate covers exactly what the paper's constructions need:
+//   * all constructions in Sec. 5 use the constant parity Ω(s) = 1, i.e.
+//     every accepting run is finite — acceptance is a least fixpoint;
+//   * the complement automaton (used in Prop. 25's (C ∩ A_{Q1}) ∩ comp(A_{Q2}))
+//     dualizes formulas and flips the parity, giving a greatest fixpoint.
+// Membership is decided exactly for both modes by the corresponding
+// fixpoint over (tree node, state) pairs. Emptiness is provided for
+// one-way nondeterministic tree automata and, for small alphabets, via
+// bounded tree enumeration for 2WAPAs (the production guarded-containment
+// path in src/core runs the paper's automaton on the fly instead; see
+// DESIGN.md).
+
+#ifndef OMQC_AUTOMATA_TWAPA_H_
+#define OMQC_AUTOMATA_TWAPA_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "automata/pbf.h"
+#include "base/status.h"
+
+namespace omqc {
+
+/// A finite, ordered, Γ-labeled tree with integer labels.
+struct LabeledTree {
+  struct Node {
+    int label = 0;
+    int parent = -1;  ///< -1 for the root
+    std::vector<int> children;
+  };
+  std::vector<Node> nodes;
+
+  /// Index of the root node (always 0 by construction).
+  int root() const { return 0; }
+  bool empty() const { return nodes.empty(); }
+
+  /// Creates a single-node tree.
+  static LabeledTree Leaf(int label);
+  /// Appends a child with the given label to `parent`; returns its index.
+  int AddChild(int parent, int label);
+
+  std::string ToString() const;
+};
+
+/// Acceptance semantics derived from the parity function (see header
+/// comment): all priorities odd = least fixpoint (finite runs only), all
+/// priorities even = greatest fixpoint.
+enum class AcceptanceMode {
+  kFiniteRuns,  ///< all priorities odd (the paper's Ω ≡ 1)
+  kSafety,      ///< all priorities even (arises from complementation)
+};
+
+/// A 2WAPA A = (S, Γ, δ, s0, Ω). The transition function is a callback so
+/// constructions with very large alphabets stay lazy.
+struct Twapa {
+  int num_states = 0;
+  int num_labels = 0;
+  int initial_state = 0;
+  AcceptanceMode mode = AcceptanceMode::kFiniteRuns;
+  /// δ(state, label). Must be total on [0,num_states) × [0,num_labels).
+  std::function<Formula(int state, int label)> delta;
+};
+
+/// Exact membership: does A accept `tree`? (fixpoint over nodes × states).
+bool Accepts(const Twapa& automaton, const LabeledTree& tree);
+
+/// The complement automaton: dual formulas, flipped acceptance mode.
+/// L(comp(A)) = complement of L(A) over all finite trees.
+Twapa Complement(const Twapa& automaton);
+
+/// Product automaton accepting L(a) ∩ L(b). Requires identical alphabets
+/// and acceptance modes; state space is the disjoint union plus a fresh
+/// initial state.
+Result<Twapa> Intersect(const Twapa& a, const Twapa& b);
+
+/// Bounded emptiness: searches for an accepted tree with at most
+/// `max_nodes` nodes and branching at most `max_branching`, enumerating
+/// trees over the automaton's alphabet. Returns a witness if found,
+/// nullopt if no accepted tree exists within the bound. Exponential; for
+/// test-scale automata only.
+std::optional<LabeledTree> FindAcceptedTree(const Twapa& automaton,
+                                            int max_nodes, int max_branching);
+
+/// A one-way nondeterministic top-down tree automaton over finite ordered
+/// trees of branching factor <= arity of the chosen rule. A rule
+/// (state, label, child_states) lets a node labeled `label` in `state`
+/// send child_states[i] to its i-th child; the node must have exactly
+/// child_states.size() children.
+struct Nta {
+  struct Rule {
+    int state;
+    int label;
+    std::vector<int> child_states;
+  };
+  int num_states = 0;
+  int num_labels = 0;
+  int initial_state = 0;
+  std::vector<Rule> rules;
+};
+
+/// Exact NTA emptiness (least fixpoint on productive states).
+/// Returns true iff L(A) is empty.
+bool IsEmpty(const Nta& automaton);
+
+/// Exact NTA membership.
+bool Accepts(const Nta& automaton, const LabeledTree& tree);
+
+/// Exact NTA infinity test (Sec. 7.2 reduces UCQ-rewritability to it):
+/// L(A) is infinite iff some productive, reachable state lies on a cycle
+/// of the reachability graph restricted to productive states.
+bool IsInfinite(const Nta& automaton);
+
+}  // namespace omqc
+
+#endif  // OMQC_AUTOMATA_TWAPA_H_

@@ -1,0 +1,153 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/hash_util.h"
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+/// Identity of a trigger: which tgd fired with which binding of its body
+/// variables (in BodyVariables() order).
+struct TriggerKey {
+  size_t tgd_index;
+  std::vector<Term> binding;
+
+  bool operator==(const TriggerKey& o) const {
+    return tgd_index == o.tgd_index && binding == o.binding;
+  }
+};
+
+struct TriggerKeyHash {
+  size_t operator()(const TriggerKey& k) const {
+    size_t seed = k.tgd_index;
+    for (const Term& t : k.binding) HashCombine(seed, TermHash{}(t));
+    return seed;
+  }
+};
+
+}  // namespace
+
+Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
+                          const ChaseOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateTgdSet(tgds));
+
+  ChaseResult result;
+  result.instance = database;
+  result.atoms_per_level.assign(1, database.size());
+  for (const Atom& a : database.atoms()) result.level_of[a] = 0;
+
+  std::unordered_set<TriggerKey, TriggerKeyHash> processed;
+  // Body variable orders, precomputed per tgd.
+  std::vector<std::vector<Term>> body_vars(tgds.size());
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    body_vars[i] = tgds.tgds[i].BodyVariables();
+  }
+
+  bool truncated = false;
+  bool budget_hit = false;
+  bool changed = true;
+  while (changed && !budget_hit) {
+    changed = false;
+    for (size_t i = 0; i < tgds.size() && !budget_hit; ++i) {
+      const Tgd& tgd = tgds.tgds[i];
+      // Snapshot the triggers of this round before mutating the instance.
+      std::vector<Substitution> triggers;
+      std::function<bool(const Substitution&)> collect =
+          [&](const Substitution& sub) {
+            triggers.push_back(sub);
+            return true;
+          };
+      ForEachHomomorphism(tgd.body, result.instance, Substitution(),
+                          collect);
+      for (const Substitution& trigger : triggers) {
+        TriggerKey key{i, trigger.Apply(body_vars[i])};
+        if (processed.count(key) > 0) continue;
+
+        // Derivation level of the would-be head atoms.
+        int level = 1;
+        for (const Atom& b : tgd.body) {
+          Atom image = trigger.Apply(b);
+          auto it = result.level_of.find(image);
+          if (it != result.level_of.end()) {
+            level = std::max(level, it->second + 1);
+          }
+        }
+        if (options.max_level >= 0 && level > options.max_level) {
+          truncated = true;  // suppressed by depth budget
+          continue;
+        }
+
+        if (options.variant == ChaseVariant::kRestricted) {
+          // Applicable only if no extension satisfies the head already.
+          Substitution seed;
+          for (const auto& [from, to] : trigger.bindings()) {
+            seed.Bind(from, to);
+          }
+          if (FindHomomorphism(tgd.head, result.instance, seed)
+                  .has_value()) {
+            processed.insert(std::move(key));
+            continue;
+          }
+        }
+
+        // Apply the trigger: fresh nulls for existential variables.
+        Substitution extended = trigger;
+        for (const Term& z : tgd.ExistentialVariables()) {
+          extended.Bind(z, Term::FreshNull());
+        }
+        for (const Atom& h : tgd.head) {
+          Atom derived = extended.Apply(h);
+          if (result.instance.Add(derived)) {
+            result.level_of[derived] = level;
+            if (options.track_provenance) {
+              ChaseResult::Provenance why;
+              why.tgd_index = i;
+              why.premises = trigger.Apply(tgd.body);
+              result.provenance.emplace(derived, std::move(why));
+            }
+            if (static_cast<size_t>(level) >=
+                result.atoms_per_level.size()) {
+              result.atoms_per_level.resize(static_cast<size_t>(level) + 1,
+                                            0);
+            }
+            ++result.atoms_per_level[static_cast<size_t>(level)];
+            result.max_level_reached =
+                std::max(result.max_level_reached, level);
+          }
+        }
+        ++result.steps;
+        processed.insert(std::move(key));
+        changed = true;
+
+        if ((options.max_steps != 0 && result.steps >= options.max_steps) ||
+            (options.max_atoms != 0 &&
+             result.instance.size() >= options.max_atoms)) {
+          truncated = true;
+          budget_hit = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.complete = !truncated;
+  return result;
+}
+
+Result<std::vector<std::vector<Term>>> CertainAnswersViaChase(
+    const ConjunctiveQuery& q, const Instance& database, const TgdSet& tgds,
+    const ChaseOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateCQ(q));
+  OMQC_ASSIGN_OR_RETURN(ChaseResult chased, Chase(database, tgds, options));
+  if (!chased.complete) {
+    return Status::ResourceExhausted(
+        StrCat("chase budget exhausted after ", chased.steps,
+               " steps (", chased.instance.size(), " atoms)"));
+  }
+  return EvaluateCQ(q, chased.instance);
+}
+
+}  // namespace omqc

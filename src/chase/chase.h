@@ -1,0 +1,85 @@
+// The chase procedure (Sec. 2, "Tgds and the chase procedure").
+//
+// Implements the restricted (standard) and oblivious chase with fair
+// round-based scheduling, trigger memoization, per-atom derivation levels
+// and resource budgets. The restricted chase applies a trigger only when
+// the head is not already satisfied; the oblivious chase applies every
+// trigger once.
+
+#ifndef OMQC_CHASE_CHASE_H_
+#define OMQC_CHASE_CHASE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/homomorphism.h"
+#include "logic/instance.h"
+#include "tgd/tgd.h"
+
+namespace omqc {
+
+enum class ChaseVariant {
+  kRestricted,  ///< apply a trigger only if the head is not yet satisfied
+  kOblivious,   ///< apply every trigger exactly once
+};
+
+/// Budgets for a chase run. A zero/negative value means "unlimited".
+/// The chase under NR (and any weakly-acyclic) sets always terminates; for
+/// other classes callers should set a budget.
+struct ChaseOptions {
+  ChaseVariant variant = ChaseVariant::kRestricted;
+  /// Record, for every derived atom, which tgd fired and which atoms the
+  /// trigger matched (enables derivation trees / explanations).
+  bool track_provenance = false;
+  /// Maximum number of chase steps (trigger applications).
+  size_t max_steps = 0;
+  /// Maximum number of atoms in the chase instance.
+  size_t max_atoms = 0;
+  /// Maximum derivation level (database atoms are level 0; a derived atom
+  /// has level 1 + max level of the trigger's body image).
+  int max_level = -1;
+};
+
+/// The outcome of a chase run.
+struct ChaseResult {
+  Instance instance;
+  /// True iff a fixpoint was reached (no applicable trigger remains within
+  /// the level budget... i.e. the result is chase(D,Σ), possibly truncated
+  /// only if `complete` is false).
+  bool complete = false;
+  /// Number of trigger applications performed.
+  size_t steps = 0;
+  /// Highest derivation level among produced atoms.
+  int max_level_reached = 0;
+  /// Number of atoms first derived at each level (index = level).
+  std::vector<size_t> atoms_per_level;
+  /// Derivation level of each atom in `instance`.
+  std::unordered_map<Atom, int, AtomHash> level_of;
+  /// Why an atom exists (only filled with track_provenance): the index of
+  /// the tgd that produced it and the images of the tgd's body atoms.
+  /// Database atoms have no entry.
+  struct Provenance {
+    size_t tgd_index = 0;
+    std::vector<Atom> premises;
+  };
+  std::unordered_map<Atom, Provenance, AtomHash> provenance;
+};
+
+/// Runs the chase of `database` under `tgds`. Returns a (possibly
+/// truncated) result; `result.complete` reports whether the fixpoint was
+/// reached. Only returns an error Status for ill-formed inputs.
+Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
+                          const ChaseOptions& options = ChaseOptions());
+
+/// Convenience: certain answers cert(q, D, Σ) = q(chase(D, Σ)) via a
+/// complete chase. Returns ResourceExhausted if the budget was hit before
+/// the fixpoint — callers for non-terminating classes should prefer the
+/// rewriting- or automata-based evaluation in src/core.
+Result<std::vector<std::vector<Term>>> CertainAnswersViaChase(
+    const ConjunctiveQuery& q, const Instance& database, const TgdSet& tgds,
+    const ChaseOptions& options = ChaseOptions());
+
+}  // namespace omqc
+
+#endif  // OMQC_CHASE_CHASE_H_

@@ -1,0 +1,184 @@
+#include "core/applications.h"
+
+#include <set>
+
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+/// The critical database: every fact over the domain {*} ∪ constants(Q).
+Database CriticalDatabase(const Omq& omq) {
+  std::vector<Term> domain{Term::Constant("@crit")};
+  for (const Term& c : omq.tgds.Constants()) domain.push_back(c);
+  for (const Term& c : omq.query.Constants()) domain.push_back(c);
+  Database critical;
+  for (const Predicate& p : omq.data_schema.predicates()) {
+    // All |domain|^arity tuples.
+    std::vector<size_t> idx(static_cast<size_t>(p.arity()), 0);
+    while (true) {
+      std::vector<Term> args;
+      for (size_t i : idx) args.push_back(domain[i]);
+      critical.Add(Atom(p, std::move(args)));
+      // Advance the odometer.
+      size_t k = 0;
+      for (; k < idx.size(); ++k) {
+        if (++idx[k] < domain.size()) break;
+        idx[k] = 0;
+      }
+      if (k == idx.size()) break;
+      if (idx.empty()) break;
+    }
+    if (p.arity() == 0) critical.Add(Atom(p, {}));
+  }
+  return critical;
+}
+
+}  // namespace
+
+Result<bool> IsSatisfiable(const Omq& omq, const ContainmentOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  if (IsUcqRewritableClass(omq.OntologyClass())) {
+    bool found = false;
+    std::function<bool(const ConjunctiveQuery&)> probe =
+        [&found](const ConjunctiveQuery&) {
+          found = true;
+          return false;  // one disjunct suffices
+        };
+    OMQC_ASSIGN_OR_RETURN(
+        RewriteEnumeration outcome,
+        EnumerateRewritings(omq.data_schema, omq.tgds, omq.query,
+                            options.rewrite, probe));
+    (void)outcome;
+    return found;
+  }
+  // Critical-database test (homomorphism closure of OMQs).
+  Database critical = CriticalDatabase(omq);
+  OMQC_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> answers,
+                        EvalAll(omq, critical, options.eval));
+  return !answers.empty();
+}
+
+Result<DistributionResult> DistributesOverComponents(
+    const Omq& omq, const ContainmentOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  DistributionResult result;
+
+  Result<bool> satisfiable = IsSatisfiable(omq, options);
+  if (satisfiable.ok() && !*satisfiable) {
+    result.outcome = ContainmentOutcome::kContained;  // distributes
+    result.detail = "Q is unsatisfiable";
+    return result;
+  }
+
+  std::vector<ConjunctiveQuery> components = omq.query.Components();
+  // A connected query is its own single component, and (S,Σ,q) ⊆ Q holds
+  // trivially — no containment check needed (this also sidesteps the
+  // budget on recursive guarded ontologies).
+  if (components.size() <= 1) {
+    result.outcome = ContainmentOutcome::kContained;
+    if (!components.empty()) result.witnessing_component = 0;
+    result.detail = "the query is connected";
+    return result;
+  }
+  std::set<Term> answer_vars;
+  for (const Term& v : omq.query.answer_vars) {
+    if (v.IsVariable()) answer_vars.insert(v);
+  }
+  bool any_unknown = false;
+  for (size_t i = 0; i < components.size(); ++i) {
+    // q̂(x̄) must carry the full answer tuple to be a candidate.
+    std::set<Term> component_vars;
+    for (const Atom& a : components[i].body) {
+      for (const Term& t : a.args) {
+        if (t.IsVariable()) component_vars.insert(t);
+      }
+    }
+    bool carries_all = true;
+    for (const Term& v : answer_vars) {
+      if (component_vars.count(v) == 0) {
+        carries_all = false;
+        break;
+      }
+    }
+    if (!carries_all) continue;
+    ConjunctiveQuery candidate(omq.query.answer_vars, components[i].body);
+    Omq component_omq{omq.data_schema, omq.tgds, std::move(candidate)};
+    OMQC_ASSIGN_OR_RETURN(ContainmentResult contained,
+                          CheckContainment(component_omq, omq, options));
+    if (contained.outcome == ContainmentOutcome::kContained) {
+      result.outcome = ContainmentOutcome::kContained;
+      result.witnessing_component = i;
+      return result;
+    }
+    if (contained.outcome == ContainmentOutcome::kUnknown) {
+      any_unknown = true;
+      result.detail = contained.detail;
+    }
+  }
+  if (!satisfiable.ok()) {
+    any_unknown = true;
+    result.detail = satisfiable.status().ToString();
+  }
+  result.outcome = any_unknown ? ContainmentOutcome::kUnknown
+                               : ContainmentOutcome::kNotContained;
+  if (result.outcome == ContainmentOutcome::kNotContained) {
+    result.detail = "no component of q is contained in Q (Prop. 27)";
+  }
+  return result;
+}
+
+Result<std::vector<std::vector<Term>>> EvalOverComponents(
+    const Omq& omq, const Database& database, const EvalOptions& options) {
+  std::set<std::vector<Term>> answers;
+  for (const Instance& component : database.ConnectedComponents()) {
+    OMQC_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> partial,
+                          EvalAll(omq, component, options));
+    for (std::vector<Term>& t : partial) answers.insert(std::move(t));
+  }
+  // 0-ary atoms are excluded from components (paper footnote 5); evaluate
+  // over them separately so Boolean queries over 0-ary predicates work.
+  Database nullary;
+  for (const Atom& a : database.atoms()) {
+    if (a.args.empty()) nullary.Add(a);
+  }
+  if (!nullary.empty()) {
+    OMQC_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> partial,
+                          EvalAll(omq, nullary, options));
+    for (std::vector<Term>& t : partial) answers.insert(std::move(t));
+  }
+  return std::vector<std::vector<Term>>(answers.begin(), answers.end());
+}
+
+Result<UcqRewritabilityResult> CheckUcqRewritability(
+    const Omq& omq, const ContainmentOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  UcqRewritabilityResult result;
+  XRewriteOptions rewrite_options = options.rewrite;
+  rewrite_options.prune_subsumed = true;
+  UnionOfCQs collected;
+  std::function<bool(const ConjunctiveQuery&)> collect =
+      [&collected](const ConjunctiveQuery& p) {
+        collected.disjuncts.push_back(p);
+        return true;
+      };
+  OMQC_ASSIGN_OR_RETURN(
+      RewriteEnumeration outcome,
+      EnumerateRewritings(omq.data_schema, omq.tgds, omq.query,
+                          rewrite_options, collect));
+  result.disjuncts_found = collected.size();
+  if (outcome == RewriteEnumeration::kSaturated) {
+    result.outcome = ContainmentOutcome::kContained;
+    result.rewriting = MinimizeUCQ(collected);
+    return result;
+  }
+  result.outcome = ContainmentOutcome::kUnknown;
+  result.detail = StrCat(
+      "the pruned rewriting enumeration did not saturate within the budget "
+      "(", collected.size(),
+      " pairwise non-subsumed disjuncts found); a steadily growing series "
+      "is evidence that the boundedness property of Prop. 30 fails");
+  return result;
+}
+
+}  // namespace omqc

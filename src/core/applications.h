@@ -1,0 +1,75 @@
+// Applications of OMQ containment (Sec. 7): satisfiability, distribution
+// over components (Prop. 27 / Thm. 28) and deciding UCQ rewritability of
+// guarded OMQs (Sec. 7.2 / Thm. 29).
+
+#ifndef OMQC_CORE_APPLICATIONS_H_
+#define OMQC_CORE_APPLICATIONS_H_
+
+#include <optional>
+
+#include "core/containment.h"
+#include "core/omq.h"
+
+namespace omqc {
+
+/// Is there an S-database D with Q(D) ≠ ∅? Decided via the UCQ rewriting
+/// when the ontology is UCQ-rewritable (satisfiable iff the rewriting has
+/// a disjunct), and via the critical database (every fact over a single
+/// fresh constant plus the constants of Q) otherwise — OMQs are closed
+/// under homomorphisms, so the critical database is a universal test.
+/// The guarded/general path inherits the budgeted-chase contract of
+/// EvalTuple and may return ResourceExhausted.
+Result<bool> IsSatisfiable(const Omq& omq,
+                           const ContainmentOptions& options =
+                               ContainmentOptions());
+
+/// Distribution over components (Sec. 7.1). Result of the decision:
+struct DistributionResult {
+  ContainmentOutcome outcome = ContainmentOutcome::kUnknown;
+  /// When distributed via the Prop. 27 characterization: the index of the
+  /// query component q̂ with (S,Σ,q̂) ⊆ Q, or nullopt when Q is
+  /// unsatisfiable.
+  std::optional<size_t> witnessing_component;
+  std::string detail;
+};
+
+/// Decides whether Q distributes over components, via Prop. 27:
+/// Q distributes iff Q is unsatisfiable or some connected component q̂ of q
+/// (carrying all answer variables) satisfies (S,Σ,q̂) ⊆ Q.
+Result<DistributionResult> DistributesOverComponents(
+    const Omq& omq,
+    const ContainmentOptions& options = ContainmentOptions());
+
+/// Evaluates Q over D component-wise: Q(D1) ∪ ... ∪ Q(Dn) for the
+/// connected components Di of D. Equals Q(D) exactly when Q distributes
+/// over components; used by the distributed-evaluation example and the
+/// application bench.
+Result<std::vector<std::vector<Term>>> EvalOverComponents(
+    const Omq& omq, const Database& database,
+    const EvalOptions& options = EvalOptions());
+
+/// UCQ rewritability of an OMQ (Sec. 7.2).
+struct UcqRewritabilityResult {
+  ContainmentOutcome outcome = ContainmentOutcome::kUnknown;
+  /// For kContained (= rewritable): a complete UCQ rewriting certificate.
+  std::optional<UnionOfCQs> rewriting;
+  /// For kUnknown: how many pairwise non-subsumed disjuncts were found
+  /// before the budget — a growing series is evidence of
+  /// non-rewritability (the boundedness property of Prop. 30 fails).
+  size_t disjuncts_found = 0;
+  std::string detail;
+};
+
+/// Semi-decides whether Q is UCQ-rewritable by enumerating its perfect
+/// rewriting with subsumption pruning: saturation yields a certificate
+/// (kContained); budget exhaustion yields kUnknown with evidence. For
+/// L/NR/S ontologies this always certifies (those languages are UCQ
+/// rewritable, Sec. 4); for guarded ontologies it replaces the paper's
+/// 2WAPA-infinity decision (see DESIGN.md substitutions).
+Result<UcqRewritabilityResult> CheckUcqRewritability(
+    const Omq& omq,
+    const ContainmentOptions& options = ContainmentOptions());
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_APPLICATIONS_H_

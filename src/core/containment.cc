@@ -1,0 +1,235 @@
+#include "core/containment.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+#include "logic/homomorphism.h"
+
+namespace omqc {
+
+const char* ContainmentOutcomeToString(ContainmentOutcome outcome) {
+  switch (outcome) {
+    case ContainmentOutcome::kContained:
+      return "CONTAINED";
+    case ContainmentOutcome::kNotContained:
+      return "NOT_CONTAINED";
+    case ContainmentOutcome::kUnknown:
+      return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+/// Evaluates "tuple ∈ Q2(D)" for the candidate-witness databases produced
+/// during enumeration. Precomputes a UCQ rewriting for linear/sticky RHS
+/// ontologies so repeated candidates do not re-run XRewrite.
+class RhsEvaluator {
+ public:
+  static Result<RhsEvaluator> Make(const Omq& q2,
+                                   const ContainmentOptions& options) {
+    RhsEvaluator evaluator(q2, options);
+    TgdClass cls = q2.OntologyClass();
+    // Precompute the RHS rewriting only when the chase does not terminate
+    // (for terminating sets, per-candidate chasing is cheaper than a
+    // potentially large rewriting).
+    if ((cls == TgdClass::kLinear || cls == TgdClass::kSticky) &&
+        !IsNonRecursive(q2.tgds) && !IsFull(q2.tgds)) {
+      OMQC_ASSIGN_OR_RETURN(
+          UnionOfCQs rewriting,
+          XRewrite(q2.data_schema, q2.tgds, q2.query, options.eval.rewrite));
+      evaluator.rewriting_ = std::move(rewriting);
+    }
+    return evaluator;
+  }
+
+  /// Exact answer or ResourceExhausted (budgeted guarded/general RHS).
+  Result<bool> Contains(const Database& db,
+                        const std::vector<Term>& tuple) const {
+    if (rewriting_.has_value()) {
+      for (const ConjunctiveQuery& disjunct : rewriting_->disjuncts) {
+        if (TupleInAnswer(disjunct, db, tuple)) return true;
+      }
+      return false;
+    }
+    return EvalTuple(q2_, db, tuple, options_.eval);
+  }
+
+ private:
+  RhsEvaluator(const Omq& q2, const ContainmentOptions& options)
+      : q2_(q2), options_(options) {}
+
+  const Omq& q2_;
+  const ContainmentOptions& options_;
+  std::optional<UnionOfCQs> rewriting_;
+};
+
+/// The shared engine: enumerate LHS rewriting disjuncts, test each frozen
+/// candidate against `contains`.
+Result<ContainmentResult> RunEngine(
+    const Omq& q1, const ContainmentOptions& options,
+    const std::function<Result<bool>(const Database&,
+                                     const std::vector<Term>&)>& contains) {
+  ContainmentResult result;
+  bool refuted = false;
+  bool inconclusive_rhs = false;
+  std::string rhs_detail;
+
+  std::function<bool(const ConjunctiveQuery&)> on_disjunct =
+      [&](const ConjunctiveQuery& p) {
+        ++result.candidates_checked;
+        result.max_witness_size = std::max(result.max_witness_size, p.size());
+        FrozenQuery frozen = Freeze(p);
+        Result<bool> r = contains(frozen.database, frozen.answer_tuple);
+        if (!r.ok()) {
+          inconclusive_rhs = true;
+          rhs_detail = r.status().ToString();
+          return true;  // keep scanning for a definite refutation
+        }
+        if (!*r) {
+          refuted = true;
+          result.witness = ContainmentWitness{std::move(frozen.database),
+                                              std::move(frozen.answer_tuple)};
+          return false;
+        }
+        return true;
+      };
+
+  OMQC_ASSIGN_OR_RETURN(
+      RewriteEnumeration outcome,
+      EnumerateRewritings(q1.data_schema, q1.tgds, q1.query, options.rewrite,
+                          on_disjunct));
+
+  if (refuted) {
+    result.outcome = ContainmentOutcome::kNotContained;
+    return result;
+  }
+  if (outcome == RewriteEnumeration::kSaturated && !inconclusive_rhs) {
+    result.outcome = ContainmentOutcome::kContained;
+    return result;
+  }
+  result.outcome = ContainmentOutcome::kUnknown;
+  if (outcome == RewriteEnumeration::kBudgetExhausted) {
+    result.detail =
+        StrCat("LHS rewriting enumeration hit its budget after ",
+               result.candidates_checked,
+               " candidates (infinite perfect rewriting?)");
+  } else {
+    result.detail = StrCat("RHS evaluation was inconclusive: ", rhs_detail);
+  }
+  return result;
+}
+
+Status CheckCompatible(const Omq& q1, const Omq& q2) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(q1));
+  OMQC_RETURN_IF_ERROR(ValidateOmq(q2));
+  if (q1.AnswerArity() != q2.AnswerArity()) {
+    return Status::InvalidArgument(
+        StrCat("answer arity mismatch: ", q1.AnswerArity(), " vs ",
+               q2.AnswerArity()));
+  }
+  for (const Predicate& p : q1.data_schema.predicates()) {
+    if (!q2.data_schema.Contains(p)) {
+      return Status::InvalidArgument(
+          StrCat("data schemas differ: ", p.ToString(),
+                 " is missing on the right"));
+    }
+  }
+  for (const Predicate& p : q2.data_schema.predicates()) {
+    if (!q1.data_schema.Contains(p)) {
+      return Status::InvalidArgument(
+          StrCat("data schemas differ: ", p.ToString(),
+                 " is missing on the left"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ContainmentResult> CheckContainment(const Omq& q1, const Omq& q2,
+                                           const ContainmentOptions& options) {
+  OMQC_RETURN_IF_ERROR(CheckCompatible(q1, q2));
+  OMQC_ASSIGN_OR_RETURN(RhsEvaluator rhs, RhsEvaluator::Make(q2, options));
+  return RunEngine(q1, options,
+                   [&rhs](const Database& db, const std::vector<Term>& tuple) {
+                     return rhs.Contains(db, tuple);
+                   });
+}
+
+Result<ContainmentResult> CheckContainmentInUcq(
+    const Omq& q1, const UnionOfCQs& ucq, const ContainmentOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(q1));
+  for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
+    OMQC_RETURN_IF_ERROR(ValidateCQ(disjunct));
+    if (disjunct.answer_vars.size() != q1.AnswerArity()) {
+      return Status::InvalidArgument("UCQ answer arity mismatch");
+    }
+  }
+  return RunEngine(
+      q1, options,
+      [&ucq](const Database& db,
+             const std::vector<Term>& tuple) -> Result<bool> {
+        for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
+          if (TupleInAnswer(disjunct, db, tuple)) return true;
+        }
+        return false;
+      });
+}
+
+Result<ContainmentResult> CheckUcqOmqContainment(
+    const UcqOmq& q1, const UcqOmq& q2, const ContainmentOptions& options) {
+  ContainmentResult merged;
+  merged.outcome = ContainmentOutcome::kContained;
+  for (const ConjunctiveQuery& disjunct : q1.query.disjuncts) {
+    Omq lhs{q1.data_schema, q1.tgds, disjunct};
+    // RHS keeps its UCQ: check lhs against each RHS disjunct-OMQ via the
+    // engine with a UCQ-aware contains callback.
+    OMQC_RETURN_IF_ERROR(ValidateOmq(lhs));
+    ContainmentOptions opts = options;
+    const UcqOmq& rhs = q2;
+    OMQC_ASSIGN_OR_RETURN(
+        ContainmentResult partial,
+        [&]() -> Result<ContainmentResult> {
+          return RunEngine(
+              lhs, opts,
+              [&rhs, &opts](const Database& db,
+                            const std::vector<Term>& tuple) -> Result<bool> {
+                for (const ConjunctiveQuery& d : rhs.query.disjuncts) {
+                  Omq rhs_omq{rhs.data_schema, rhs.tgds, d};
+                  OMQC_ASSIGN_OR_RETURN(bool in,
+                                        EvalTuple(rhs_omq, db, tuple,
+                                                  opts.eval));
+                  if (in) return true;
+                }
+                return false;
+              });
+        }());
+    merged.candidates_checked += partial.candidates_checked;
+    merged.max_witness_size =
+        std::max(merged.max_witness_size, partial.max_witness_size);
+    if (partial.outcome == ContainmentOutcome::kNotContained) {
+      merged.outcome = ContainmentOutcome::kNotContained;
+      merged.witness = std::move(partial.witness);
+      return merged;
+    }
+    if (partial.outcome == ContainmentOutcome::kUnknown) {
+      merged.outcome = ContainmentOutcome::kUnknown;
+      merged.detail = std::move(partial.detail);
+    }
+  }
+  return merged;
+}
+
+Result<ContainmentResult> CheckEquivalence(const Omq& q1, const Omq& q2,
+                                           const ContainmentOptions& options) {
+  OMQC_ASSIGN_OR_RETURN(ContainmentResult forward,
+                        CheckContainment(q1, q2, options));
+  if (forward.outcome != ContainmentOutcome::kContained) return forward;
+  OMQC_ASSIGN_OR_RETURN(ContainmentResult backward,
+                        CheckContainment(q2, q1, options));
+  backward.candidates_checked += forward.candidates_checked;
+  return backward;
+}
+
+}  // namespace omqc

@@ -1,0 +1,509 @@
+#include "core/ctree.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+int TreeDecomposition::Width() const {
+  int width = 0;
+  for (const std::set<Term>& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+std::vector<std::vector<int>> TreeDecomposition::Children() const {
+  std::vector<std::vector<int>> children(bags.size());
+  for (size_t i = 1; i < parent.size(); ++i) {
+    children[static_cast<size_t>(parent[i])].push_back(static_cast<int>(i));
+  }
+  return children;
+}
+
+std::string TreeDecomposition::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < bags.size(); ++i) {
+    out += StrCat("node ", i, " (parent ", parent[i], "): {",
+                  JoinMapped(bags[i], ", ",
+                             [](const Term& t) { return t.ToString(); }),
+                  "}\n");
+  }
+  return out;
+}
+
+Status ValidateDecomposition(const TreeDecomposition& decomposition,
+                             const Instance& instance) {
+  if (decomposition.bags.empty() ||
+      decomposition.bags.size() != decomposition.parent.size() ||
+      decomposition.parent[0] != -1) {
+    return Status::InvalidArgument("malformed decomposition structure");
+  }
+  for (size_t i = 1; i < decomposition.parent.size(); ++i) {
+    int p = decomposition.parent[i];
+    if (p < 0 || static_cast<size_t>(p) >= i) {
+      return Status::InvalidArgument(
+          "parents must precede children (topological node order)");
+    }
+  }
+  // Condition (i): every atom fits in a bag.
+  for (const Atom& a : instance.atoms()) {
+    bool covered = false;
+    for (const std::set<Term>& bag : decomposition.bags) {
+      bool inside = true;
+      for (const Term& t : a.args) {
+        if (bag.count(t) == 0) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return Status::InvalidArgument(
+          StrCat("atom ", a.ToString(), " is not covered by any bag"));
+    }
+  }
+  // Condition (ii): each term's bags form a connected subtree.
+  auto children = decomposition.Children();
+  for (const Term& t : instance.ActiveDomain()) {
+    std::vector<int> holders;
+    for (size_t i = 0; i < decomposition.bags.size(); ++i) {
+      if (decomposition.bags[i].count(t) > 0) {
+        holders.push_back(static_cast<int>(i));
+      }
+    }
+    if (holders.empty()) {
+      return Status::InvalidArgument(
+          StrCat("term ", t.ToString(), " occurs in no bag"));
+    }
+    // BFS within holder nodes.
+    std::set<int> holder_set(holders.begin(), holders.end());
+    std::set<int> seen{holders.front()};
+    std::queue<int> frontier;
+    frontier.push(holders.front());
+    while (!frontier.empty()) {
+      int v = frontier.front();
+      frontier.pop();
+      std::vector<int> neighbors = children[static_cast<size_t>(v)];
+      if (decomposition.parent[static_cast<size_t>(v)] >= 0) {
+        neighbors.push_back(decomposition.parent[static_cast<size_t>(v)]);
+      }
+      for (int n : neighbors) {
+        if (holder_set.count(n) > 0 && seen.insert(n).second) {
+          frontier.push(n);
+        }
+      }
+    }
+    if (seen.size() != holder_set.size()) {
+      return Status::InvalidArgument(
+          StrCat("bags containing ", t.ToString(), " are not connected"));
+    }
+  }
+  return Status::OK();
+}
+
+bool IsGuardedExcept(const TreeDecomposition& decomposition,
+                     const Instance& instance, const std::set<int>& exempt) {
+  for (size_t i = 0; i < decomposition.bags.size(); ++i) {
+    if (exempt.count(static_cast<int>(i)) > 0) continue;
+    const std::set<Term>& bag = decomposition.bags[i];
+    bool guarded = false;
+    for (const Atom& a : instance.atoms()) {
+      std::set<Term> args(a.args.begin(), a.args.end());
+      bool covers = true;
+      for (const Term& t : bag) {
+        if (args.count(t) == 0) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) return false;
+  }
+  return true;
+}
+
+Status ValidateCTree(const TreeDecomposition& decomposition,
+                     const Instance& instance, const Instance& core) {
+  OMQC_RETURN_IF_ERROR(ValidateDecomposition(decomposition, instance));
+  Instance induced = instance.InducedBy(decomposition.bags[0]);
+  if (!(induced == core)) {
+    return Status::InvalidArgument(
+        "the root bag does not induce the declared core");
+  }
+  if (!IsGuardedExcept(decomposition, instance, {0})) {
+    return Status::InvalidArgument(
+        "the decomposition is not guarded except for the root");
+  }
+  return Status::OK();
+}
+
+Result<Unraveling> GuardedUnravel(const Instance& instance,
+                                  const std::set<Term>& x0, int depth) {
+  if (x0.empty()) {
+    return Status::InvalidArgument("unraveling needs a non-empty core set");
+  }
+  Unraveling out;
+  int fresh_counter = 0;
+  auto fresh = [&fresh_counter]() {
+    return Term::Constant(StrCat("@u", fresh_counter++));
+  };
+
+  struct Node {
+    std::set<Term> originals;
+    std::map<Term, Term> to_unraveled;
+    int depth;
+  };
+  std::vector<Node> nodes;
+
+  // Root: the x0 set.
+  Node root;
+  root.originals = x0;
+  root.depth = 0;
+  for (const Term& t : x0) {
+    Term u = fresh();
+    root.to_unraveled.emplace(t, u);
+    out.back_homomorphism.Bind(u, t);
+  }
+  nodes.push_back(std::move(root));
+  out.decomposition.parent.push_back(-1);
+
+  // Materialize the atoms induced by a node's bag.
+  auto emit_atoms = [&](const Node& node) {
+    Instance induced = instance.InducedBy(node.originals);
+    for (const Atom& a : induced.atoms()) {
+      Atom translated = a;
+      for (Term& t : translated.args) t = node.to_unraveled.at(t);
+      out.instance.Add(translated);
+    }
+  };
+  emit_atoms(nodes[0]);
+
+  std::queue<size_t> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    size_t v = frontier.front();
+    frontier.pop();
+    if (nodes[v].depth >= depth) continue;
+    // Children: one per instance atom overlapping the bag that brings new
+    // elements.
+    for (const Atom& a : instance.atoms()) {
+      std::set<Term> guard_set(a.args.begin(), a.args.end());
+      bool overlaps = false;
+      bool adds_new = false;
+      for (const Term& t : guard_set) {
+        if (nodes[v].originals.count(t) > 0) {
+          overlaps = true;
+        } else {
+          adds_new = true;
+        }
+      }
+      if (!overlaps || !adds_new) continue;
+      Node child;
+      child.originals = guard_set;
+      child.depth = nodes[v].depth + 1;
+      for (const Term& t : guard_set) {
+        auto shared = nodes[v].to_unraveled.find(t);
+        if (shared != nodes[v].to_unraveled.end()) {
+          child.to_unraveled.emplace(t, shared->second);
+        } else {
+          Term u = fresh();
+          child.to_unraveled.emplace(t, u);
+          out.back_homomorphism.Bind(u, t);
+        }
+      }
+      emit_atoms(child);
+      nodes.push_back(std::move(child));
+      out.decomposition.parent.push_back(static_cast<int>(v));
+      frontier.push(nodes.size() - 1);
+    }
+  }
+
+  out.decomposition.bags.reserve(nodes.size());
+  for (const Node& node : nodes) {
+    std::set<Term> bag;
+    for (const auto& [orig, unr] : node.to_unraveled) bag.insert(unr);
+    out.decomposition.bags.push_back(std::move(bag));
+  }
+  return out;
+}
+
+std::string TreeLabel::ToString() const {
+  std::string out = "{D:";
+  out += JoinMapped(names, ",", [](int a) { return StrCat(a); });
+  out += " C:";
+  out += JoinMapped(core_names, ",", [](int a) { return StrCat(a); });
+  out += " atoms:";
+  out += JoinMapped(atoms, " ", [](const auto& pa) {
+    return StrCat(pa.first.name(), "(",
+                  JoinMapped(pa.second, ",", [](int a) { return StrCat(a); }),
+                  ")");
+  });
+  out += "}";
+  return out;
+}
+
+std::vector<std::vector<int>> EncodedTree::Children() const {
+  std::vector<std::vector<int>> children(labels.size());
+  for (size_t i = 1; i < parent.size(); ++i) {
+    children[static_cast<size_t>(parent[i])].push_back(static_cast<int>(i));
+  }
+  return children;
+}
+
+Result<EncodedTree> EncodeCTree(const Instance& instance,
+                                const TreeDecomposition& decomposition,
+                                const Instance& core, int l) {
+  OMQC_RETURN_IF_ERROR(ValidateCTree(decomposition, instance, core));
+  const int core_size =
+      static_cast<int>(decomposition.bags[0].size());
+  if (l < core_size) l = core_size;
+  int width = 0;
+  for (size_t i = 1; i < decomposition.bags.size(); ++i) {
+    width = std::max(width, static_cast<int>(decomposition.bags[i].size()));
+  }
+  width = std::max(width, 1);
+
+  EncodedTree tree;
+  tree.l = l;
+  tree.width = width;
+  tree.parent = decomposition.parent;
+  tree.labels.resize(decomposition.bags.size());
+
+  // name assignment per node: term -> name id.
+  std::vector<std::map<Term, int>> naming(decomposition.bags.size());
+  // Root: core names.
+  {
+    int next = 0;
+    for (const Term& t : decomposition.bags[0]) naming[0][t] = next++;
+  }
+  const std::set<Term> core_terms = decomposition.bags[0];
+  for (size_t v = 1; v < decomposition.bags.size(); ++v) {
+    const size_t p = static_cast<size_t>(decomposition.parent[v]);
+    std::set<int> taken;
+    // First pass: inherit names of elements shared with the parent, and
+    // reserve every name visible in the parent bag.
+    for (const auto& [t, name] : naming[p]) taken.insert(name);
+    for (const Term& t : decomposition.bags[v]) {
+      auto it = naming[p].find(t);
+      if (it != naming[p].end()) naming[v][t] = it->second;
+    }
+    // Second pass: fresh tree names for new elements.
+    for (const Term& t : decomposition.bags[v]) {
+      if (naming[v].count(t) > 0) continue;
+      int name = -1;
+      for (int candidate = l; candidate < l + 2 * width; ++candidate) {
+        if (taken.count(candidate) == 0) {
+          bool used_here = false;
+          for (const auto& [t2, n2] : naming[v]) {
+            if (n2 == candidate) {
+              used_here = true;
+              break;
+            }
+          }
+          if (!used_here) {
+            name = candidate;
+            break;
+          }
+        }
+      }
+      if (name < 0) {
+        return Status::Internal("ran out of tree names during encoding");
+      }
+      naming[v][t] = name;
+      taken.insert(name);
+    }
+  }
+
+  for (size_t v = 0; v < decomposition.bags.size(); ++v) {
+    TreeLabel& label = tree.labels[v];
+    for (const auto& [t, name] : naming[v]) {
+      label.names.insert(name);
+      if (core_terms.count(t) > 0) label.core_names.insert(name);
+    }
+    Instance induced = instance.InducedBy(decomposition.bags[v]);
+    for (const Atom& a : induced.atoms()) {
+      std::vector<int> names;
+      names.reserve(a.args.size());
+      for (const Term& t : a.args) names.push_back(naming[v].at(t));
+      label.atoms.insert({a.predicate, std::move(names)});
+    }
+  }
+  return tree;
+}
+
+Status CheckConsistency(const EncodedTree& tree) {
+  if (tree.labels.empty()) {
+    return Status::InvalidArgument("empty encoded tree");
+  }
+  const int l = tree.l;
+  auto children = tree.Children();
+  // (1) Name budgets; root names are core names.
+  for (size_t v = 0; v < tree.size(); ++v) {
+    const TreeLabel& label = tree.labels[v];
+    if (v == 0) {
+      if (static_cast<int>(label.names.size()) > l) {
+        return Status::InvalidArgument("root uses more than l names");
+      }
+      for (int a : label.names) {
+        if (a >= l) {
+          return Status::InvalidArgument("root uses a non-core name");
+        }
+      }
+    } else if (static_cast<int>(label.names.size()) > tree.width) {
+      return Status::InvalidArgument(
+          StrCat("node ", v, " uses more than ar(S) names"));
+    }
+    // (2) Atom arguments are declared names.
+    for (const auto& [pred, args] : label.atoms) {
+      for (int a : args) {
+        if (label.names.count(a) == 0) {
+          return Status::InvalidArgument(
+              StrCat("node ", v, " mentions undeclared name ", a));
+        }
+      }
+    }
+    // (3) D_a iff C_a for core names.
+    for (int a : label.names) {
+      if (a < l && label.core_names.count(a) == 0) {
+        return Status::InvalidArgument(
+            StrCat("node ", v, " uses core name ", a, " without C marker"));
+      }
+    }
+    for (int a : label.core_names) {
+      if (a >= l || label.names.count(a) == 0) {
+        return Status::InvalidArgument(
+            StrCat("node ", v, " has a stray core marker ", a));
+      }
+    }
+  }
+  // (4) Core markers propagate to the root.
+  for (size_t v = 1; v < tree.size(); ++v) {
+    for (int a : tree.labels[v].core_names) {
+      int p = tree.parent[v];
+      if (tree.labels[static_cast<size_t>(p)].core_names.count(a) == 0) {
+        return Status::InvalidArgument(
+            StrCat("core marker ", a, " at node ", v,
+                   " does not propagate to its parent"));
+      }
+    }
+  }
+  // (5) Guardedness: every non-root node's names are covered by an atom of
+  // a b-connected node.
+  for (size_t v = 1; v < tree.size(); ++v) {
+    const TreeLabel& label = tree.labels[v];
+    if (label.names.empty()) continue;
+    // Search b-connected nodes (all names of v present along the path).
+    bool found = false;
+    std::queue<int> frontier;
+    std::set<int> seen{static_cast<int>(v)};
+    frontier.push(static_cast<int>(v));
+    while (!frontier.empty() && !found) {
+      int w = frontier.front();
+      frontier.pop();
+      const TreeLabel& wl = tree.labels[static_cast<size_t>(w)];
+      for (const auto& [pred, args] : wl.atoms) {
+        std::set<int> arg_set(args.begin(), args.end());
+        bool covers = true;
+        for (int a : label.names) {
+          if (arg_set.count(a) == 0) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+      std::vector<int> neighbors = children[static_cast<size_t>(w)];
+      if (tree.parent[static_cast<size_t>(w)] >= 0) {
+        neighbors.push_back(tree.parent[static_cast<size_t>(w)]);
+      }
+      for (int nb : neighbors) {
+        if (seen.count(nb) > 0) continue;
+        const TreeLabel& nl = tree.labels[static_cast<size_t>(nb)];
+        bool carries_all = true;
+        for (int a : label.names) {
+          if (nl.names.count(a) == 0) {
+            carries_all = false;
+            break;
+          }
+        }
+        if (carries_all) {
+          seen.insert(nb);
+          frontier.push(nb);
+        }
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrCat("node ", v, " has no guard among its b-connected nodes"));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Database> DecodeTree(const EncodedTree& tree) {
+  OMQC_RETURN_IF_ERROR(CheckConsistency(tree));
+  // Union-find over (node, name): (v,a) ~ (parent(v),a) when the parent
+  // also declares a.
+  const size_t n = tree.size();
+  auto key = [&](size_t v, int a) {
+    return v * static_cast<size_t>(tree.l + 2 * tree.width) +
+           static_cast<size_t>(a);
+  };
+  std::map<size_t, size_t> parent_uf;
+  std::function<size_t(size_t)> find = [&](size_t k) {
+    while (parent_uf.at(k) != k) {
+      parent_uf[k] = parent_uf.at(parent_uf.at(k));
+      k = parent_uf.at(k);
+    }
+    return k;
+  };
+  for (size_t v = 0; v < n; ++v) {
+    for (int a : tree.labels[v].names) parent_uf.emplace(key(v, a), key(v, a));
+  }
+  for (size_t v = 1; v < n; ++v) {
+    size_t p = static_cast<size_t>(tree.parent[v]);
+    for (int a : tree.labels[v].names) {
+      if (tree.labels[p].names.count(a) > 0) {
+        parent_uf[find(key(v, a))] = find(key(p, a));
+      }
+    }
+  }
+  std::map<size_t, Term> class_constant;
+  int counter = 0;
+  auto constant_of = [&](size_t v, int a) {
+    size_t root = find(key(v, a));
+    auto it = class_constant.find(root);
+    if (it != class_constant.end()) return it->second;
+    Term c = Term::Constant(StrCat("@dec", counter++));
+    class_constant.emplace(root, c);
+    return c;
+  };
+  Database out;
+  for (size_t v = 0; v < n; ++v) {
+    for (const auto& [pred, args] : tree.labels[v].atoms) {
+      std::vector<Term> terms;
+      terms.reserve(args.size());
+      for (int a : args) terms.push_back(constant_of(v, a));
+      out.Add(Atom(pred, std::move(terms)));
+    }
+  }
+  return out;
+}
+
+}  // namespace omqc

@@ -1,0 +1,102 @@
+// Tree decompositions, C-trees, guarded unraveling and the ΓS,l tree
+// encoding of Sec. 5 (Defs. 2/8/9, Lemmas 22, 37, 41).
+
+#ifndef OMQC_CORE_CTREE_H_
+#define OMQC_CORE_CTREE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/instance.h"
+#include "logic/substitution.h"
+
+namespace omqc {
+
+/// A rooted tree decomposition: bags of terms, one per node; node 0 is the
+/// root; parent[0] == -1.
+struct TreeDecomposition {
+  std::vector<std::set<Term>> bags;
+  std::vector<int> parent;
+
+  size_t size() const { return bags.size(); }
+  /// width = max bag size - 1.
+  int Width() const;
+  std::vector<std::vector<int>> Children() const;
+  std::string ToString() const;
+};
+
+/// Checks the two tree-decomposition conditions w.r.t. `instance`:
+/// every atom fits in some bag, and each term's bags form a connected
+/// subtree.
+Status ValidateDecomposition(const TreeDecomposition& decomposition,
+                             const Instance& instance);
+
+/// Checks [U]-guardedness: every bag not in `exempt` is covered by some
+/// atom of the instance (Def. 2's condition 2 uses exempt = {root}).
+bool IsGuardedExcept(const TreeDecomposition& decomposition,
+                     const Instance& instance, const std::set<int>& exempt);
+
+/// True iff `instance` is a C-tree witnessed by `decomposition` whose root
+/// bag induces exactly `core` (Def. 2/9).
+Status ValidateCTree(const TreeDecomposition& decomposition,
+                     const Instance& instance, const Instance& core);
+
+/// Guarded unraveling of `instance` around the terms `x0`, truncated at
+/// tree depth `depth` (Lemma 37; the full unraveling is infinite). The
+/// result is a C-tree together with its witnessing decomposition and a
+/// homomorphism back to the original instance. Fresh constants
+/// "@u<k>" stand for the equivalence classes [π]_a.
+struct Unraveling {
+  Instance instance;
+  TreeDecomposition decomposition;
+  /// Maps each unraveling term to the original term it represents.
+  Substitution back_homomorphism;
+};
+Result<Unraveling> GuardedUnravel(const Instance& instance,
+                                  const std::set<Term>& x0, int depth);
+
+/// The ΓS,l encoding of a C-tree (appendix "Encoding"). Names are small
+/// integers: core names Cl = {0,...,l-1}, tree names TS = {l,...,l+2w-1}
+/// where w = ar(S).
+struct TreeLabel {
+  std::set<int> names;               ///< D_a markers
+  std::set<int> core_names;          ///< C_a markers (subset of Cl)
+  /// R_ā markers: atoms whose arguments are names.
+  std::set<std::pair<Predicate, std::vector<int>>> atoms;
+
+  std::string ToString() const;
+  bool operator==(const TreeLabel& other) const {
+    return names == other.names && core_names == other.core_names &&
+           atoms == other.atoms;
+  }
+};
+
+/// A ΓS,l-labeled tree (structure mirrors the decomposition).
+struct EncodedTree {
+  int l = 0;          ///< number of core names
+  int width = 0;      ///< ar(S); tree names are l..l+2*width-1
+  std::vector<TreeLabel> labels;
+  std::vector<int> parent;  ///< parent[0] == -1
+
+  size_t size() const { return labels.size(); }
+  std::vector<std::vector<int>> Children() const;
+};
+
+/// Encodes a C-tree (validated against `decomposition` and `core`) into a
+/// ΓS,l-labeled tree with l = max(|dom(core)|, given l).
+Result<EncodedTree> EncodeCTree(const Instance& instance,
+                                const TreeDecomposition& decomposition,
+                                const Instance& core, int l);
+
+/// The consistency conditions (1)-(5) of the appendix. OK iff consistent.
+Status CheckConsistency(const EncodedTree& tree);
+
+/// Decodes a consistent tree into a database JtK (Lemma 41). Fresh
+/// constants "@dec<k>" stand for the name-equivalence classes [v]_a.
+Result<Database> DecodeTree(const EncodedTree& tree);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_CTREE_H_

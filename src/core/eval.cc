@@ -1,0 +1,129 @@
+#include "core/eval.h"
+
+#include "base/string_util.h"
+#include "logic/homomorphism.h"
+
+namespace omqc {
+namespace {
+
+Status CheckDatabaseSchema(const Omq& omq, const Database& database) {
+  if (!database.IsDatabase()) {
+    return Status::InvalidArgument("input instance contains nulls");
+  }
+  Schema db_schema = database.InducedSchema();
+  for (const Predicate& p : db_schema.predicates()) {
+    if (!omq.data_schema.Contains(p)) {
+      return Status::InvalidArgument(
+          StrCat("database predicate ", p.ToString(),
+                 " is not in the data schema"));
+    }
+  }
+  return Status::OK();
+}
+
+enum class Path { kChase, kRewrite };
+
+/// True when the restricted chase is guaranteed to reach a fixpoint: full
+/// tgds (finite domain, no nulls) or a non-recursive set.
+bool ChaseTerminatesFor(const TgdSet& tgds) {
+  return IsFull(tgds) || IsNonRecursive(tgds);
+}
+
+Path ChoosePath(const Omq& omq, const EvalOptions& options) {
+  switch (options.strategy) {
+    case EvalOptions::Strategy::kChase:
+      return Path::kChase;
+    case EvalOptions::Strategy::kRewrite:
+      return Path::kRewrite;
+    case EvalOptions::Strategy::kAuto:
+      break;
+  }
+  switch (omq.OntologyClass()) {
+    case TgdClass::kLinear:
+    case TgdClass::kSticky:
+      // The chase is usually much cheaper when it provably terminates
+      // (the rewriting of sticky sets can be exponential, Prop. 17);
+      // fall back to rewriting only for genuinely recursive,
+      // null-inventing sets.
+      return ChaseTerminatesFor(omq.tgds) ? Path::kChase : Path::kRewrite;
+    default:
+      return Path::kChase;
+  }
+}
+
+ChaseOptions ChaseOptionsFor(const Omq& omq, const EvalOptions& options) {
+  ChaseOptions chase;
+  chase.variant = ChaseVariant::kRestricted;
+  chase.max_atoms = options.chase_max_atoms;
+  if (omq.OntologyClass() != TgdClass::kEmpty &&
+      !ChaseTerminatesFor(omq.tgds)) {
+    chase.max_level = options.chase_max_level;
+  }
+  return chase;
+}
+
+}  // namespace
+
+Result<bool> EvalTuple(const Omq& omq, const Database& database,
+                       const std::vector<Term>& tuple,
+                       const EvalOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  OMQC_RETURN_IF_ERROR(CheckDatabaseSchema(omq, database));
+  if (tuple.size() != omq.AnswerArity()) {
+    return Status::InvalidArgument("answer tuple arity mismatch");
+  }
+  if (ChoosePath(omq, options) == Path::kRewrite) {
+    OMQC_ASSIGN_OR_RETURN(
+        UnionOfCQs rewriting,
+        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite));
+    for (const ConjunctiveQuery& disjunct : rewriting.disjuncts) {
+      if (TupleInAnswer(disjunct, database, tuple)) return true;
+    }
+    return false;
+  }
+  OMQC_ASSIGN_OR_RETURN(
+      ChaseResult chased,
+      Chase(database, omq.tgds, ChaseOptionsFor(omq, options)));
+  if (TupleInAnswer(omq.query, chased.instance, tuple)) {
+    return true;  // sound even on a truncated chase
+  }
+  if (!chased.complete) {
+    return Status::ResourceExhausted(
+        StrCat("chase budget exhausted (", chased.instance.size(),
+               " atoms, level ", chased.max_level_reached,
+               "); cannot certify a negative answer"));
+  }
+  return false;
+}
+
+Result<std::vector<std::vector<Term>>> EvalAll(const Omq& omq,
+                                               const Database& database,
+                                               const EvalOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  OMQC_RETURN_IF_ERROR(CheckDatabaseSchema(omq, database));
+  if (ChoosePath(omq, options) == Path::kRewrite) {
+    OMQC_ASSIGN_OR_RETURN(
+        UnionOfCQs rewriting,
+        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite));
+    return EvaluateUCQ(rewriting, database);
+  }
+  OMQC_ASSIGN_OR_RETURN(
+      ChaseResult chased,
+      Chase(database, omq.tgds, ChaseOptionsFor(omq, options)));
+  if (!chased.complete) {
+    return Status::ResourceExhausted(
+        StrCat("chase budget exhausted (", chased.instance.size(),
+               " atoms); the answer set may be incomplete"));
+  }
+  return EvaluateCQ(omq.query, chased.instance);
+}
+
+Result<bool> EvalBoolean(const Omq& omq, const Database& database,
+                         const EvalOptions& options) {
+  if (!omq.query.IsBoolean()) {
+    return Status::InvalidArgument("EvalBoolean expects a Boolean OMQ");
+  }
+  return EvalTuple(omq, database, {}, options);
+}
+
+}  // namespace omqc

@@ -1,0 +1,62 @@
+// OMQ evaluation Eval(C, CQ) (Sec. 2, Props. 1-4): certain answers of an
+// OMQ over a database, dispatched by ontology class:
+//
+//   * empty ontology        — direct CQ evaluation (NP data-independent);
+//   * non-recursive / full  — terminating restricted chase;
+//   * linear / sticky       — UCQ rewriting (XRewrite), then plain UCQ
+//                             evaluation; always exact and terminating;
+//   * guarded               — restricted chase with a derivation-level
+//                             budget (the Calì–Gottlob–Kifer bounded chase
+//                             prefix; see DESIGN.md); positive answers from
+//                             a truncated chase are sound, a negative
+//                             answer is only reported when the chase
+//                             reached its fixpoint — otherwise
+//                             ResourceExhausted;
+//   * general               — budgeted chase, same contract as guarded
+//                             (Eval(TGD,CQ) is undecidable, Cor. 7).
+
+#ifndef OMQC_CORE_EVAL_H_
+#define OMQC_CORE_EVAL_H_
+
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/omq.h"
+#include "rewrite/xrewrite.h"
+
+namespace omqc {
+
+/// Budgets and strategy selection for evaluation.
+struct EvalOptions {
+  enum class Strategy {
+    kAuto,     ///< dispatch on the ontology class (recommended)
+    kChase,    ///< force the chase path
+    kRewrite,  ///< force the rewriting path
+  };
+  Strategy strategy = Strategy::kAuto;
+  /// Chase budgets used by the chase path for guarded/general ontologies.
+  size_t chase_max_atoms = 200000;
+  int chase_max_level = 16;
+  /// Rewriting budgets for the rewriting path.
+  XRewriteOptions rewrite;
+};
+
+/// Is `tuple` a certain answer of Q over `database`? Exact for all
+/// decidable classes; ResourceExhausted when a budget prevented an exact
+/// negative answer.
+Result<bool> EvalTuple(const Omq& omq, const Database& database,
+                       const std::vector<Term>& tuple,
+                       const EvalOptions& options = EvalOptions());
+
+/// All certain answers Q(D). Same exactness contract as EvalTuple.
+Result<std::vector<std::vector<Term>>> EvalAll(
+    const Omq& omq, const Database& database,
+    const EvalOptions& options = EvalOptions());
+
+/// Boolean convenience: Q(D) ≠ ∅ for a Boolean OMQ.
+Result<bool> EvalBoolean(const Omq& omq, const Database& database,
+                         const EvalOptions& options = EvalOptions());
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_EVAL_H_

@@ -1,0 +1,123 @@
+#include "core/explain.h"
+
+#include <functional>
+
+#include "base/string_util.h"
+#include "chase/chase.h"
+#include "logic/homomorphism.h"
+
+namespace omqc {
+
+size_t DerivationNode::size() const {
+  size_t count = 1;
+  for (const auto& child : premises) count += child->size();
+  return count;
+}
+
+int DerivationNode::depth() const {
+  int deepest = 0;
+  for (const auto& child : premises) {
+    deepest = std::max(deepest, child->depth());
+  }
+  return deepest + 1;
+}
+
+namespace {
+
+void Render(const DerivationNode& node, const TgdSet& tgds, int indent,
+            std::string& out) {
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+  out += node.atom.ToString();
+  if (node.tgd_index == DerivationNode::kDatabaseFact) {
+    out += "   [database fact]";
+  } else {
+    out += StrCat("   [tgd ", node.tgd_index, ": ",
+                  tgds.tgds[static_cast<size_t>(node.tgd_index)].ToString(),
+                  "]");
+  }
+  out += "\n";
+  for (const auto& child : node.premises) {
+    Render(*child, tgds, indent + 1, out);
+  }
+}
+
+/// Unwinds provenance into a derivation tree. Cycles cannot occur: a
+/// premise always has a strictly smaller derivation level.
+DerivationNode Unwind(const Atom& atom, const ChaseResult& chase) {
+  DerivationNode node;
+  node.atom = atom;
+  auto it = chase.provenance.find(atom);
+  if (it == chase.provenance.end()) {
+    node.tgd_index = DerivationNode::kDatabaseFact;
+    return node;
+  }
+  node.tgd_index = static_cast<int>(it->second.tgd_index);
+  for (const Atom& premise : it->second.premises) {
+    node.premises.push_back(
+        std::make_unique<DerivationNode>(Unwind(premise, chase)));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::string Explanation::ToString(const TgdSet& tgds) const {
+  std::string out = StrCat(
+      "answer (",
+      JoinMapped(tuple, ", ", [](const Term& t) { return t.ToString(); }),
+      ") because:\n");
+  for (const DerivationNode& root : roots) {
+    Render(root, tgds, 1, out);
+  }
+  return out;
+}
+
+Result<Explanation> ExplainTuple(const Omq& omq, const Database& database,
+                                 const std::vector<Term>& tuple,
+                                 const EvalOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  if (tuple.size() != omq.AnswerArity()) {
+    return Status::InvalidArgument("answer tuple arity mismatch");
+  }
+  ChaseOptions chase_options;
+  chase_options.track_provenance = true;
+  chase_options.max_atoms = options.chase_max_atoms;
+  if (!IsFull(omq.tgds) && !IsNonRecursive(omq.tgds)) {
+    chase_options.max_level = options.chase_max_level;
+  }
+  OMQC_ASSIGN_OR_RETURN(ChaseResult chase,
+                        Chase(database, omq.tgds, chase_options));
+
+  // Seed the answer variables with the tuple.
+  Substitution seed;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Term& v = omq.query.answer_vars[i];
+    if (!v.IsVariable()) {
+      if (v != tuple[i]) {
+        return Status::NotFound("tuple clashes with a constant answer");
+      }
+      continue;
+    }
+    auto existing = seed.Lookup(v);
+    if (existing.has_value() && *existing != tuple[i]) {
+      return Status::NotFound("tuple clashes with a repeated variable");
+    }
+    seed.Bind(v, tuple[i]);
+  }
+  auto hom = FindHomomorphism(omq.query.body, chase.instance, seed);
+  if (!hom.has_value()) {
+    if (!chase.complete) {
+      return Status::ResourceExhausted(
+          "no proof found within the chase budget");
+    }
+    return Status::NotFound("the tuple is not a certain answer");
+  }
+  Explanation explanation;
+  explanation.tuple = tuple;
+  for (const Atom& body_atom : omq.query.body) {
+    explanation.roots.push_back(Unwind(hom->Apply(body_atom), chase));
+  }
+  return explanation;
+}
+
+}  // namespace omqc

@@ -1,0 +1,59 @@
+// Derivation trees (appendix, "Derivation Trees"): proof trees explaining
+// why a tuple is a certain answer of an OMQ. The appendix uses derivation
+// trees as the proof object behind the guarded-containment automaton
+// (Lemmas 44/45); here they double as a user-facing explanation facility.
+//
+// A derivation tree's root is a query-body match; an inner node records
+// the tgd whose firing produced its atom from the children; leaves are
+// database facts.
+
+#ifndef OMQC_CORE_EXPLAIN_H_
+#define OMQC_CORE_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/omq.h"
+
+namespace omqc {
+
+/// One node of a derivation tree: the derived atom, the tgd that produced
+/// it (or kDatabaseFact for level-0 atoms), and the premises.
+struct DerivationNode {
+  static constexpr int kDatabaseFact = -1;
+
+  Atom atom;
+  /// Index into the ontology's tgds, or kDatabaseFact.
+  int tgd_index = kDatabaseFact;
+  std::vector<std::unique_ptr<DerivationNode>> premises;
+
+  /// Number of nodes in the subtree.
+  size_t size() const;
+  /// Depth of the subtree (a database fact has depth 1).
+  int depth() const;
+};
+
+/// An explanation of one answer tuple: the homomorphism's image of each
+/// query body atom, each with its derivation tree.
+struct Explanation {
+  std::vector<Term> tuple;
+  std::vector<DerivationNode> roots;
+
+  /// An indented multi-line proof listing.
+  std::string ToString(const TgdSet& tgds) const;
+};
+
+/// Explains why `tuple` ∈ Q(D): runs a provenance-tracking chase, finds a
+/// homomorphism witnessing the answer and unwinds each matched atom into
+/// its derivation tree. Returns NotFound if the tuple is not certain
+/// within the chase budget (positive answers are sound even when the
+/// chase is truncated — see src/core/eval.h).
+Result<Explanation> ExplainTuple(const Omq& omq, const Database& database,
+                                 const std::vector<Term>& tuple,
+                                 const EvalOptions& options = EvalOptions());
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_EXPLAIN_H_

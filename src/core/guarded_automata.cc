@@ -1,0 +1,215 @@
+#include "core/guarded_automata.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+/// All atoms over the name set `names` with predicates from `schema`.
+std::vector<std::pair<Predicate, std::vector<int>>> AtomsOver(
+    const Schema& schema, const std::vector<int>& names) {
+  std::vector<std::pair<Predicate, std::vector<int>>> out;
+  for (const Predicate& p : schema.predicates()) {
+    const int arity = p.arity();
+    if (arity == 0) {
+      out.push_back({p, {}});
+      continue;
+    }
+    if (names.empty()) continue;
+    std::vector<size_t> idx(static_cast<size_t>(arity), 0);
+    while (true) {
+      std::vector<int> args;
+      for (size_t i : idx) args.push_back(names[i]);
+      out.push_back({p, std::move(args)});
+      size_t k = 0;
+      for (; k < idx.size(); ++k) {
+        if (++idx[k] < names.size()) break;
+        idx[k] = 0;
+      }
+      if (k == idx.size()) break;
+    }
+  }
+  return out;
+}
+
+/// Conditions (2) and (3) shared by root and internal nodes.
+bool LocalOk(const TreeLabel& label, int l) {
+  for (const auto& [pred, args] : label.atoms) {
+    for (int a : args) {
+      if (label.names.count(a) == 0) return false;
+    }
+  }
+  for (int a : label.names) {
+    if (a < l && label.core_names.count(a) == 0) return false;
+  }
+  for (int a : label.core_names) {
+    if (a >= l || label.names.count(a) == 0) return false;
+  }
+  return true;
+}
+
+bool RootOk(const TreeLabel& label, int l) {
+  if (static_cast<int>(label.names.size()) > l) return false;
+  for (int a : label.names) {
+    if (a >= l) return false;
+  }
+  return LocalOk(label, l);
+}
+
+bool InternalOk(const TreeLabel& label, int l, int width) {
+  if (static_cast<int>(label.names.size()) > width) return false;
+  return LocalOk(label, l);
+}
+
+/// Encodes a core-name set as a bitmask over Cl.
+int CoreMask(const TreeLabel& label) {
+  int mask = 0;
+  for (int a : label.core_names) mask |= 1 << a;
+  return mask;
+}
+
+}  // namespace
+
+int GammaAlphabet::IndexOf(const TreeLabel& label) const {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<LabeledTree> GammaAlphabet::ToLabeledTree(
+    const EncodedTree& tree) const {
+  if (tree.labels.empty()) {
+    return Status::InvalidArgument("empty encoded tree");
+  }
+  LabeledTree out;
+  out.nodes.resize(tree.size());
+  for (size_t v = 0; v < tree.size(); ++v) {
+    int label_id = IndexOf(tree.labels[v]);
+    if (label_id < 0) {
+      return Status::NotFound(
+          StrCat("label of node ", v, " is not in the alphabet: ",
+                 tree.labels[v].ToString()));
+    }
+    out.nodes[v].label = label_id;
+    out.nodes[v].parent = tree.parent[v];
+    if (tree.parent[v] >= 0) {
+      out.nodes[static_cast<size_t>(tree.parent[v])].children.push_back(
+          static_cast<int>(v));
+    }
+  }
+  return out;
+}
+
+Result<GammaAlphabet> EnumerateGammaAlphabet(const Schema& schema, int l,
+                                             int width, size_t max_labels) {
+  if (l < 0 || width < 1 || l > 8) {
+    return Status::InvalidArgument(
+        "alphabet enumeration expects 0 <= l <= 8 and width >= 1");
+  }
+  GammaAlphabet alphabet;
+  alphabet.l = l;
+  alphabet.width = width;
+  alphabet.schema = schema;
+
+  const int universe = l + 2 * width;
+  const int max_names = std::max(l, width);
+  for (int name_mask = 0; name_mask < (1 << universe); ++name_mask) {
+    if (__builtin_popcount(static_cast<unsigned>(name_mask)) > max_names) {
+      continue;
+    }
+    std::vector<int> names;
+    for (int a = 0; a < universe; ++a) {
+      if (name_mask & (1 << a)) names.push_back(a);
+    }
+    auto atoms = AtomsOver(schema, names);
+    if (atoms.size() > 20) {
+      return Status::ResourceExhausted(
+          StrCat(atoms.size(),
+                 " candidate atom markers per label; the alphabet is only "
+                 "materializable for toy schemas"));
+    }
+    // Core subsets of names ∩ Cl.
+    std::vector<int> core_candidates;
+    for (int a : names) {
+      if (a < l) core_candidates.push_back(a);
+    }
+    for (int core_mask = 0;
+         core_mask < (1 << core_candidates.size()); ++core_mask) {
+      for (size_t atom_mask = 0; atom_mask < (size_t{1} << atoms.size());
+           ++atom_mask) {
+        TreeLabel label;
+        label.names.insert(names.begin(), names.end());
+        for (size_t i = 0; i < core_candidates.size(); ++i) {
+          if (core_mask & (1 << i)) {
+            label.core_names.insert(core_candidates[i]);
+          }
+        }
+        for (size_t i = 0; i < atoms.size(); ++i) {
+          if (atom_mask & (size_t{1} << i)) label.atoms.insert(atoms[i]);
+        }
+        alphabet.labels.push_back(std::move(label));
+        if (alphabet.labels.size() > max_labels) {
+          return Status::ResourceExhausted(
+              StrCat("more than ", max_labels, " labels in ΓS,l"));
+        }
+      }
+    }
+  }
+  return alphabet;
+}
+
+Twapa ConsistencyAutomaton(const GammaAlphabet& alphabet) {
+  // State 0: root dispatch. State 1 + A: "my parent's core markers are
+  // exactly the set A" (A a bitmask over Cl).
+  const int l = alphabet.l;
+  const int width = alphabet.width;
+  std::vector<TreeLabel> labels = alphabet.labels;
+  Twapa automaton;
+  automaton.num_states = 1 + (1 << l);
+  automaton.num_labels = static_cast<int>(labels.size());
+  automaton.initial_state = 0;
+  automaton.mode = AcceptanceMode::kFiniteRuns;
+  automaton.delta = [labels, l, width](int state, int label_id) -> Formula {
+    const TreeLabel& label = labels[static_cast<size_t>(label_id)];
+    if (state == 0) {
+      if (!RootOk(label, l)) return Formula::False();
+      return Box(Move::kChild, 1 + CoreMask(label));
+    }
+    const int parent_core = state - 1;
+    if (!InternalOk(label, l, width)) return Formula::False();
+    // Condition (4): my core markers must all sit on my parent.
+    int mine = CoreMask(label);
+    if ((mine & ~parent_core) != 0) return Formula::False();
+    return Box(Move::kChild, 1 + mine);
+  };
+  return automaton;
+}
+
+Twapa AtomPresenceAutomaton(const GammaAlphabet& alphabet, Predicate pred) {
+  std::vector<TreeLabel> labels = alphabet.labels;
+  Twapa automaton;
+  automaton.num_states = 1;
+  automaton.num_labels = static_cast<int>(labels.size());
+  automaton.initial_state = 0;
+  automaton.mode = AcceptanceMode::kFiniteRuns;
+  automaton.delta = [labels, pred](int /*state*/, int label_id) -> Formula {
+    const TreeLabel& label = labels[static_cast<size_t>(label_id)];
+    for (const auto& [p, args] : label.atoms) {
+      if (p == pred) return Formula::True();
+    }
+    return Diamond(Move::kChild, 0);
+  };
+  return automaton;
+}
+
+bool FullyConsistent(const GammaAlphabet& alphabet, const EncodedTree& tree) {
+  auto labeled = alphabet.ToLabeledTree(tree);
+  if (!labeled.ok()) return false;
+  if (!Accepts(ConsistencyAutomaton(alphabet), *labeled)) return false;
+  return CheckConsistency(tree).ok();
+}
+
+}  // namespace omqc

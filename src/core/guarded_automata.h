@@ -1,0 +1,73 @@
+// The Sec. 5 automata pipeline made explicit for small schemas: enumerate
+// the ΓS,l alphabet, build the consistency automaton of Lemma 23 as an
+// actual 2WAPA, and compose it with query automata in the style of
+// Prop. 25's (C_{S,l} ∩ A_{Q1,l}) ∩ comp(A_{Q2,l}).
+//
+// The alphabet ΓS,l is double-exponential in ar(S); materializing it is
+// only feasible for toy schemas, which is exactly what these helpers are
+// for: demonstrating and testing the paper's construction end to end.
+// The production containment path (src/core/containment.h) runs the
+// equivalent search on the fly instead — see DESIGN.md.
+//
+// Scope note: the consistency automaton checks conditions (1)-(4) of the
+// encoding; condition (5) (guardedness of every bag by a b-connected
+// atom) involves an unbounded two-way reachability argument and is
+// checked by CheckConsistency() directly. FullyConsistent() combines
+// both.
+
+#ifndef OMQC_CORE_GUARDED_AUTOMATA_H_
+#define OMQC_CORE_GUARDED_AUTOMATA_H_
+
+#include <vector>
+
+#include "automata/twapa.h"
+#include "base/status.h"
+#include "core/ctree.h"
+
+namespace omqc {
+
+/// An explicit ΓS,l alphabet: every label over `l` core names, `width`
+/// tree names and atoms drawn from `schema`, paired with the automata
+/// that run over it.
+struct GammaAlphabet {
+  int l = 0;
+  int width = 0;
+  Schema schema;
+  std::vector<TreeLabel> labels;
+
+  /// Index of a label in `labels`, or -1 when absent.
+  int IndexOf(const TreeLabel& label) const;
+
+  /// Converts an encoded tree into an integer-labeled tree over this
+  /// alphabet (fails when a label is not part of the alphabet).
+  Result<LabeledTree> ToLabeledTree(const EncodedTree& tree) const;
+};
+
+/// Enumerates ΓS,l for a (tiny!) schema: all name sets of size <= max(l,
+/// width), core markers, and atom sets over the names. The total count is
+/// checked against `max_labels` (default 200000) — a generous toy-scale
+/// cap; exceeding it returns ResourceExhausted (the alphabet is
+/// double-exponential in general, which is the point of the paper's
+/// complexity analysis).
+Result<GammaAlphabet> EnumerateGammaAlphabet(const Schema& schema, int l,
+                                             int width,
+                                             size_t max_labels = 200000);
+
+/// Lemma 23 (conditions (1)-(4)): a 2WAPA over the alphabet accepting
+/// exactly the trees that satisfy the local consistency conditions: name
+/// budgets, declared atom arguments, core-marker/name agreement on Cl and
+/// downward core-marker propagation. States: one dispatch state plus one
+/// per subset of Cl (the parent's core-marker set).
+Twapa ConsistencyAutomaton(const GammaAlphabet& alphabet);
+
+/// A query automaton for an atomic existential query ∃x̄ R(x̄): accepts
+/// iff some node's label carries an R-atom marker (i.e., the decoded
+/// database contains an R atom).
+Twapa AtomPresenceAutomaton(const GammaAlphabet& alphabet, Predicate pred);
+
+/// Full consistency = automaton conditions (1)-(4) + condition (5).
+bool FullyConsistent(const GammaAlphabet& alphabet, const EncodedTree& tree);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_GUARDED_AUTOMATA_H_

@@ -1,0 +1,177 @@
+#include "core/lean.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+Status ValidateLean(const TreeDecomposition& decomposition,
+                    const std::set<Term>& core_terms) {
+  if (decomposition.bags.empty()) {
+    return Status::InvalidArgument("empty decomposition");
+  }
+  auto children = decomposition.Children();
+  // Condition 1: core elements only at the root and its children.
+  for (size_t v = 1; v < decomposition.size(); ++v) {
+    if (decomposition.parent[v] == 0) continue;
+    for (const Term& t : decomposition.bags[v]) {
+      if (core_terms.count(t) > 0) {
+        return Status::InvalidArgument(
+            StrCat("core element ", t.ToString(), " occurs at depth >= 2"));
+      }
+    }
+  }
+  // Condition 2: one shared, one new element per non-root bag; the new
+  // element is passed to every child (condition 3).
+  std::vector<Term> new_element(decomposition.size(), Term());
+  for (size_t v = 1; v < decomposition.size(); ++v) {
+    const std::set<Term>& mine = decomposition.bags[v];
+    const std::set<Term>& parents =
+        decomposition.bags[static_cast<size_t>(decomposition.parent[v])];
+    std::vector<Term> shared, fresh;
+    for (const Term& t : mine) {
+      if (parents.count(t) > 0) {
+        shared.push_back(t);
+      } else {
+        fresh.push_back(t);
+      }
+    }
+    if (shared.size() != 1 || fresh.size() != 1) {
+      return Status::InvalidArgument(
+          StrCat("node ", v, " shares ", shared.size(),
+                 " elements with its parent and adds ", fresh.size()));
+    }
+    new_element[v] = fresh.front();
+  }
+  for (size_t v = 1; v < decomposition.size(); ++v) {
+    for (int child : children[v]) {
+      if (decomposition.bags[static_cast<size_t>(child)].count(
+              new_element[v]) == 0) {
+        return Status::InvalidArgument(
+            StrCat("node ", v, "'s new element is absent from child ",
+                   child));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TreeDecomposition> BuildLeanDecomposition(
+    const Database& database, const std::set<Term>& core_terms) {
+  if (database.InducedSchema().MaxArity() > 2) {
+    return Status::Unsupported(
+        "lean decompositions are defined for unary/binary schemas");
+  }
+  TreeDecomposition out;
+  out.bags.push_back(core_terms);
+  out.parent.push_back(-1);
+
+  // BFS over the Gaifman graph; node_of[t] = decomposition node whose new
+  // element is t (0 for core elements).
+  std::map<Term, size_t> node_of;
+  std::queue<Term> frontier;
+  for (const Term& t : core_terms) {
+    node_of.emplace(t, 0);
+    frontier.push(t);
+  }
+  while (!frontier.empty()) {
+    Term current = frontier.front();
+    frontier.pop();
+    // Binary atoms incident to `current`.
+    for (const Atom& atom : database.atoms()) {
+      if (atom.args.size() != 2) continue;
+      Term other;
+      if (atom.args[0] == current) {
+        other = atom.args[1];
+      } else if (atom.args[1] == current) {
+        other = atom.args[0];
+      } else {
+        continue;
+      }
+      if (other == current) continue;  // self-loop: stays in the bag
+      auto seen = node_of.find(other);
+      if (seen != node_of.end()) {
+        // An edge between two already-discovered elements is fine inside
+        // the core, or between a node and its parent's element; anything
+        // else is a cycle outside the core.
+        bool both_core = core_terms.count(current) > 0 &&
+                         core_terms.count(other) > 0;
+        size_t node_current = node_of.at(current);
+        size_t node_other = seen->second;
+        bool parent_child =
+            (node_current != 0 &&
+             static_cast<size_t>(out.parent[node_current]) == node_other) ||
+            (node_other != 0 &&
+             static_cast<size_t>(out.parent[node_other]) == node_current);
+        if (!both_core && !parent_child) {
+          return Status::InvalidArgument(
+              StrCat("the database is not tree-shaped outside the core: ",
+                     atom.ToString(), " closes a cycle"));
+        }
+        continue;
+      }
+      std::set<Term> bag{current, other};
+      out.bags.push_back(std::move(bag));
+      out.parent.push_back(static_cast<int>(node_of.at(current)));
+      node_of.emplace(other, out.bags.size() - 1);
+      frontier.push(other);
+    }
+  }
+  // Every term must be reachable (otherwise it is disconnected from the
+  // core and no C-tree decomposition rooted at the core exists).
+  for (const Term& t : database.ActiveDomain()) {
+    if (node_of.count(t) == 0) {
+      return Status::InvalidArgument(
+          StrCat(t.ToString(), " is not reachable from the core"));
+    }
+  }
+  return out;
+}
+
+std::map<Term, int> DistanceFromRoot(const TreeDecomposition& decomposition,
+                                     const std::set<Term>& core_terms) {
+  std::map<Term, int> distance;
+  // Node depths.
+  std::vector<int> depth(decomposition.size(), 0);
+  for (size_t v = 1; v < decomposition.size(); ++v) {
+    depth[v] = depth[static_cast<size_t>(decomposition.parent[v])] + 1;
+  }
+  for (size_t v = 0; v < decomposition.size(); ++v) {
+    for (const Term& t : decomposition.bags[v]) {
+      int d = core_terms.count(t) > 0 ? 0 : depth[v];
+      auto it = distance.find(t);
+      if (it == distance.end() || d < it->second) distance[t] = d;
+    }
+  }
+  return distance;
+}
+
+DistanceSplit SplitByDistance(const Database& database,
+                              const std::map<Term, int>& distance, int k) {
+  DistanceSplit split;
+  for (const Atom& atom : database.atoms()) {
+    bool all_near = true;
+    bool all_far = true;
+    for (const Term& t : atom.args) {
+      auto it = distance.find(t);
+      int d = it == distance.end() ? 0 : it->second;
+      if (d > k) all_near = false;
+      if (d <= k) all_far = false;
+    }
+    if (all_near) split.near.Add(atom);
+    if (all_far) split.far.Add(atom);
+  }
+  return split;
+}
+
+int BranchingDegree(const TreeDecomposition& decomposition) {
+  int degree = 0;
+  for (const std::vector<int>& children : decomposition.Children()) {
+    degree = std::max(degree, static_cast<int>(children.size()));
+  }
+  return degree;
+}
+
+}  // namespace omqc

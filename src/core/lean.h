@@ -1,0 +1,54 @@
+// Lean tree decompositions (Sec. 7.2 appendix): the canonical tree
+// representations of C-trees over unary/binary schemas used by the UCQ-
+// rewritability characterization (Prop. 30). Leanness pins down a unique
+// notion of distance-from-the-root and of branching degree (Lemmas 50/51),
+// enabling the D≤k / D>k split of the boundedness property.
+
+#ifndef OMQC_CORE_LEAN_H_
+#define OMQC_CORE_LEAN_H_
+
+#include <map>
+
+#include "core/ctree.h"
+
+namespace omqc {
+
+/// Checks the three leanness conditions w.r.t. a core:
+///   1. core elements occur only in the root bag and its children's bags;
+///   2. every non-root bag shares exactly one element with its parent and
+///      introduces exactly one new element;
+///   3. the new element of a node occurs in the bag of each of its
+///      children.
+Status ValidateLean(const TreeDecomposition& decomposition,
+                    const std::set<Term>& core_terms);
+
+/// Builds a lean decomposition of a C-tree database over a unary/binary
+/// schema by BFS over the Gaifman graph from the core. Fails when the
+/// database is not tree-shaped outside the core (a back- or cross-edge is
+/// found) or the schema has arity > 2.
+Result<TreeDecomposition> BuildLeanDecomposition(
+    const Database& database, const std::set<Term>& core_terms);
+
+/// Distance of every term from the root of a lean decomposition: core
+/// terms have distance 0; the new element of a node at tree depth d has
+/// distance d (invariant across lean decompositions, Lemma 51).
+std::map<Term, int> DistanceFromRoot(const TreeDecomposition& decomposition,
+                                     const std::set<Term>& core_terms);
+
+/// D≤k / D>k (Sec. 7.2): the subinstances induced by the terms at distance
+/// at most k, respectively at least k+1, from the root.
+struct DistanceSplit {
+  Instance near;  ///< D≤k
+  Instance far;   ///< D>k
+};
+DistanceSplit SplitByDistance(const Database& database,
+                              const std::map<Term, int>& distance, int k);
+
+/// The branching degree of a decomposition: the maximum number of
+/// children over all nodes (invariant across lean decompositions of one
+/// C-tree).
+int BranchingDegree(const TreeDecomposition& decomposition);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_LEAN_H_

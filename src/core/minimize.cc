@@ -1,0 +1,38 @@
+#include "core/minimize.h"
+
+namespace omqc {
+
+Result<OmqMinimizationResult> MinimizeOmqQuery(
+    const Omq& omq, const ContainmentOptions& options) {
+  OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
+  OmqMinimizationResult result;
+  result.minimized = omq;
+
+  bool changed = true;
+  while (changed && result.minimized.query.body.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < result.minimized.query.body.size(); ++i) {
+      Omq candidate = result.minimized;
+      candidate.query.body.erase(candidate.query.body.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      if (!ValidateCQ(candidate.query).ok()) continue;  // unbinds answers
+      // Removing an atom weakens the query: original ⊆ candidate always.
+      // Equivalence therefore reduces to candidate ⊆ original.
+      OMQC_ASSIGN_OR_RETURN(
+          ContainmentResult contained,
+          CheckContainment(candidate, result.minimized, options));
+      if (contained.outcome == ContainmentOutcome::kContained) {
+        result.minimized = std::move(candidate);
+        ++result.atoms_removed;
+        changed = true;
+        break;
+      }
+      if (contained.outcome == ContainmentOutcome::kUnknown) {
+        result.certified_minimal = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace omqc

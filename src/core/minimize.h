@@ -1,0 +1,34 @@
+// Ontology-aware query minimization: the classical application of
+// containment that the paper's introduction motivates (query
+// optimization). An atom of q is redundant in Q = (S, Σ, q) when dropping
+// it yields an equivalent OMQ — which, unlike plain CQ minimization,
+// depends on Σ.
+
+#ifndef OMQC_CORE_MINIMIZE_H_
+#define OMQC_CORE_MINIMIZE_H_
+
+#include "core/containment.h"
+
+namespace omqc {
+
+struct OmqMinimizationResult {
+  Omq minimized;
+  /// Number of body atoms removed.
+  size_t atoms_removed = 0;
+  /// True when every removal was certified by a decided containment; if
+  /// any equivalence check came back kUnknown the result is still a
+  /// correct (equivalent) OMQ, but possibly not minimal.
+  bool certified_minimal = true;
+};
+
+/// Greedily removes body atoms whose removal keeps the OMQ equivalent
+/// (checked with CheckEquivalence in both directions). Dropping an atom
+/// only ever *weakens* a query, so only the direction
+/// "weakened ⊆ original" needs deciding; a kUnknown leaves the atom in
+/// place and clears `certified_minimal`.
+Result<OmqMinimizationResult> MinimizeOmqQuery(
+    const Omq& omq, const ContainmentOptions& options = ContainmentOptions());
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_MINIMIZE_H_

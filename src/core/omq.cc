@@ -1,0 +1,38 @@
+#include "core/omq.h"
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+size_t Omq::SymbolCount() const {
+  size_t count = tgds.SymbolCount();
+  for (const Atom& a : query.body) count += 1 + a.args.size();
+  count += query.answer_vars.size();
+  return count;
+}
+
+std::string Omq::ToString() const {
+  return StrCat("OMQ over ", data_schema.ToString(), "\n",
+                tgds.empty() ? std::string("(no tgds)") : tgds.ToString(),
+                "\n", query.ToString());
+}
+
+std::string UcqOmq::ToString() const {
+  return StrCat("OMQ over ", data_schema.ToString(), "\n",
+                tgds.empty() ? std::string("(no tgds)") : tgds.ToString(),
+                "\n", query.ToString());
+}
+
+Status ValidateOmq(const Omq& omq) {
+  OMQC_RETURN_IF_ERROR(ValidateTgdSet(omq.tgds));
+  OMQC_RETURN_IF_ERROR(ValidateCQ(omq.query));
+  return Status::OK();
+}
+
+Schema FullSchemaOf(const TgdSet& tgds, const ConjunctiveQuery& q) {
+  Schema schema = tgds.SchemaOf();
+  for (const Atom& a : q.body) schema.Add(a.predicate);
+  return schema;
+}
+
+}  // namespace omqc

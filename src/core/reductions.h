@@ -1,0 +1,49 @@
+// The reductions of Sec. 3: evaluation ↔ containment (Props. 5 and 6) and
+// the UCQ → CQ transform (Prop. 9).
+
+#ifndef OMQC_CORE_REDUCTIONS_H_
+#define OMQC_CORE_REDUCTIONS_H_
+
+#include <utility>
+
+#include "core/omq.h"
+#include "logic/instance.h"
+
+namespace omqc {
+
+/// Prop. 5: c̄ ∈ Q(D) iff Q1 ⊆ Q2 where
+///   Q1 = (sch(Σ) ∪ S, ∅, q_{D,c̄})  and  Q2 = (sch(Σ) ∪ S, Σ, q).
+/// q_{D,c̄} is the canonical CQ of D: every constant c becomes a variable
+/// x_c, and the answer tuple is (x_{c1},...,x_{cn}).
+struct EvalToContainmentInstance {
+  Omq q1;
+  Omq q2;
+};
+Result<EvalToContainmentInstance> EvalToContainment(
+    const Omq& omq, const Database& database, const std::vector<Term>& tuple);
+
+/// Prop. 6: c̄ ∈ Q(D) iff Q1 ⊄ Q2 where
+///   Q1 = (S, Σ*_D, q*_c̄)  and  Q2 = (S, ∅, ∃x P(x)),
+/// with Σ*_D the ontology with every predicate renamed to a starred copy
+/// plus one fact tgd per atom of D, q*_c̄ the starred query with answers
+/// instantiated to c̄ (Boolean), and P a fresh predicate outside S.
+struct EvalToCoContainmentInstance {
+  Omq q1;
+  Omq q2;
+};
+Result<EvalToCoContainmentInstance> EvalToCoContainment(
+    const Omq& omq, const Database& database, const std::vector<Term>& tuple);
+
+/// Prop. 9: rewrites a Boolean OMQ with a UCQ into an equivalent OMQ with a
+/// CQ in the same tgd class (G, L, NR, S are all preserved), using the
+/// 'or'-gadget encoding: data atoms are annotated true, one tgd generates
+/// false-annotated copies of all disjunct atoms plus the Or truth table,
+/// and the output CQ chains Or atoms to demand that some disjunct is true.
+///
+/// Restricted to Boolean UCQs (the paper's complexity analysis also reduces
+/// to BCQs first); returns Unsupported otherwise.
+Result<Omq> UcqOmqToCqOmq(const UcqOmq& omq);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_REDUCTIONS_H_

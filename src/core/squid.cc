@@ -1,0 +1,106 @@
+#include "core/squid.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+bool IsAlphaAcyclic(const std::vector<Atom>& atoms,
+                    const std::set<Term>& omit) {
+  // Hyperedges: variable sets of the atoms minus the omitted terms.
+  std::vector<std::set<Term>> edges;
+  for (const Atom& a : atoms) {
+    std::set<Term> edge;
+    for (const Term& t : a.args) {
+      if (t.IsVariable() && omit.count(t) == 0) edge.insert(t);
+    }
+    edges.push_back(std::move(edge));
+  }
+  // GYO reduction.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count vertex occurrences.
+    std::map<Term, int> occurrences;
+    for (const std::set<Term>& e : edges) {
+      for (const Term& v : e) ++occurrences[v];
+    }
+    // Rule 1: delete vertices occurring in exactly one edge.
+    for (std::set<Term>& e : edges) {
+      for (auto it = e.begin(); it != e.end();) {
+        if (occurrences[*it] == 1) {
+          it = e.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Rule 2: delete empty edges and edges contained in another edge.
+    for (size_t i = 0; i < edges.size();) {
+      bool removable = edges[i].empty();
+      for (size_t j = 0; j < edges.size() && !removable; ++j) {
+        if (i == j) continue;
+        if (std::includes(edges[j].begin(), edges[j].end(),
+                          edges[i].begin(), edges[i].end())) {
+          removable = true;
+        }
+      }
+      if (removable) {
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return edges.empty();
+}
+
+std::string SquidDecomposition::ToString() const {
+  auto atoms_to_string = [](const std::vector<Atom>& atoms) {
+    return JoinMapped(atoms, ", ",
+                      [](const Atom& a) { return a.ToString(); });
+  };
+  return StrCat(
+      "H = {", atoms_to_string(head), "}\nT = {", atoms_to_string(tentacles),
+      "}\nV = {",
+      JoinMapped(core_vars, ", ", [](const Term& t) { return t.ToString(); }),
+      "}\ntentacles ", tentacles_acyclic ? "[V]-acyclic" : "cyclic");
+}
+
+Result<SquidDecomposition> ComputeSquidDecomposition(
+    const ConjunctiveQuery& q, const Instance& instance,
+    const std::set<Term>& core_terms, const Substitution& hom) {
+  SquidDecomposition squid;
+  for (const Atom& atom : q.body) {
+    Atom image = hom.Apply(atom);
+    if (!instance.Contains(image)) {
+      return Status::InvalidArgument(
+          StrCat("not a homomorphism: image ", image.ToString(),
+                 " is missing from the instance"));
+    }
+    bool in_core = true;
+    for (const Term& t : image.args) {
+      if (core_terms.count(t) == 0) {
+        in_core = false;
+        break;
+      }
+    }
+    if (in_core && !image.args.empty()) {
+      squid.head.push_back(atom);
+    } else {
+      squid.tentacles.push_back(atom);
+    }
+  }
+  for (const Term& v : q.Variables()) {
+    if (core_terms.count(hom.Apply(v)) > 0) squid.core_vars.insert(v);
+  }
+  squid.tentacles_acyclic =
+      IsAlphaAcyclic(squid.tentacles, squid.core_vars);
+  return squid;
+}
+
+}  // namespace omqc

@@ -1,0 +1,59 @@
+// Squid decompositions (Def. 13) and the hypergraph-acyclicity machinery
+// behind them (Lemma 43): a squid decomposition of a BCQ splits its atoms
+// into a "head" H mapped into the cyclic core of a C-tree and
+// [V]-acyclic "tentacles" T mapped into the tree part.
+//
+// [V]-acyclicity is α-acyclicity of the hypergraph obtained by deleting
+// the omitted variables, decided by GYO ear removal.
+
+#ifndef OMQC_CORE_SQUID_H_
+#define OMQC_CORE_SQUID_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/substitution.h"
+
+namespace omqc {
+
+/// α-acyclicity of the hypergraph whose hyperedges are the variable sets
+/// of `atoms` minus `omit` (GYO reduction: repeatedly delete isolated
+/// vertices and ear edges; acyclic iff everything vanishes).
+/// With omit = ∅ this is plain query acyclicity; with omit = V it is the
+/// [V]-acyclicity of Def. 12.
+bool IsAlphaAcyclic(const std::vector<Atom>& atoms,
+                    const std::set<Term>& omit = {});
+
+/// A squid decomposition of a Boolean CQ w.r.t. a homomorphism into a
+/// C-tree instance: H = atoms mapped into the core, T = the remaining
+/// atoms ([V]-acyclic), V = the query variables mapped into the core.
+struct SquidDecomposition {
+  std::vector<Atom> head;       ///< H
+  std::vector<Atom> tentacles;  ///< T
+  std::set<Term> core_vars;     ///< V
+  /// Whether T is [V]-acyclic. Lemma 43 guarantees that *some* squid
+  /// decomposition with acyclic tentacles exists for any match into a
+  /// C-tree (via an S-cover refinement); the one induced by a raw
+  /// homomorphism may fold the query and fail the property, which this
+  /// flag reports.
+  bool tentacles_acyclic = false;
+
+  std::string ToString() const;
+};
+
+/// Computes the squid decomposition induced by `hom` (a homomorphism from
+/// q's body into `instance`): atoms whose image lies inside
+/// `core_terms`-induced atoms form H; everything else forms T; V collects
+/// the query variables mapped onto core terms. Returns InvalidArgument
+/// when `hom` is not a homomorphism into `instance`.
+Result<SquidDecomposition> ComputeSquidDecomposition(
+    const ConjunctiveQuery& q, const Instance& instance,
+    const std::set<Term>& core_terms, const Substitution& hom);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_SQUID_H_

@@ -1,0 +1,304 @@
+#include "generators/families.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+Term V(const std::string& name) { return Term::Variable(name); }
+Term C(const std::string& name) { return Term::Constant(name); }
+
+}  // namespace
+
+Omq MakeStickyWitnessFamily(int n) {
+  // Positions: b1..b_{n-2} data bits, then the (z, o) pair. All tgds are
+  // lossless (every body variable reaches the head), hence sticky.
+  n = std::max(n, 3);
+  TgdSet tgds;
+  auto p = [&](int i) { return StrCat("P", i); };
+  Term z = V("Z"), o = V("O");
+
+  // S(x1..x_{n-2}, z, o) → P0(x1..x_{n-2}, z, o).
+  {
+    std::vector<Term> args;
+    for (int j = 1; j <= n - 2; ++j) args.push_back(V(StrCat("X", j)));
+    args.push_back(z);
+    args.push_back(o);
+    tgds.tgds.emplace_back(std::vector<Atom>{Atom::Make("S", args)},
+                           std::vector<Atom>{Atom::Make(p(0), args)});
+  }
+  // P_{i-1}(z, x_{i+1}.., z, o), P_{i-1}(o, x_{i+1}.., z, o)
+  //   → P_i(x_{i+1}.., z, o), for 1 <= i <= n-2.
+  for (int i = 1; i <= n - 2; ++i) {
+    std::vector<Term> suffix;
+    for (int j = i + 1; j <= n - 2; ++j) suffix.push_back(V(StrCat("X", j)));
+    suffix.push_back(z);
+    suffix.push_back(o);
+    std::vector<Term> with_z{z}, with_o{o};
+    with_z.insert(with_z.end(), suffix.begin(), suffix.end());
+    with_o.insert(with_o.end(), suffix.begin(), suffix.end());
+    tgds.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make(p(i - 1), with_z),
+                          Atom::Make(p(i - 1), with_o)},
+        std::vector<Atom>{Atom::Make(p(i), suffix)});
+  }
+  // P_{n-2}(z, o) → Ans(z, o).
+  tgds.tgds.emplace_back(
+      std::vector<Atom>{Atom::Make(p(n - 2), {z, o})},
+      std::vector<Atom>{Atom::Make("Ans", {z, o})});
+
+  // q := Ans(0, 1): Boolean, with constants.
+  ConjunctiveQuery query({}, {Atom::Make("Ans", {C("0"), C("1")})});
+  Schema data_schema;
+  data_schema.Add(Predicate::Get("S", n));
+  return Omq{std::move(data_schema), std::move(tgds), std::move(query)};
+}
+
+Result<Omq> FullToSticky(const Omq& omq) {
+  if (!IsFull(omq.tgds)) {
+    return Status::InvalidArgument(
+        "Prop. 35 transform expects a full (existential-free) ontology");
+  }
+  size_t n = 1;
+  for (const Tgd& tgd : omq.tgds.tgds) {
+    n = std::max(n, tgd.BodyVariables().size());
+  }
+  const Term zero = C("0"), one = C("1");
+  const std::string kAnn = "@01";
+  auto annotated = [&](const Atom& a, const std::vector<Term>& pad) {
+    std::vector<Term> args = a.args;
+    args.insert(args.end(), pad.begin(), pad.end());
+    return Atom::Make(a.predicate.name() + kAnn, std::move(args));
+  };
+  const std::vector<Term> zeros(n, zero);
+
+  TgdSet out;
+  // Bit facts.
+  out.tgds.emplace_back(std::vector<Atom>{},
+                        std::vector<Atom>{Atom::Make("Bit", {zero})});
+  out.tgds.emplace_back(std::vector<Atom>{},
+                        std::vector<Atom>{Atom::Make("Bit", {one})});
+  // Initialization: data atoms over bits get the all-zero annotation.
+  for (const Predicate& r : omq.data_schema.predicates()) {
+    std::vector<Term> vars;
+    std::vector<Atom> body;
+    for (int i = 0; i < r.arity(); ++i) {
+      vars.push_back(V(StrCat("U", i)));
+      body.push_back(Atom::Make("Bit", {vars.back()}));
+    }
+    Atom data(r, vars);
+    body.insert(body.begin(), data);
+    out.tgds.emplace_back(std::move(body),
+                          std::vector<Atom>{annotated(data, zeros)});
+  }
+  // Lossless versions of the original tgds.
+  for (const Tgd& tgd : omq.tgds.tgds) {
+    std::vector<Term> body_vars = tgd.BodyVariables();
+    std::vector<Term> pad;
+    for (size_t i = 0; i < n; ++i) {
+      pad.push_back(i < body_vars.size() ? body_vars[i]
+                                         : body_vars.empty()
+                                               ? zero
+                                               : body_vars.front());
+    }
+    std::vector<Atom> body, head;
+    for (const Atom& a : tgd.body) body.push_back(annotated(a, zeros));
+    for (const Atom& a : tgd.head) head.push_back(annotated(a, pad));
+    out.tgds.emplace_back(std::move(body), std::move(head));
+  }
+  // Finalization: flip any annotation bit 1 -> 0.
+  Schema annotated_preds;
+  Schema full_schema = FullSchemaOf(omq.tgds, omq.query);
+  for (const Predicate& p : full_schema.predicates()) {
+    annotated_preds.Add(
+        Predicate::Get(p.name() + kAnn, p.arity() + static_cast<int>(n)));
+  }
+  for (const Predicate& p : omq.data_schema.predicates()) {
+    annotated_preds.Add(
+        Predicate::Get(p.name() + kAnn, p.arity() + static_cast<int>(n)));
+  }
+  for (const Predicate& p : annotated_preds.predicates()) {
+    int base = p.arity() - static_cast<int>(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Term> body_args, head_args;
+      for (int j = 0; j < base; ++j) {
+        body_args.push_back(V(StrCat("X", j)));
+      }
+      std::vector<Term> ys;
+      for (size_t j = 0; j < n; ++j) ys.push_back(V(StrCat("Y", j)));
+      head_args = body_args;
+      for (size_t j = 0; j < n; ++j) {
+        body_args.push_back(j == i ? one : ys[j]);
+        head_args.push_back(j == i ? zero : ys[j]);
+      }
+      out.tgds.emplace_back(std::vector<Atom>{Atom(p, body_args)},
+                            std::vector<Atom>{Atom(p, head_args)});
+    }
+  }
+  // Annotated query.
+  ConjunctiveQuery query;
+  query.answer_vars = omq.query.answer_vars;
+  for (const Atom& a : omq.query.body) {
+    query.body.push_back(annotated(a, zeros));
+  }
+  return Omq{omq.data_schema, std::move(out), std::move(query)};
+}
+
+TgdSet MakeEliChainOntology(int k) {
+  TgdSet tgds;
+  Term x = V("X"), y = V("Y");
+  for (int i = 0; i < k; ++i) {
+    int next = (i + 1) % k;  // cyclic: genuinely recursive guarded set
+    // A_i ⊑ ∃r_i.A_next, as two guarded (indeed linear) tgds.
+    tgds.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make(StrCat("A", i), {x})},
+        std::vector<Atom>{Atom::Make(StrCat("r", i), {x, y}),
+                          Atom::Make(StrCat("A", next), {y})});
+    // ∃r_i.A_next ⊑ B_i (guarded by r_i).
+    tgds.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make(StrCat("r", i), {x, y}),
+                          Atom::Make(StrCat("A", next), {y})},
+        std::vector<Atom>{Atom::Make(StrCat("B", i), {x})});
+  }
+  return tgds;
+}
+
+Omq MakeRandomOmq(const RandomOmqConfig& config) {
+  std::mt19937 rng(config.seed);
+  auto pick = [&rng](int bound) {
+    return static_cast<int>(rng() % static_cast<uint32_t>(std::max(bound, 1)));
+  };
+  // Predicates D0.. (data) with random arities in [1, max_arity].
+  std::vector<Predicate> preds;
+  for (int i = 0; i < config.num_predicates; ++i) {
+    preds.push_back(Predicate::Get(StrCat("D", i, "_s", config.seed),
+                                   1 + pick(config.max_arity)));
+  }
+  auto random_var = [&]() { return V(StrCat("V", pick(config.num_variables))); };
+  auto random_atom = [&](const std::vector<Predicate>& pool) {
+    const Predicate& p = pool[static_cast<size_t>(pick(
+        static_cast<int>(pool.size())))];
+    std::vector<Term> args;
+    for (int i = 0; i < p.arity(); ++i) args.push_back(random_var());
+    return Atom(p, std::move(args));
+  };
+
+  TgdSet tgds;
+  for (int i = 0; i < config.num_tgds; ++i) {
+    switch (config.target) {
+      case TgdClass::kLinear: {
+        Atom body = random_atom(preds);
+        std::vector<Term> body_vars = body.Variables();
+        std::vector<Term> head_args = body_vars;
+        head_args.push_back(V(StrCat("E", i)));  // one existential
+        Atom head = Atom::Make(
+            StrCat("L", pick(config.num_predicates), "_s", config.seed),
+            head_args);
+        tgds.tgds.emplace_back(std::vector<Atom>{body},
+                               std::vector<Atom>{head});
+        break;
+      }
+      case TgdClass::kNonRecursive: {
+        // Strictly layered: body uses layer i predicates, head layer i+1.
+        Atom body = random_atom(preds);
+        Atom body2 = random_atom(preds);
+        std::vector<Atom> body_atoms{body, body2};
+        std::vector<Term> vars;
+        for (const Atom& a : body_atoms) {
+          for (const Term& t : a.args) {
+            if (std::find(vars.begin(), vars.end(), t) == vars.end()) {
+              vars.push_back(t);
+            }
+          }
+        }
+        Atom head = Atom::Make(StrCat("N", i, "_s", config.seed), vars);
+        tgds.tgds.emplace_back(std::move(body_atoms),
+                               std::vector<Atom>{head});
+        break;
+      }
+      case TgdClass::kSticky: {
+        // Lossless: the head keeps every body variable.
+        Atom body = random_atom(preds);
+        Atom body2 = random_atom(preds);
+        std::vector<Term> vars;
+        for (const Atom* a : {&body, &body2}) {
+          for (const Term& t : a->args) {
+            if (std::find(vars.begin(), vars.end(), t) == vars.end()) {
+              vars.push_back(t);
+            }
+          }
+        }
+        Atom head = Atom::Make(StrCat("K", i % 2, "_a", vars.size(), "_s",
+                                      config.seed),
+                               vars);
+        tgds.tgds.emplace_back(std::vector<Atom>{body, body2},
+                               std::vector<Atom>{head});
+        break;
+      }
+      case TgdClass::kGuarded: {
+        // Guard atom over k variables plus side atoms over its variables.
+        std::vector<Term> gvars;
+        for (int j = 0; j < std::max(config.max_arity, 2); ++j) {
+          gvars.push_back(V(StrCat("V", j)));
+        }
+        Atom guard = Atom::Make(StrCat("G", pick(2), "_a", gvars.size(),
+                                       "_s", config.seed),
+                                gvars);
+        Atom side(preds.front(),
+                  std::vector<Term>(gvars.begin(),
+                                    gvars.begin() + preds.front().arity()));
+        std::vector<Term> head_args{gvars.front(), V(StrCat("E", i))};
+        Atom head = Atom::Make(StrCat("G", pick(2), "_a2_s", config.seed),
+                               head_args);
+        tgds.tgds.emplace_back(std::vector<Atom>{guard, side},
+                               std::vector<Atom>{head});
+        break;
+      }
+      default: {  // kFull and everything else: existential-free rules
+        Atom body = random_atom(preds);
+        Atom head(preds[static_cast<size_t>(pick(config.num_predicates))],
+                  {});
+        std::vector<Term> head_args;
+        std::vector<Term> body_vars = body.Variables();
+        for (int j = 0; j < head.predicate.arity(); ++j) {
+          head_args.push_back(
+              body_vars.empty()
+                  ? C("c")
+                  : body_vars[static_cast<size_t>(pick(
+                        static_cast<int>(body_vars.size())))]);
+        }
+        head.args = std::move(head_args);
+        tgds.tgds.emplace_back(std::vector<Atom>{body},
+                               std::vector<Atom>{head});
+        break;
+      }
+    }
+  }
+  // Query: a few atoms over the data predicates, one answer variable if
+  // possible.
+  ConjunctiveQuery query;
+  for (int i = 0; i < config.query_atoms; ++i) {
+    query.body.push_back(random_atom(preds));
+  }
+  std::vector<Term> vars = query.Variables();
+  if (!vars.empty()) query.answer_vars.push_back(vars.front());
+
+  Schema data_schema;
+  for (const Predicate& p : preds) data_schema.Add(p);
+  return Omq{std::move(data_schema), std::move(tgds), std::move(query)};
+}
+
+Database MakeChainDatabase(int length) {
+  Database db;
+  auto c = [](int i) { return C(StrCat("c", i)); };
+  db.Add(Atom::Make("A", {c(0)}));
+  for (int i = 0; i < length; ++i) {
+    db.Add(Atom::Make("R", {c(i), c(i + 1)}));
+  }
+  db.Add(Atom::Make("B", {c(length)}));
+  return db;
+}
+
+}  // namespace omqc

@@ -1,0 +1,64 @@
+// The explicit query families from the paper's appendix:
+//
+//   * Prop. 18 — the sticky family {Q^n} whose non-containment witnesses
+//     have at least 2^(n-2) facts;
+//   * Prop. 35 — the full→sticky lossless-tgd transform for 0-1 queries;
+//   * random per-class OMQ generators and ELI-style guarded ontologies
+//     used by tests and benches.
+
+#ifndef OMQC_GENERATORS_FAMILIES_H_
+#define OMQC_GENERATORS_FAMILIES_H_
+
+#include <cstdint>
+#include <random>
+
+#include "core/omq.h"
+
+namespace omqc {
+
+/// Prop. 18: Q^n = ({S/n}, Σ^n, Ans(0,1)) with
+///   S(x1..xn) → Pn(x1..xn, z, o)           [materialized as P_n(x̄,z,o)]
+///   Pi(x̄, z, x̄', z, o), Pi(x̄, o, x̄', z, o) → P_{i-1}(...)   1 ≤ i ≤ n
+///   P0(z,...,z, z, o) → Ans(z, o)
+/// Σ^n is sticky, ||Σ^n|| = O(n²), and every database D with Q^n(D) ≠ ∅
+/// contains all 2^(n-2) facts S(c1..c_{n-2}, 0, 1) with c̄ ∈ {0,1}^{n-2}.
+Omq MakeStickyWitnessFamily(int n);
+
+/// Prop. 35: transforms a 0-1 query (S, Σ, q) with Σ full into an
+/// equivalent 0-1 query whose tgds are lossless (hence sticky). `n` in the
+/// construction (the annotation width) is the maximum number of body
+/// variables in Σ. 0-1 queries are queries invariant under restriction to
+/// the {0,1} active domain; the caller is responsible for that property.
+Result<Omq> FullToSticky(const Omq& omq);
+
+/// An ELI-style guarded ontology over unary/binary predicates: concepts
+/// A0..A_{k-1}, roles r0..r_{k-1}, with axioms of the shapes
+/// A_i ⊑ ∃r_i.A_{i+1} (A_i(x) → ∃y r_i(x,y) ∧ A_{i+1}(y), split into
+/// guarded tgds) and ∃r_i.A_{i+1} ⊑ B_i. Used by the guarded containment
+/// tests and the Table 1 guarded bench.
+TgdSet MakeEliChainOntology(int k);
+
+/// Configuration for the random OMQ generator.
+struct RandomOmqConfig {
+  TgdClass target = TgdClass::kLinear;
+  int num_predicates = 4;
+  int max_arity = 2;
+  int num_tgds = 4;
+  int query_atoms = 3;
+  int num_variables = 4;
+  uint32_t seed = 0;
+};
+
+/// Generates a pseudo-random OMQ in the requested class (kLinear,
+/// kNonRecursive, kSticky, kGuarded or kFull). The result is guaranteed to
+/// classify into (at least) the requested class; used by the property test
+/// sweeps and benches.
+Omq MakeRandomOmq(const RandomOmqConfig& config);
+
+/// A chain database R(c0,c1), R(c1,c2), ..., with a start marker A(c0) and
+/// end marker B(c_len); handy for linear/guarded scenarios.
+Database MakeChainDatabase(int length);
+
+}  // namespace omqc
+
+#endif  // OMQC_GENERATORS_FAMILIES_H_

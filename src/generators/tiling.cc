@@ -1,0 +1,486 @@
+#include "generators/tiling.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+Term V(const std::string& name) { return Term::Variable(name); }
+
+Atom NullaryAtom(const std::string& name) { return Atom::Make(name, {}); }
+
+std::string CName(int i, int j) { return StrCat("C_", i, "_", j); }
+
+/// Builds the tiling-recognition rules shared by Q1 and Q2 of Thm. 16
+/// (items 3-9 in the appendix): tiles, compatibility relations, the
+/// Figure 2 inductive 2^i × 2^i construction, top-row extraction and the
+/// Tiling trigger.
+void AppendTilingRules(int k, int n, int m,
+                       const std::set<std::pair<int, int>>& horizontal,
+                       const std::set<std::pair<int, int>>& vertical,
+                       TgdSet& tgds) {
+  // Generate the tiles: → ∃x1..xm Tile_1(x1), ..., Tile_m(xm).
+  {
+    std::vector<Atom> head;
+    for (int j = 1; j <= m; ++j) {
+      head.push_back(Atom::Make(StrCat("Tile", j), {V(StrCat("XT", j))}));
+    }
+    tgds.tgds.emplace_back(std::vector<Atom>{}, std::move(head));
+  }
+  // Compatibility relations.
+  for (const auto& [i, j] : horizontal) {
+    tgds.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make(StrCat("Tile", i), {V("X")}),
+                          Atom::Make(StrCat("Tile", j), {V("Y")})},
+        std::vector<Atom>{Atom::Make("H", {V("X"), V("Y")})});
+  }
+  for (const auto& [i, j] : vertical) {
+    tgds.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make(StrCat("Tile", i), {V("X")}),
+                          Atom::Make(StrCat("Tile", j), {V("Y")})},
+        std::vector<Atom>{Atom::Make("V", {V("X"), V("Y")})});
+  }
+  // Base case: 2x2 tilings.
+  tgds.tgds.emplace_back(
+      std::vector<Atom>{Atom::Make("H", {V("X1"), V("X2")}),
+                        Atom::Make("H", {V("X3"), V("X4")}),
+                        Atom::Make("V", {V("X1"), V("X3")}),
+                        Atom::Make("V", {V("X2"), V("X4")})},
+      std::vector<Atom>{Atom::Make(
+          "T1", {V("X"), V("X1"), V("X2"), V("X3"), V("X4")})});
+  // Induction: nine overlapping 2^{i-1} subgrids make a 2^i grid (Fig. 2).
+  for (int i = 2; i <= n; ++i) {
+    auto t = [&](int s, int a, int b, int c, int d) {
+      return Atom::Make(StrCat("T", i - 1),
+                        {V(StrCat("X", s)), V(StrCat("X", a)),
+                         V(StrCat("X", b)), V(StrCat("X", c)),
+                         V(StrCat("X", d))});
+    };
+    std::vector<Atom> body{
+        t(1, 11, 12, 21, 22), t(2, 12, 13, 22, 23), t(3, 13, 14, 23, 24),
+        t(4, 21, 22, 31, 32), t(5, 22, 23, 32, 33), t(6, 23, 24, 33, 34),
+        t(7, 31, 32, 41, 42), t(8, 32, 33, 42, 43), t(9, 33, 34, 43, 44)};
+    tgds.tgds.emplace_back(
+        std::move(body),
+        std::vector<Atom>{Atom::Make(
+            StrCat("T", i),
+            {V("X"), V("X1"), V("X3"), V("X7"), V("X9")})});
+  }
+  // Top-row extraction. Top_i^j is defined for j < min(k, 2^i).
+  auto top = [](int level, int j, const Term& grid, const Term& tile) {
+    return Atom::Make(StrCat("Top_", level, "_", j), {grid, tile});
+  };
+  {
+    std::vector<Atom> head{top(1, 0, V("X"), V("X1"))};
+    if (k >= 2) head.push_back(top(1, 1, V("X"), V("X2")));
+    tgds.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make(
+            "T1", {V("X"), V("X1"), V("X2"), V("X3"), V("X4")})},
+        std::move(head));
+  }
+  for (int i = 2; i <= n; ++i) {
+    int64_t half = int64_t{1} << (i - 1);
+    int64_t defined = std::min<int64_t>(k, int64_t{1} << i);
+    std::vector<Atom> body{Atom::Make(
+        "T" + StrCat(i), {V("X"), V("X1"), V("X2"), V("X3"), V("X4")})};
+    std::vector<Atom> head;
+    for (int64_t j = 0; j < defined; ++j) {
+      Term y = V(StrCat("Y", j));
+      if (j < half) {
+        body.push_back(top(i - 1, static_cast<int>(j), V("X1"), y));
+      } else {
+        body.push_back(top(i - 1, static_cast<int>(j - half), V("X2"), y));
+      }
+      head.push_back(top(i, static_cast<int>(j), V("X"), y));
+    }
+    tgds.tgds.emplace_back(std::move(body), std::move(head));
+  }
+  // Initial tiles from the C_i^j markers.
+  for (int i = 0; i < k; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      tgds.tgds.emplace_back(
+          std::vector<Atom>{NullaryAtom(CName(i, j)),
+                            Atom::Make(StrCat("Tile", j), {V("X")})},
+          std::vector<Atom>{Atom::Make(StrCat("Initial", i), {V("X")})});
+    }
+  }
+  // Tiling: the top row of a 2^n tiling matches the initial sequence.
+  {
+    std::vector<Atom> body;
+    for (int i = 0; i < k; ++i) {
+      Term y = V(StrCat("Y", i));
+      body.push_back(top(n, i, V("X"), y));
+      body.push_back(Atom::Make(StrCat("Initial", i), {y}));
+    }
+    tgds.tgds.emplace_back(std::move(body),
+                           std::vector<Atom>{NullaryAtom("Tiling")});
+  }
+}
+
+}  // namespace
+
+Result<EtpEncoding> EncodeExtendedTiling(const ExtendedTilingInstance& etp) {
+  if (etp.k < 1 || etp.n < 1 || etp.m < 1) {
+    return Status::InvalidArgument("k, n, m must be positive");
+  }
+  if (int64_t{etp.k} > (int64_t{1} << etp.n)) {
+    return Status::InvalidArgument(
+        "the initial condition must fit in the first row (k <= 2^n)");
+  }
+  Schema data_schema;
+  for (int i = 0; i < etp.k; ++i) {
+    for (int j = 1; j <= etp.m; ++j) {
+      data_schema.Add(Predicate::Get(CName(i, j), 0));
+    }
+  }
+
+  // Q1: existence of the markers plus solvability of (n,m,H1,V1,s).
+  TgdSet sigma1;
+  for (int i = 0; i < etp.k; ++i) {
+    for (int j = 1; j <= etp.m; ++j) {
+      sigma1.tgds.emplace_back(
+          std::vector<Atom>{NullaryAtom(CName(i, j))},
+          std::vector<Atom>{NullaryAtom(StrCat("Cex", i))});
+    }
+  }
+  {
+    std::vector<Atom> body;
+    for (int i = 0; i < etp.k; ++i) body.push_back(NullaryAtom(StrCat("Cex", i)));
+    sigma1.tgds.emplace_back(std::move(body),
+                             std::vector<Atom>{NullaryAtom("Existence")});
+  }
+  AppendTilingRules(etp.k, etp.n, etp.m, etp.h1, etp.v1, sigma1);
+  sigma1.tgds.emplace_back(
+      std::vector<Atom>{NullaryAtom("Existence"), NullaryAtom("Tiling")},
+      std::vector<Atom>{NullaryAtom("Goal")});
+
+  // Q2: uniqueness violation or solvability of (n,m,H2,V2,s).
+  TgdSet sigma2;
+  for (int i = 0; i < etp.k; ++i) {
+    for (int j = 1; j <= etp.m; ++j) {
+      for (int l = j + 1; l <= etp.m; ++l) {
+        sigma2.tgds.emplace_back(
+            std::vector<Atom>{NullaryAtom(CName(i, j)),
+                              NullaryAtom(CName(i, l))},
+            std::vector<Atom>{NullaryAtom("Goal")});
+      }
+    }
+  }
+  AppendTilingRules(etp.k, etp.n, etp.m, etp.h2, etp.v2, sigma2);
+  sigma2.tgds.emplace_back(std::vector<Atom>{NullaryAtom("Tiling")},
+                           std::vector<Atom>{NullaryAtom("Goal")});
+
+  ConjunctiveQuery goal({}, {NullaryAtom("Goal")});
+  EtpEncoding out;
+  out.q1 = Omq{data_schema, std::move(sigma1), goal};
+  out.q2 = Omq{data_schema, std::move(sigma2), goal};
+  return out;
+}
+
+Result<ExponentialTilingEncoding> EncodeExponentialTiling(
+    const ExponentialTilingInstance& tiling) {
+  const int n = tiling.n, m = tiling.m;
+  if (n < 1 || m < 1) {
+    return Status::InvalidArgument("n, m must be positive");
+  }
+  if (static_cast<int64_t>(tiling.initial_row.size()) > (int64_t{1} << n)) {
+    return Status::InvalidArgument("initial row longer than the grid side");
+  }
+  const Term zero = Term::Constant("0"), one = Term::Constant("1");
+  Schema data_schema;
+  for (int t = 1; t <= m; ++t) {
+    data_schema.Add(Predicate::Get(StrCat("TiledBy", t), 2 * n));
+  }
+  auto tiled_by = [&](int t, const std::vector<Term>& col,
+                      const std::vector<Term>& row) {
+    std::vector<Term> args = col;
+    args.insert(args.end(), row.begin(), row.end());
+    return Atom::Make(StrCat("TiledBy", t), std::move(args));
+  };
+  auto vars = [](const std::string& prefix, int count) {
+    std::vector<Term> out;
+    for (int i = 0; i < count; ++i) out.push_back(V(StrCat(prefix, i)));
+    return out;
+  };
+  auto bits = [](const std::vector<Term>& ts) {
+    std::vector<Atom> out;
+    for (const Term& t : ts) out.push_back(Atom::Make("Bit", {t}));
+    return out;
+  };
+
+  // ---- QT: the candidate-tiling recognizer (full, non-recursive). ----
+  TgdSet sigma;
+  sigma.tgds.emplace_back(std::vector<Atom>{},
+                          std::vector<Atom>{Atom::Make("Bit", {zero})});
+  sigma.tgds.emplace_back(std::vector<Atom>{},
+                          std::vector<Atom>{Atom::Make("Bit", {one})});
+  // Column base: both column-suffix values at the last bit are tiled.
+  for (int j = 1; j <= m; ++j) {
+    for (int k2 = 1; k2 <= m; ++k2) {
+      std::vector<Term> prefix = vars("X", n - 1);
+      std::vector<Term> row = vars("Y", n);
+      std::vector<Term> col_one = prefix, col_zero = prefix;
+      col_one.push_back(one);
+      col_zero.push_back(zero);
+      Term w = V("W");
+      std::vector<Atom> body{tiled_by(j, col_one, row),
+                             tiled_by(k2, col_zero, row)};
+      for (Atom& b : bits(prefix)) body.push_back(b);
+      for (Atom& b : bits(row)) body.push_back(b);
+      body.push_back(Atom::Make("Bit", {w}));
+      std::vector<Term> head_args = prefix;
+      head_args.push_back(w);
+      head_args.insert(head_args.end(), row.begin(), row.end());
+      sigma.tgds.emplace_back(
+          std::move(body),
+          std::vector<Atom>{
+              Atom::Make(StrCat("TiledAboveCol", n), head_args)});
+    }
+  }
+  // Column induction.
+  for (int i = n; i >= 2; --i) {
+    std::vector<Term> prefix = vars("X", i - 1);
+    std::vector<Term> suffix1 = vars("S", n - i);
+    std::vector<Term> suffix2 = vars("T", n - i);
+    std::vector<Term> row = vars("Y", n);
+    std::vector<Term> fresh = vars("W", n - i + 1);
+    auto col_args = [&](const Term& bit, const std::vector<Term>& suffix) {
+      std::vector<Term> out = prefix;
+      out.push_back(bit);
+      out.insert(out.end(), suffix.begin(), suffix.end());
+      out.insert(out.end(), row.begin(), row.end());
+      return out;
+    };
+    std::vector<Atom> body{
+        Atom::Make(StrCat("TiledAboveCol", i), col_args(one, suffix1)),
+        Atom::Make(StrCat("TiledAboveCol", i), col_args(zero, suffix2))};
+    for (Atom& b : bits(fresh)) body.push_back(b);
+    std::vector<Term> head_args = prefix;
+    head_args.insert(head_args.end(), fresh.begin(), fresh.end());
+    head_args.insert(head_args.end(), row.begin(), row.end());
+    sigma.tgds.emplace_back(
+        std::move(body),
+        std::vector<Atom>{
+            Atom::Make(StrCat("TiledAboveCol", i - 1), head_args)});
+  }
+  // A fully tiled row.
+  {
+    std::vector<Term> col = vars("X", n);
+    std::vector<Term> row = vars("Y", n);
+    std::vector<Term> args = col;
+    args.insert(args.end(), row.begin(), row.end());
+    sigma.tgds.emplace_back(
+        std::vector<Atom>{Atom::Make("TiledAboveCol1", args)},
+        std::vector<Atom>{Atom::Make("RowTiled", row)});
+  }
+  // Row base and induction.
+  {
+    std::vector<Term> prefix = vars("Y", n - 1);
+    std::vector<Term> row_one = prefix, row_zero = prefix;
+    row_one.push_back(one);
+    row_zero.push_back(zero);
+    Term w = V("W");
+    std::vector<Atom> body{Atom::Make("RowTiled", row_one),
+                           Atom::Make("RowTiled", row_zero),
+                           Atom::Make("Bit", {w})};
+    std::vector<Term> head_args = prefix;
+    head_args.push_back(w);
+    sigma.tgds.emplace_back(
+        std::move(body),
+        std::vector<Atom>{Atom::Make(StrCat("TiledAboveRow", n), head_args)});
+  }
+  for (int i = n; i >= 2; --i) {
+    std::vector<Term> prefix = vars("Y", i - 1);
+    std::vector<Term> suffix1 = vars("S", n - i);
+    std::vector<Term> suffix2 = vars("T", n - i);
+    std::vector<Term> fresh = vars("W", n - i + 1);
+    auto row_args = [&](const Term& bit, const std::vector<Term>& suffix) {
+      std::vector<Term> out = prefix;
+      out.push_back(bit);
+      out.insert(out.end(), suffix.begin(), suffix.end());
+      return out;
+    };
+    std::vector<Atom> body{
+        Atom::Make(StrCat("TiledAboveRow", i), row_args(one, suffix1)),
+        Atom::Make(StrCat("TiledAboveRow", i), row_args(zero, suffix2))};
+    for (Atom& b : bits(fresh)) body.push_back(b);
+    std::vector<Term> head_args = prefix;
+    head_args.insert(head_args.end(), fresh.begin(), fresh.end());
+    sigma.tgds.emplace_back(
+        std::move(body),
+        std::vector<Atom>{
+            Atom::Make(StrCat("TiledAboveRow", i - 1), head_args)});
+  }
+  sigma.tgds.emplace_back(
+      std::vector<Atom>{Atom::Make("TiledAboveRow1", vars("Y", n))},
+      std::vector<Atom>{NullaryAtom("AllTiled")});
+  sigma.tgds.emplace_back(std::vector<Atom>{NullaryAtom("AllTiled")},
+                          std::vector<Atom>{NullaryAtom("GoalT")});
+
+  // ---- Q'T: the violation detector (linear tgds + UCQ). ----
+  TgdSet sigma_prime;
+  sigma_prime.tgds.emplace_back(std::vector<Atom>{},
+                                std::vector<Atom>{Atom::Make("Bit", {zero})});
+  sigma_prime.tgds.emplace_back(std::vector<Atom>{},
+                                std::vector<Atom>{Atom::Make("Bit", {one})});
+  sigma_prime.tgds.emplace_back(
+      std::vector<Atom>{},
+      std::vector<Atom>{Atom::Make("Succ1", {zero, one})});
+  sigma_prime.tgds.emplace_back(
+      std::vector<Atom>{},
+      std::vector<Atom>{Atom::Make("LastFirst1", {one, zero})});
+  for (int i = 1; i <= n - 1; ++i) {
+    std::vector<Term> x = vars("X", i), y = vars("Y", i);
+    std::vector<Term> xy = x;
+    xy.insert(xy.end(), y.begin(), y.end());
+    auto extended = [&](const Term& a, const Term& b) {
+      std::vector<Term> out{a};
+      out.insert(out.end(), x.begin(), x.end());
+      out.push_back(b);
+      out.insert(out.end(), y.begin(), y.end());
+      return out;
+    };
+    Atom succ = Atom::Make(StrCat("Succ", i), xy);
+    Atom last = Atom::Make(StrCat("LastFirst", i), xy);
+    sigma_prime.tgds.emplace_back(
+        std::vector<Atom>{succ},
+        std::vector<Atom>{
+            Atom::Make(StrCat("Succ", i + 1), extended(zero, zero))});
+    sigma_prime.tgds.emplace_back(
+        std::vector<Atom>{succ},
+        std::vector<Atom>{
+            Atom::Make(StrCat("Succ", i + 1), extended(one, one))});
+    sigma_prime.tgds.emplace_back(
+        std::vector<Atom>{last},
+        std::vector<Atom>{
+            Atom::Make(StrCat("Succ", i + 1), extended(zero, one))});
+    sigma_prime.tgds.emplace_back(
+        std::vector<Atom>{last},
+        std::vector<Atom>{
+            Atom::Make(StrCat("LastFirst", i + 1), extended(one, zero))});
+  }
+
+  UnionOfCQs violations;
+  // Tile consistency: a cell with two distinct tiles.
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      if (i == j) continue;
+      std::vector<Term> col = vars("X", n), row = vars("Y", n);
+      std::vector<Atom> body{tiled_by(i, col, row), tiled_by(j, col, row)};
+      for (Atom& b : bits(col)) body.push_back(b);
+      for (Atom& b : bits(row)) body.push_back(b);
+      violations.disjuncts.emplace_back(std::vector<Term>{}, std::move(body));
+    }
+  }
+  // Vertical incompatibility: rows x̄ -> ȳ successive in column w̄.
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      if (tiling.vertical.count({i, j}) > 0) continue;
+      std::vector<Term> x = vars("X", n), y = vars("Y", n), w = vars("W", n);
+      std::vector<Term> xy = x;
+      xy.insert(xy.end(), y.begin(), y.end());
+      std::vector<Atom> body{Atom::Make(StrCat("Succ", n), xy),
+                             tiled_by(i, w, x), tiled_by(j, w, y)};
+      for (Atom& b : bits(w)) body.push_back(b);
+      violations.disjuncts.emplace_back(std::vector<Term>{}, std::move(body));
+    }
+  }
+  // Horizontal incompatibility: columns x̄ -> ȳ successive in row w̄.
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      if (tiling.horizontal.count({i, j}) > 0) continue;
+      std::vector<Term> x = vars("X", n), y = vars("Y", n), w = vars("W", n);
+      std::vector<Term> xy = x;
+      xy.insert(xy.end(), y.begin(), y.end());
+      std::vector<Atom> body{Atom::Make(StrCat("Succ", n), xy),
+                             tiled_by(i, x, w), tiled_by(j, y, w)};
+      for (Atom& b : bits(w)) body.push_back(b);
+      violations.disjuncts.emplace_back(std::vector<Term>{}, std::move(body));
+    }
+  }
+  // First-row constraint violations.
+  for (size_t j = 0; j < tiling.initial_row.size(); ++j) {
+    for (int k2 = 1; k2 <= m; ++k2) {
+      if (k2 == tiling.initial_row[j]) continue;
+      Term z = V("Z"), o = V("O");
+      std::vector<Term> col;
+      for (int b = n - 1; b >= 0; --b) {
+        col.push_back(((j >> b) & 1) != 0 ? o : z);
+      }
+      std::vector<Term> row(static_cast<size_t>(n), z);
+      std::vector<Atom> body{tiled_by(k2, col, row),
+                             Atom::Make("Succ1", {z, o})};
+      violations.disjuncts.emplace_back(std::vector<Term>{}, std::move(body));
+    }
+  }
+
+  ExponentialTilingEncoding out;
+  out.qt = Omq{data_schema, std::move(sigma),
+               ConjunctiveQuery({}, {NullaryAtom("GoalT")})};
+  out.qt_prime.data_schema = data_schema;
+  out.qt_prime.tgds = std::move(sigma_prime);
+  out.qt_prime.query = std::move(violations);
+  return out;
+}
+
+namespace {
+
+bool SolveTiling(const ExponentialTilingInstance& tiling,
+                 const std::vector<int>& initial) {
+  const int side = 1 << tiling.n;
+  std::vector<int> grid(static_cast<size_t>(side) * side, 0);  // 0 = unset
+  // Cells in row-major order from the top row (row 0).
+  std::function<bool(int)> place = [&](int cell) -> bool {
+    if (cell == side * side) return true;
+    int col = cell % side, row = cell / side;
+    for (int t = 1; t <= tiling.m; ++t) {
+      if (row == 0 && col < static_cast<int>(initial.size()) &&
+          initial[static_cast<size_t>(col)] != t) {
+        continue;
+      }
+      if (col > 0) {
+        int left = grid[static_cast<size_t>(cell - 1)];
+        if (tiling.horizontal.count({left, t}) == 0) continue;
+      }
+      if (row > 0) {
+        int below_row = grid[static_cast<size_t>(cell - side)];
+        if (tiling.vertical.count({below_row, t}) == 0) continue;
+      }
+      grid[static_cast<size_t>(cell)] = t;
+      if (place(cell + 1)) return true;
+      grid[static_cast<size_t>(cell)] = 0;
+    }
+    return false;
+  };
+  return place(0);
+}
+
+}  // namespace
+
+bool SolveTilingBruteForce(const ExponentialTilingInstance& tiling) {
+  return SolveTiling(tiling, tiling.initial_row);
+}
+
+bool SolveEtpBruteForce(const ExtendedTilingInstance& etp) {
+  // All initial conditions s of length k over {1..m}.
+  std::vector<int> s(static_cast<size_t>(etp.k), 1);
+  while (true) {
+    ExponentialTilingInstance t1{etp.n, etp.m, etp.h1, etp.v1, s};
+    ExponentialTilingInstance t2{etp.n, etp.m, etp.h2, etp.v2, s};
+    bool ok = !SolveTilingBruteForce(t1) || SolveTilingBruteForce(t2);
+    if (!ok) return false;
+    // Next s.
+    size_t i = 0;
+    for (; i < s.size(); ++i) {
+      if (++s[i] <= etp.m) break;
+      s[i] = 1;
+    }
+    if (i == s.size()) break;
+  }
+  return true;
+}
+
+}  // namespace omqc

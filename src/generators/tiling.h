@@ -1,0 +1,77 @@
+// Executable versions of the paper's tiling-based lower-bound
+// constructions:
+//
+//   * Thm. 16 — the Extended Tiling Problem (ETP, [34]) encoded into
+//     Cont((NR,CQ)): T = (k,n,m,H1,V1,H2,V2) has a solution iff Q1 ⊆ Q2.
+//     Includes the Figure 2 inductive 2^i × 2^i tiling construction.
+//   * Thm. 34 — the Exponential Tiling Problem encoded into
+//     Cont((FNR,CQ),(L,UCQ)): T = (n,m,H,V,s) has a solution iff
+//     QT ⊄ Q'T.
+//
+// The encodings are faithful to the appendix constructions; a lower bound
+// cannot be "run", but the reductions can — and on small instances they
+// are machine-checkable against a direct tiling solver (also provided).
+
+#ifndef OMQC_GENERATORS_TILING_H_
+#define OMQC_GENERATORS_TILING_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/omq.h"
+
+namespace omqc {
+
+/// An instance of the standard Exponential Tiling Problem for the
+/// 2^n × 2^n grid with tiles {1..m}, horizontal/vertical compatibility
+/// relations and an initial-row constraint s.
+struct ExponentialTilingInstance {
+  int n = 1;
+  int m = 2;
+  std::set<std::pair<int, int>> horizontal;
+  std::set<std::pair<int, int>> vertical;
+  std::vector<int> initial_row;
+};
+
+/// An instance of the Extended Tiling Problem (ETP, [34]):
+/// is it true that for EVERY initial condition s of length k, T1 has no
+/// solution with s or T2 has a solution with s?
+struct ExtendedTilingInstance {
+  int k = 1;
+  int n = 1;
+  int m = 2;
+  std::set<std::pair<int, int>> h1, v1;
+  std::set<std::pair<int, int>> h2, v2;
+};
+
+/// Thm. 16: two (NR, CQ) OMQs with Q1 ⊆ Q2 iff the ETP instance has a
+/// solution. The data schema consists of the 0-ary predicates C_i^j.
+struct EtpEncoding {
+  Omq q1;
+  Omq q2;
+};
+Result<EtpEncoding> EncodeExtendedTiling(const ExtendedTilingInstance& etp);
+
+/// Thm. 34: a (FNR, CQ) OMQ QT and a (L, UCQ) OMQ Q'T over the schema
+/// {TiledBy_i / 2n} such that the exponential tiling instance has a
+/// solution iff QT ⊄ Q'T.
+struct ExponentialTilingEncoding {
+  Omq qt;        ///< the candidate-tiling recognizer (full non-recursive)
+  UcqOmq qt_prime;  ///< the violation detector (linear tgds, UCQ)
+};
+Result<ExponentialTilingEncoding> EncodeExponentialTiling(
+    const ExponentialTilingInstance& tiling);
+
+/// Reference solver: brute-force search for a solution of the exponential
+/// tiling instance (grid 2^n × 2^n). Exponential; for cross-checking the
+/// encodings on small instances only.
+bool SolveTilingBruteForce(const ExponentialTilingInstance& tiling);
+
+/// Reference solver for the ETP: for every initial condition s of length
+/// k, T1 = (n,m,h1,v1,s) has no solution or T2 = (n,m,h2,v2,s) has one.
+bool SolveEtpBruteForce(const ExtendedTilingInstance& etp);
+
+}  // namespace omqc
+
+#endif  // OMQC_GENERATORS_TILING_H_

@@ -1,0 +1,127 @@
+// Predicates, atoms and schemas (Sec. 2 of the paper).
+
+#ifndef OMQC_LOGIC_ATOM_H_
+#define OMQC_LOGIC_ATOM_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/hash_util.h"
+#include "logic/term.h"
+
+namespace omqc {
+
+/// An interned relation symbol R/n. 8 bytes, O(1) compare/hash.
+class Predicate {
+ public:
+  Predicate() : id_(-1) {}
+
+  /// Interns (or looks up) the predicate `name` with arity `arity`.
+  /// The same name may be interned at several arities; they are distinct
+  /// predicates (as in standard relational vocabularies).
+  static Predicate Get(const std::string& name, int arity);
+
+  int32_t id() const { return id_; }
+  const std::string& name() const;
+  int arity() const;
+
+  /// "name/arity".
+  std::string ToString() const;
+
+  bool valid() const { return id_ >= 0; }
+  bool operator==(const Predicate& other) const { return id_ == other.id_; }
+  bool operator!=(const Predicate& other) const { return id_ != other.id_; }
+  bool operator<(const Predicate& other) const { return id_ < other.id_; }
+
+ private:
+  explicit Predicate(int32_t id) : id_(id) {}
+  int32_t id_;
+};
+
+/// An atom R(t1,...,tn). Terms may be constants, nulls or variables.
+struct Atom {
+  Predicate predicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(Predicate p, std::vector<Term> a) : predicate(p), args(std::move(a)) {}
+
+  /// Convenience: R(name, args) with arity deduced from args.
+  static Atom Make(const std::string& name, std::vector<Term> args);
+
+  /// True iff every argument is a constant (i.e. this atom is a fact).
+  bool IsFact() const;
+  /// True iff no argument is a null.
+  bool NullFree() const;
+
+  /// All variables occurring in the atom, in order of first occurrence.
+  std::vector<Term> Variables() const;
+
+  /// "R(t1,...,tn)".
+  std::string ToString() const;
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  bool operator<(const Atom& other) const {
+    if (predicate != other.predicate) return predicate < other.predicate;
+    return args < other.args;
+  }
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const {
+    size_t seed = std::hash<int32_t>{}(a.predicate.id());
+    for (const Term& t : a.args) HashCombine(seed, TermHash{}(t));
+    return seed;
+  }
+};
+
+/// A schema: a finite set of predicates. Thin wrapper over std::set to give
+/// schema-level operations names matching the paper (ar(S), membership...).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::set<Predicate> preds) : preds_(std::move(preds)) {}
+
+  void Add(Predicate p) { preds_.insert(p); }
+  bool Contains(Predicate p) const { return preds_.count(p) > 0; }
+  size_t size() const { return preds_.size(); }
+  bool empty() const { return preds_.empty(); }
+
+  const std::set<Predicate>& predicates() const { return preds_; }
+
+  /// ar(S): the maximum arity over all predicates (0 for the empty schema).
+  int MaxArity() const;
+
+  /// Set union with another schema.
+  Schema Union(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::set<Predicate> preds_;
+};
+
+}  // namespace omqc
+
+namespace std {
+template <>
+struct hash<omqc::Predicate> {
+  size_t operator()(const omqc::Predicate& p) const {
+    return std::hash<int32_t>{}(p.id());
+  }
+};
+template <>
+struct hash<omqc::Atom> {
+  size_t operator()(const omqc::Atom& a) const {
+    return omqc::AtomHash{}(a);
+  }
+};
+}  // namespace std
+
+#endif  // OMQC_LOGIC_ATOM_H_

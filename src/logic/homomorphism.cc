@@ -1,0 +1,208 @@
+#include "logic/homomorphism.h"
+
+#include <algorithm>
+#include <set>
+
+namespace omqc {
+namespace {
+
+/// Counts how many arguments of `atom` are bound under `sub` (constants and
+/// nulls count as bound).
+int BoundArgs(const Atom& atom, const Substitution& sub) {
+  int bound = 0;
+  for (const Term& t : atom.args) {
+    if (!t.IsVariable() || sub.IsBound(t)) ++bound;
+  }
+  return bound;
+}
+
+/// The candidate atoms in `target` that may match `atom` under `sub`:
+/// uses the most selective available index.
+const std::vector<Atom>& Candidates(const Atom& atom, const Substitution& sub,
+                                    const Instance& target) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& t = atom.args[i];
+    Term image = t.IsVariable() ? sub.Apply(t) : t;
+    if (!image.IsVariable()) {
+      return target.AtomsWithArg(atom.predicate, static_cast<int>(i), image);
+    }
+  }
+  return target.AtomsWith(atom.predicate);
+}
+
+struct SearchState {
+  const Instance& target;
+  const std::function<bool(const Substitution&)>& visitor;
+  size_t max_steps;
+  size_t steps = 0;
+  bool stopped = false;  // visitor requested stop or budget exhausted
+};
+
+/// Recursive most-constrained-first backtracking search. `remaining` holds
+/// indices of body atoms not yet matched.
+bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
+            Substitution& sub, SearchState& state) {
+  if (state.max_steps != 0 && ++state.steps > state.max_steps) {
+    state.stopped = true;
+    return false;
+  }
+  if (remaining.empty()) {
+    if (!state.visitor(sub)) state.stopped = true;
+    return true;
+  }
+  // Pick the remaining atom with the most bound arguments.
+  size_t best_pos = 0;
+  int best_bound = -1;
+  for (size_t pos = 0; pos < remaining.size(); ++pos) {
+    int bound = BoundArgs(atoms[remaining[pos]], sub);
+    if (bound > best_bound) {
+      best_bound = bound;
+      best_pos = pos;
+    }
+  }
+  std::swap(remaining[best_pos], remaining.back());
+  size_t atom_index = remaining.back();
+  remaining.pop_back();
+  const Atom& atom = atoms[atom_index];
+
+  bool found = false;
+  for (const Atom& candidate : Candidates(atom, sub, state.target)) {
+    std::vector<Term> newly_bound;
+    bool feasible = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& from = atom.args[i];
+      const Term& to = candidate.args[i];
+      if (!from.IsVariable()) {
+        if (from != to) {
+          feasible = false;
+          break;
+        }
+        continue;
+      }
+      auto existing = sub.Lookup(from);
+      if (existing.has_value()) {
+        if (*existing != to) {
+          feasible = false;
+          break;
+        }
+        continue;
+      }
+      sub.Bind(from, to);
+      newly_bound.push_back(from);
+    }
+    if (feasible) {
+      if (Search(atoms, remaining, sub, state)) found = true;
+    }
+    for (const Term& v : newly_bound) sub.Unbind(v);
+    if (state.stopped) break;
+  }
+
+  remaining.push_back(atom_index);
+  std::swap(remaining[best_pos], remaining.back());
+  return found;
+}
+
+}  // namespace
+
+void ForEachHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor) {
+  Substitution sub = seed;
+  std::vector<size_t> remaining(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
+  SearchState state{target, visitor, /*max_steps=*/0};
+  Search(atoms, remaining, sub, state);
+}
+
+std::optional<Substitution> FindHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution& seed, const HomomorphismOptions& options) {
+  std::optional<Substitution> result;
+  std::function<bool(const Substitution&)> capture =
+      [&result](const Substitution& sub) {
+        result = sub;
+        return false;  // stop after the first hit
+      };
+  Substitution sub = seed;
+  std::vector<size_t> remaining(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
+  SearchState state{target, capture, options.max_steps};
+  Search(atoms, remaining, sub, state);
+  return result;
+}
+
+std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
+                                          const Instance& instance) {
+  std::set<std::vector<Term>> answers;
+  std::function<bool(const Substitution&)> collect =
+      [&](const Substitution& sub) {
+        std::vector<Term> tuple = sub.Apply(q.answer_vars);
+        for (const Term& t : tuple) {
+          if (!t.IsConstant()) return true;  // nulls are not answers
+        }
+        answers.insert(std::move(tuple));
+        return true;
+      };
+  ForEachHomomorphism(q.body, instance, Substitution(), collect);
+  return std::vector<std::vector<Term>>(answers.begin(), answers.end());
+}
+
+std::vector<std::vector<Term>> EvaluateUCQ(const UnionOfCQs& q,
+                                           const Instance& instance) {
+  std::set<std::vector<Term>> answers;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts) {
+    for (std::vector<Term>& tuple : EvaluateCQ(disjunct, instance)) {
+      answers.insert(std::move(tuple));
+    }
+  }
+  return std::vector<std::vector<Term>>(answers.begin(), answers.end());
+}
+
+bool TupleInAnswer(const ConjunctiveQuery& q, const Instance& instance,
+                   const std::vector<Term>& tuple) {
+  if (tuple.size() != q.answer_vars.size()) return false;
+  Substitution seed;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Term& v = q.answer_vars[i];
+    if (!v.IsVariable()) {
+      if (v != tuple[i]) return false;
+      continue;
+    }
+    auto existing = seed.Lookup(v);
+    if (existing.has_value()) {
+      if (*existing != tuple[i]) return false;
+      continue;
+    }
+    seed.Bind(v, tuple[i]);
+  }
+  return FindHomomorphism(q.body, instance, seed).has_value();
+}
+
+bool HoldsIn(const ConjunctiveQuery& q, const Instance& instance) {
+  return FindHomomorphism(q.body, instance).has_value();
+}
+
+bool CQContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  if (q1.answer_vars.size() != q2.answer_vars.size()) return false;
+  FrozenQuery frozen = Freeze(q1);
+  return TupleInAnswer(q2, frozen.database, frozen.answer_tuple);
+}
+
+bool UCQContainedIn(const UnionOfCQs& q1, const UnionOfCQs& q2) {
+  for (const ConjunctiveQuery& disjunct : q1.disjuncts) {
+    FrozenQuery frozen = Freeze(disjunct);
+    bool covered = false;
+    for (const ConjunctiveQuery& target : q2.disjuncts) {
+      if (target.answer_vars.size() == disjunct.answer_vars.size() &&
+          TupleInAnswer(target, frozen.database, frozen.answer_tuple)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace omqc

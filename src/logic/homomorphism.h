@@ -1,0 +1,77 @@
+// Homomorphism search: the CQ evaluation engine (Sec. 2).
+//
+// The evaluator is a backtracking join over the instance's per-predicate and
+// per-(predicate,position,term) indexes, picking at each step the body atom
+// with the most bound arguments (most-constrained-first). This is the
+// workhorse behind chase applicability checks, certain-answer computation,
+// CQ containment and the small-witness containment algorithm.
+
+#ifndef OMQC_LOGIC_HOMOMORPHISM_H_
+#define OMQC_LOGIC_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/substitution.h"
+
+namespace omqc {
+
+/// Options controlling a homomorphism search.
+struct HomomorphismOptions {
+  /// Upper bound on backtracking steps; 0 means unlimited. When exhausted
+  /// the search reports "not found" pessimistically — callers that need
+  /// exactness must leave this at 0 (the default everywhere in the library).
+  size_t max_steps = 0;
+};
+
+/// Finds one homomorphism h from `atoms` into `target` extending `seed`
+/// (h is the identity on constants; nulls in `atoms` are treated as
+/// constants, i.e. they must map to themselves).
+/// Returns nullopt if none exists.
+std::optional<Substitution> FindHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution& seed = Substitution(),
+    const HomomorphismOptions& options = HomomorphismOptions());
+
+/// Enumerates all homomorphisms from `atoms` into `target` extending `seed`,
+/// invoking `visitor` for each; the visitor returns false to stop early.
+void ForEachHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor);
+
+/// Evaluates q over I: the set of answer tuples h(x̄) for homomorphisms h
+/// from the body into I with h(x̄) consisting of constants only
+/// (paper Sec. 2: the evaluation q(I) collects constant tuples).
+/// For Boolean q the result contains one empty tuple iff I |= q.
+std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
+                                          const Instance& instance);
+
+/// Evaluates a UCQ: union of the disjunct evaluations, deduplicated.
+std::vector<std::vector<Term>> EvaluateUCQ(const UnionOfCQs& q,
+                                           const Instance& instance);
+
+/// True iff tuple ∈ q(I).
+bool TupleInAnswer(const ConjunctiveQuery& q, const Instance& instance,
+                   const std::vector<Term>& tuple);
+
+/// True iff the Boolean reading of q holds in I (∃ homomorphism; answer
+/// variables existentially quantified). Unlike EvaluateCQ this does not
+/// require answer images to be constants.
+bool HoldsIn(const ConjunctiveQuery& q, const Instance& instance);
+
+/// Classical CQ containment q1 ⊆ q2 (no ontology): freeze q1 and test
+/// whether the frozen answer tuple is in q2(D_{q1}) (Chandra–Merlin).
+bool CQContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// UCQ containment: every disjunct of q1 is contained in some... more
+/// precisely, in the union (Sagiv–Yannakakis: q1 ⊆ q2 iff each disjunct of
+/// q1 is contained in some disjunct of q2).
+bool UCQContainedIn(const UnionOfCQs& q1, const UnionOfCQs& q2);
+
+}  // namespace omqc
+
+#endif  // OMQC_LOGIC_HOMOMORPHISM_H_

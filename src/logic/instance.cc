@@ -1,0 +1,155 @@
+#include "logic/instance.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+namespace {
+const std::vector<Atom>& EmptyAtomVector() {
+  static const std::vector<Atom>* empty = new std::vector<Atom>();
+  return *empty;
+}
+}  // namespace
+
+bool Instance::Add(const Atom& atom) {
+  if (!atom_set_.insert(atom).second) return false;
+  atoms_.push_back(atom);
+  by_predicate_[atom.predicate.id()].push_back(atom);
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    by_arg_[ArgKey{atom.predicate.id(), static_cast<int>(i), atom.args[i]}]
+        .push_back(atom);
+  }
+  return true;
+}
+
+void Instance::AddAll(const Instance& other) {
+  for (const Atom& a : other.atoms_) Add(a);
+}
+
+const std::vector<Atom>& Instance::AtomsWith(Predicate p) const {
+  auto it = by_predicate_.find(p.id());
+  return it == by_predicate_.end() ? EmptyAtomVector() : it->second;
+}
+
+const std::vector<Atom>& Instance::AtomsWithArg(Predicate p, int position,
+                                                const Term& t) const {
+  auto it = by_arg_.find(ArgKey{p.id(), position, t});
+  return it == by_arg_.end() ? EmptyAtomVector() : it->second;
+}
+
+std::vector<Term> Instance::ActiveDomain() const {
+  std::set<Term> seen;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) seen.insert(t);
+  }
+  return std::vector<Term>(seen.begin(), seen.end());
+}
+
+std::vector<Term> Instance::ActiveDomainConstants() const {
+  std::set<Term> seen;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.IsConstant()) seen.insert(t);
+    }
+  }
+  return std::vector<Term>(seen.begin(), seen.end());
+}
+
+Schema Instance::InducedSchema() const {
+  Schema schema;
+  for (const auto& [pred_id, atoms] : by_predicate_) {
+    if (!atoms.empty()) schema.Add(atoms.front().predicate);
+  }
+  return schema;
+}
+
+bool Instance::IsDatabase() const {
+  for (const Atom& a : atoms_) {
+    if (!a.IsFact()) return false;
+  }
+  return true;
+}
+
+Instance Instance::InducedBy(const std::set<Term>& terms) const {
+  Instance out;
+  for (const Atom& a : atoms_) {
+    bool inside = true;
+    for (const Term& t : a.args) {
+      if (terms.count(t) == 0) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.Add(a);
+  }
+  return out;
+}
+
+std::vector<Instance> Instance::ConnectedComponents() const {
+  // Union-find over terms; 0-ary atoms are excluded (paper footnote 5).
+  std::map<Term, Term> parent;
+  std::function<Term(Term)> find = [&](Term t) {
+    Term root = t;
+    while (parent.at(root) != root) root = parent.at(root);
+    while (parent.at(t) != root) {
+      Term next = parent.at(t);
+      parent[t] = root;
+      t = next;
+    }
+    return root;
+  };
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) parent.emplace(t, t);
+  }
+  for (const Atom& a : atoms_) {
+    if (a.args.empty()) continue;
+    Term first = find(a.args.front());
+    for (const Term& t : a.args) {
+      parent[find(t)] = first;
+    }
+  }
+  std::map<Term, Instance> components;
+  for (const Atom& a : atoms_) {
+    if (a.args.empty()) continue;
+    components[find(a.args.front())].Add(a);
+  }
+  std::vector<Instance> out;
+  out.reserve(components.size());
+  for (auto& [root, inst] : components) out.push_back(std::move(inst));
+  return out;
+}
+
+Database PrettifiedCopy(const Database& db, const std::string& prefix) {
+  std::map<Term, Term> rename;
+  int counter = 0;
+  Database out;
+  for (const Atom& atom : db.atoms()) {
+    Atom copy = atom;
+    for (Term& t : copy.args) {
+      if (!t.IsConstant() || t.ToString().rfind('@', 0) != 0) continue;
+      auto it = rename.find(t);
+      if (it == rename.end()) {
+        Term fresh = Term::Constant(prefix + std::to_string(counter++));
+        it = rename.emplace(t, fresh).first;
+      }
+      t = it->second;
+    }
+    out.Add(copy);
+  }
+  return out;
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(atoms_.size());
+  std::vector<Atom> sorted = atoms_;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Atom& a : sorted) lines.push_back(a.ToString() + ".");
+  return JoinStrings(lines, "\n");
+}
+
+}  // namespace omqc

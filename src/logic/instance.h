@@ -1,0 +1,114 @@
+// Instances and databases (Sec. 2 of the paper).
+//
+// An Instance is a finite set of atoms over constants and nulls, with
+// per-predicate and per-(predicate,position,term) indexes that back the
+// homomorphism search engine. A database is an instance whose atoms are
+// facts (null-free); `IsDatabase()` checks this.
+
+#ifndef OMQC_LOGIC_INSTANCE_H_
+#define OMQC_LOGIC_INSTANCE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/atom.h"
+
+namespace omqc {
+
+/// A finite set of atoms with lookup indexes. Append-only plus bulk ops;
+/// atom identity is set semantics (duplicates are ignored).
+class Instance {
+ public:
+  Instance() = default;
+  explicit Instance(const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) Add(a);
+  }
+
+  /// Inserts `atom`; returns true iff it was not already present.
+  bool Add(const Atom& atom);
+  /// Inserts all atoms of `other`.
+  void AddAll(const Instance& other);
+
+  bool Contains(const Atom& atom) const { return atom_set_.count(atom) > 0; }
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// All atoms in insertion order.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Atoms with the given predicate (empty vector if none).
+  const std::vector<Atom>& AtomsWith(Predicate p) const;
+
+  /// Atoms with predicate `p` whose argument at `position` equals `t`.
+  /// Backed by an index; O(result size).
+  const std::vector<Atom>& AtomsWithArg(Predicate p, int position,
+                                        const Term& t) const;
+
+  /// The active domain dom(I): all terms occurring in the instance.
+  std::vector<Term> ActiveDomain() const;
+  /// The constants of the active domain.
+  std::vector<Term> ActiveDomainConstants() const;
+
+  /// The set of predicates occurring in the instance.
+  Schema InducedSchema() const;
+
+  /// True iff every atom is a fact (no nulls, no variables).
+  bool IsDatabase() const;
+
+  /// The subinstance induced by the given set of terms: all atoms whose
+  /// arguments are all contained in `terms`.
+  Instance InducedBy(const std::set<Term>& terms) const;
+
+  /// Maximal connected components w.r.t. shared terms (Sec. 7.1).
+  /// 0-ary atoms are excluded, matching the paper's footnote 5.
+  std::vector<Instance> ConnectedComponents() const;
+
+  /// Multi-line listing "R(a,b). S(b)." sorted for stable output.
+  std::string ToString() const;
+
+  bool operator==(const Instance& other) const {
+    if (size() != other.size()) return false;
+    for (const Atom& a : atoms_) {
+      if (!other.Contains(a)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct ArgKey {
+    int32_t pred_id;
+    int position;
+    Term term;
+    bool operator==(const ArgKey& o) const {
+      return pred_id == o.pred_id && position == o.position && term == o.term;
+    }
+  };
+  struct ArgKeyHash {
+    size_t operator()(const ArgKey& k) const {
+      size_t seed = std::hash<int32_t>{}(k.pred_id);
+      HashCombine(seed, static_cast<size_t>(k.position));
+      HashCombine(seed, TermHash{}(k.term));
+      return seed;
+    }
+  };
+
+  std::vector<Atom> atoms_;
+  std::unordered_set<Atom, AtomHash> atom_set_;
+  std::unordered_map<int32_t, std::vector<Atom>> by_predicate_;
+  std::unordered_map<ArgKey, std::vector<Atom>, ArgKeyHash> by_arg_;
+};
+
+/// Alias emphasizing intent at call sites that require null-free instances.
+using Database = Instance;
+
+/// Returns a copy of `db` with every machine-generated constant (names
+/// starting with '@') renamed to `prefix`0, `prefix`1, ... in first-
+/// occurrence order. Used to display frozen witness databases.
+Database PrettifiedCopy(const Database& db, const std::string& prefix = "c");
+
+}  // namespace omqc
+
+#endif  // OMQC_LOGIC_INSTANCE_H_

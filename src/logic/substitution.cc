@@ -1,0 +1,72 @@
+#include "logic/substitution.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+Term Substitution::ApplyTransitively(const Term& t) const {
+  Term current = t;
+  // Bounded walk to guard against accidental cycles in ill-formed inputs.
+  for (size_t steps = 0; steps <= map_.size(); ++steps) {
+    auto it = map_.find(current);
+    if (it == map_.end() || it->second == current) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  Atom out = atom;
+  for (Term& t : out.args) t = Apply(t);
+  return out;
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(Apply(a));
+  return out;
+}
+
+std::vector<Term> Substitution::Apply(const std::vector<Term>& terms) const {
+  std::vector<Term> out;
+  out.reserve(terms.size());
+  for (const Term& t : terms) out.push_back(Apply(t));
+  return out;
+}
+
+Atom Substitution::ApplyTransitively(const Atom& atom) const {
+  Atom out = atom;
+  for (Term& t : out.args) t = ApplyTransitively(t);
+  return out;
+}
+
+std::vector<Atom> Substitution::ApplyTransitively(
+    const std::vector<Atom>& atoms) const {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(ApplyTransitively(a));
+  return out;
+}
+
+std::vector<Term> Substitution::ApplyTransitively(
+    const std::vector<Term>& terms) const {
+  std::vector<Term> out;
+  out.reserve(terms.size());
+  for (const Term& t : terms) out.push_back(ApplyTransitively(t));
+  return out;
+}
+
+std::string Substitution::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(map_.size());
+  for (const auto& [from, to] : map_) {
+    parts.push_back(StrCat(from.ToString(), "->", to.ToString()));
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrCat("{", JoinStrings(parts, ", "), "}");
+}
+
+}  // namespace omqc

@@ -1,0 +1,68 @@
+#include "logic/term.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace omqc {
+namespace {
+
+/// One interning table per term sort that carries a name.
+struct Interner {
+  std::unordered_map<std::string, int32_t> by_name;
+  std::vector<std::string> names;
+
+  int32_t Intern(const std::string& name) {
+    auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    int32_t id = static_cast<int32_t>(names.size());
+    names.push_back(name);
+    by_name.emplace(name, id);
+    return id;
+  }
+};
+
+Interner& ConstantInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+Interner& VariableInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+int32_t& NullCounter() {
+  static int32_t counter = 0;
+  return counter;
+}
+
+}  // namespace
+
+Term Term::Constant(const std::string& name) {
+  return Term(TermKind::kConstant, ConstantInterner().Intern(name));
+}
+
+Term Term::Variable(const std::string& name) {
+  return Term(TermKind::kVariable, VariableInterner().Intern(name));
+}
+
+Term Term::FreshNull() { return Term(TermKind::kNull, NullCounter()++); }
+
+Term Term::NullWithId(int32_t id) { return Term(TermKind::kNull, id); }
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kConstant:
+      if (id_ < 0) return "<invalid>";
+      return ConstantInterner().names[static_cast<size_t>(id_)];
+    case TermKind::kNull:
+      return StrCat("_:n", id_);
+    case TermKind::kVariable:
+      return VariableInterner().names[static_cast<size_t>(id_)];
+  }
+  return "<invalid>";
+}
+
+}  // namespace omqc

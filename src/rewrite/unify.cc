@@ -1,0 +1,64 @@
+#include "rewrite/unify.h"
+
+#include <map>
+
+namespace omqc {
+namespace {
+
+/// Union-find over terms with path compression.
+class TermUnionFind {
+ public:
+  Term Find(const Term& t) {
+    auto it = parent_.find(t);
+    if (it == parent_.end()) {
+      parent_.emplace(t, t);
+      return t;
+    }
+    if (it->second == t) return t;
+    Term root = Find(it->second);
+    parent_[t] = root;
+    return root;
+  }
+
+  /// Merges the classes of a and b; fails (returns false) when this would
+  /// identify two distinct constants.
+  bool Union(const Term& a, const Term& b) {
+    Term ra = Find(a);
+    Term rb = Find(b);
+    if (ra == rb) return true;
+    if (ra.IsConstant() && rb.IsConstant()) return false;
+    // Keep a constant as the root if either side has one.
+    if (rb.IsConstant() || (!ra.IsConstant() && rb < ra)) std::swap(ra, rb);
+    parent_[rb] = ra;
+    return true;
+  }
+
+  const std::map<Term, Term>& parents() const { return parent_; }
+
+ private:
+  std::map<Term, Term> parent_;
+};
+
+}  // namespace
+
+std::optional<Substitution> MostGeneralUnifier(
+    const std::vector<Atom>& atoms) {
+  if (atoms.empty()) return Substitution();
+  const Atom& first = atoms.front();
+  TermUnionFind uf;
+  for (const Atom& a : atoms) {
+    if (a.predicate != first.predicate) return std::nullopt;
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (!uf.Union(first.args[i], a.args[i])) return std::nullopt;
+    }
+  }
+  Substitution mgu;
+  for (const auto& [term, _] : uf.parents()) {
+    if (!term.IsVariable()) continue;
+    Term rep = uf.Find(term);
+    if (rep != term) mgu.Bind(term, rep);
+  }
+  return mgu;
+}
+
+}  // namespace omqc

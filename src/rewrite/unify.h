@@ -1,0 +1,25 @@
+// Most-general unifiers over sets of atoms (appendix, "The Algorithm
+// XRewrite"). A set of atoms unifies if one substitution maps them all to
+// the same atom; the MGU is unique modulo variable renaming.
+
+#ifndef OMQC_REWRITE_UNIFY_H_
+#define OMQC_REWRITE_UNIFY_H_
+
+#include <optional>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/substitution.h"
+
+namespace omqc {
+
+/// Computes a most general unifier for `atoms` (all of the same predicate),
+/// or nullopt if they do not unify. The returned substitution maps each
+/// variable of the atoms to its class representative: the class constant
+/// if one exists, otherwise the least variable of the class. Two distinct
+/// constants in one class make unification fail.
+std::optional<Substitution> MostGeneralUnifier(const std::vector<Atom>& atoms);
+
+}  // namespace omqc
+
+#endif  // OMQC_REWRITE_UNIFY_H_

@@ -1,0 +1,437 @@
+#include "rewrite/xrewrite.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/hash_util.h"
+#include "base/string_util.h"
+#include "logic/homomorphism.h"
+#include "rewrite/unify.h"
+
+namespace omqc {
+namespace {
+
+/// A normalized tgd with its head existential position precomputed.
+struct NormalRule {
+  Tgd tgd;
+  /// Position of the (unique) existential variable in the single head
+  /// atom, or -1 when the tgd has no existential variable (π∃(σ) = ε).
+  int existential_position = -1;
+};
+
+std::vector<NormalRule> PrepareRules(const TgdSet& tgds) {
+  TgdSet normalized = NormalizeHeads(tgds, "@xr");
+  std::vector<NormalRule> rules;
+  rules.reserve(normalized.size());
+  for (Tgd& tgd : normalized.tgds) {
+    NormalRule rule;
+    std::vector<Term> ex = tgd.ExistentialVariables();
+    if (!ex.empty()) {
+      const Atom& head = tgd.head.front();
+      for (size_t i = 0; i < head.args.size(); ++i) {
+        if (head.args[i] == ex.front()) {
+          rule.existential_position = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    rule.tgd = std::move(tgd);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+/// Deduplicates body atoms (set semantics).
+std::vector<Atom> DedupAtoms(const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  std::unordered_set<Atom, AtomHash> seen;
+  for (const Atom& a : atoms) {
+    if (seen.insert(a).second) out.push_back(a);
+  }
+  return out;
+}
+
+/// Cheap structural signature for bucketing ≃-candidates.
+size_t QuerySignature(const ConjunctiveQuery& q) {
+  std::vector<int32_t> preds;
+  preds.reserve(q.body.size());
+  for (const Atom& a : q.body) preds.push_back(a.predicate.id());
+  std::sort(preds.begin(), preds.end());
+  size_t seed = q.answer_vars.size();
+  HashCombine(seed, q.body.size());
+  for (int32_t p : preds) HashCombine(seed, static_cast<size_t>(p));
+  HashCombine(seed, q.Variables().size());
+  return seed;
+}
+
+struct Entry {
+  ConjunctiveQuery query;
+  bool from_rewriting;
+  bool explored = false;
+  bool reported = false;
+};
+
+class XRewriteRun {
+ public:
+  XRewriteRun(const Schema& data_schema, const TgdSet& tgds,
+              const ConjunctiveQuery& q, const XRewriteOptions& options,
+              XRewriteStats* stats,
+              const std::function<bool(const ConjunctiveQuery&)>* callback)
+      : data_schema_(data_schema),
+        rules_(PrepareRules(tgds)),
+        initial_(q),
+        options_(options),
+        stats_(stats),
+        callback_(callback) {}
+
+  Result<RewriteEnumeration> Run() {
+    ConjunctiveQuery start = initial_;
+    start.body = DedupAtoms(start.body);
+    AddQuery(std::move(start), /*from_rewriting=*/true);
+    RewriteEnumeration outcome = RewriteEnumeration::kSaturated;
+    while (!stopped_) {
+      int index = NextUnexplored();
+      if (index < 0) break;
+      entries_[static_cast<size_t>(index)].explored = true;
+      // Copy: AddQuery may reallocate entries_.
+      ConjunctiveQuery q = entries_[static_cast<size_t>(index)].query;
+      OMQC_RETURN_IF_ERROR(Explore(q));
+      if (entries_.size() > options_.max_queries ||
+          steps_ > options_.max_steps) {
+        outcome = RewriteEnumeration::kBudgetExhausted;
+        break;
+      }
+    }
+    if (stopped_) outcome = RewriteEnumeration::kStopped;
+    if (stats_ != nullptr) stats_->queries_generated = entries_.size();
+    return outcome;
+  }
+
+  /// The final rewriting Qfin: rewriting-labeled queries over the data
+  /// schema.
+  UnionOfCQs FinalRewriting() const {
+    UnionOfCQs out;
+    for (const Entry& e : entries_) {
+      if (e.from_rewriting && OverDataSchema(e.query)) {
+        out.disjuncts.push_back(e.query);
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool OverDataSchema(const ConjunctiveQuery& q) const {
+    for (const Atom& a : q.body) {
+      if (!data_schema_.Contains(a.predicate)) return false;
+    }
+    return true;
+  }
+
+  int NextUnexplored() const {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].explored) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void MaybeReport(size_t index) {
+    Entry& e = entries_[index];
+    if (callback_ == nullptr || e.reported || !e.from_rewriting ||
+        !OverDataSchema(e.query)) {
+      return;
+    }
+    e.reported = true;
+    if (!(*callback_)(e.query)) stopped_ = true;
+  }
+
+  /// Adds `q` unless an ≃-equivalent query blocks it (per Algorithm 1:
+  /// rewriting-produced queries are blocked only by rewriting-labeled
+  /// queries; factorization-produced queries by any query), or — with
+  /// prune_subsumed — unless an existing rewriting query subsumes it.
+  void AddQuery(ConjunctiveQuery q, bool from_rewriting) {
+    if (options_.minimize_disjuncts) q = MinimizeCQ(q);
+    size_t signature = QuerySignature(q);
+    auto it = buckets_.find(signature);
+    if (it != buckets_.end()) {
+      for (size_t idx : it->second) {
+        const Entry& e = entries_[idx];
+        if (from_rewriting && !e.from_rewriting) continue;
+        if (IsomorphicCQs(q, e.query)) {
+          // A rewriting duplicate of a factorization query upgrades the
+          // label so it reaches the final rewriting.
+          if (from_rewriting && !entries_[idx].from_rewriting) {
+            entries_[idx].from_rewriting = true;
+            MaybeReport(idx);
+          }
+          return;
+        }
+      }
+    }
+    if (options_.prune_subsumed && from_rewriting) {
+      for (const Entry& e : entries_) {
+        if (e.from_rewriting &&
+            e.query.answer_vars.size() == q.answer_vars.size() &&
+            CQContainedIn(q, e.query)) {
+          return;  // subsumed: contributes nothing to the UCQ
+        }
+      }
+    }
+    buckets_[signature].push_back(entries_.size());
+    entries_.push_back(Entry{std::move(q), from_rewriting, false, false});
+    MaybeReport(entries_.size() - 1);
+  }
+
+  Status Explore(const ConjunctiveQuery& q) {
+    std::set<Term> shared = q.SharedVariables();
+    for (const NormalRule& rule : rules_) {
+      if (stopped_) return Status::OK();
+      OMQC_RETURN_IF_ERROR(RewritingSteps(q, shared, rule));
+      OMQC_RETURN_IF_ERROR(FactorizationSteps(q, rule));
+    }
+    return Status::OK();
+  }
+
+  /// All rewriting steps of `q` with `rule` (Def. 6 applicability).
+  Status RewritingSteps(const ConjunctiveQuery& q,
+                        const std::set<Term>& shared,
+                        const NormalRule& rule) {
+    const Predicate head_pred = rule.tgd.head.front().predicate;
+    std::vector<size_t> group;
+    for (size_t i = 0; i < q.body.size(); ++i) {
+      if (q.body[i].predicate == head_pred) group.push_back(i);
+    }
+    if (group.empty()) return Status::OK();
+    if (group.size() > options_.max_group_size) {
+      return Status::ResourceExhausted(
+          StrCat("XRewrite: ", group.size(), " candidate atoms for ",
+                 head_pred.ToString(), " exceed max_group_size"));
+    }
+    const size_t subsets = (size_t{1} << group.size());
+    for (size_t mask = 1; mask < subsets && !stopped_; ++mask) {
+      std::vector<size_t> s_indices;
+      for (size_t b = 0; b < group.size(); ++b) {
+        if (mask & (size_t{1} << b)) s_indices.push_back(group[b]);
+      }
+      // Applicability condition 2: no constant or shared variable at the
+      // existential position of any atom of S.
+      if (rule.existential_position >= 0) {
+        bool blocked = false;
+        for (size_t idx : s_indices) {
+          const Term& t =
+              q.body[idx].args[static_cast<size_t>(rule.existential_position)];
+          if (t.IsConstant() || shared.count(t) > 0) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+      }
+      // Applicability condition 1: S ∪ {head(σ^i)} unifies.
+      ++steps_;
+      Tgd renamed = rule.tgd.RenamedApart(static_cast<int>(steps_));
+      std::vector<Atom> to_unify;
+      for (size_t idx : s_indices) to_unify.push_back(q.body[idx]);
+      to_unify.push_back(renamed.head.front());
+      std::optional<Substitution> mgu = MostGeneralUnifier(to_unify);
+      if (!mgu.has_value()) continue;
+      // q' = γ(q[S / body(σ^i)]).
+      std::vector<Atom> new_body;
+      std::set<size_t> replaced(s_indices.begin(), s_indices.end());
+      for (size_t i = 0; i < q.body.size(); ++i) {
+        if (replaced.count(i) == 0) new_body.push_back(q.body[i]);
+      }
+      for (const Atom& b : renamed.body) new_body.push_back(b);
+      ConjunctiveQuery result(mgu->Apply(q.answer_vars),
+                              DedupAtoms(mgu->Apply(new_body)));
+      if (stats_ != nullptr) ++stats_->rewriting_steps;
+      AddQuery(std::move(result), /*from_rewriting=*/true);
+    }
+    return Status::OK();
+  }
+
+  /// All factorization steps of `q` with `rule` (Def. 7 factorizability).
+  Status FactorizationSteps(const ConjunctiveQuery& q,
+                            const NormalRule& rule) {
+    if (rule.existential_position < 0) return Status::OK();
+    const Predicate head_pred = rule.tgd.head.front().predicate;
+    const size_t pos = static_cast<size_t>(rule.existential_position);
+    std::vector<size_t> group;
+    for (size_t i = 0; i < q.body.size(); ++i) {
+      if (q.body[i].predicate == head_pred) group.push_back(i);
+    }
+    if (group.size() < 2) return Status::OK();
+    if (group.size() > options_.max_group_size) {
+      return Status::ResourceExhausted(
+          StrCat("XRewrite: ", group.size(), " candidate atoms for ",
+                 head_pred.ToString(), " exceed max_group_size"));
+    }
+    std::set<Term> answer_vars(q.answer_vars.begin(), q.answer_vars.end());
+    const size_t subsets = (size_t{1} << group.size());
+    for (size_t mask = 1; mask < subsets && !stopped_; ++mask) {
+      if (__builtin_popcountll(mask) < 2) continue;
+      std::vector<size_t> s_indices;
+      for (size_t b = 0; b < group.size(); ++b) {
+        if (mask & (size_t{1} << b)) s_indices.push_back(group[b]);
+      }
+      // Condition 3: some non-answer variable x, absent from body \ S,
+      // occurring in every atom of S exactly at position π∃ and nowhere
+      // else within S.
+      std::set<size_t> in_s(s_indices.begin(), s_indices.end());
+      std::set<Term> outside_vars;
+      for (size_t i = 0; i < q.body.size(); ++i) {
+        if (in_s.count(i) > 0) continue;
+        for (const Term& t : q.body[i].args) {
+          if (t.IsVariable()) outside_vars.insert(t);
+        }
+      }
+      const Term& candidate = q.body[s_indices.front()].args[pos];
+      if (!candidate.IsVariable() || outside_vars.count(candidate) > 0 ||
+          answer_vars.count(candidate) > 0) {
+        continue;
+      }
+      bool witness = true;
+      for (size_t idx : s_indices) {
+        const Atom& a = q.body[idx];
+        for (size_t j = 0; j < a.args.size(); ++j) {
+          bool is_candidate = a.args[j] == candidate;
+          if (j == pos ? !is_candidate : is_candidate) {
+            witness = false;
+            break;
+          }
+        }
+        if (!witness) break;
+      }
+      if (!witness) continue;
+      // Condition 1: S unifies.
+      std::vector<Atom> to_unify;
+      for (size_t idx : s_indices) to_unify.push_back(q.body[idx]);
+      std::optional<Substitution> mgu = MostGeneralUnifier(to_unify);
+      if (!mgu.has_value()) continue;
+      ++steps_;
+      ConjunctiveQuery result(mgu->Apply(q.answer_vars),
+                              DedupAtoms(mgu->Apply(q.body)));
+      if (stats_ != nullptr) ++stats_->factorization_steps;
+      AddQuery(std::move(result), /*from_rewriting=*/false);
+    }
+    return Status::OK();
+  }
+
+  const Schema& data_schema_;
+  std::vector<NormalRule> rules_;
+  const ConjunctiveQuery& initial_;
+  const XRewriteOptions& options_;
+  XRewriteStats* stats_;
+  const std::function<bool(const ConjunctiveQuery&)>* callback_;
+  std::vector<Entry> entries_;
+  std::unordered_map<size_t, std::vector<size_t>> buckets_;
+  size_t steps_ = 0;
+  bool stopped_ = false;
+};
+
+/// base^exp with saturation.
+size_t SaturatingPow(size_t base, size_t exp) {
+  size_t result = 1;
+  const size_t limit = std::numeric_limits<size_t>::max() / 2;
+  for (size_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > limit / std::max<size_t>(base, 1)) {
+      return limit;
+    }
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<UnionOfCQs> XRewrite(const Schema& data_schema, const TgdSet& tgds,
+                            const ConjunctiveQuery& q,
+                            const XRewriteOptions& options,
+                            XRewriteStats* stats) {
+  OMQC_RETURN_IF_ERROR(ValidateTgdSet(tgds));
+  OMQC_RETURN_IF_ERROR(ValidateCQ(q));
+  XRewriteRun run(data_schema, tgds, q, options, stats, nullptr);
+  OMQC_ASSIGN_OR_RETURN(RewriteEnumeration outcome, run.Run());
+  if (outcome == RewriteEnumeration::kBudgetExhausted) {
+    return Status::ResourceExhausted(
+        "XRewrite exceeded its budget; the rewriting may be infinite "
+        "(is the ontology linear, non-recursive or sticky?)");
+  }
+  UnionOfCQs result = run.FinalRewriting();
+  if (stats != nullptr) stats->max_disjunct_atoms = result.MaxDisjunctSize();
+  return result;
+}
+
+Result<RewriteEnumeration> EnumerateRewritings(
+    const Schema& data_schema, const TgdSet& tgds, const ConjunctiveQuery& q,
+    const XRewriteOptions& options,
+    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct) {
+  OMQC_RETURN_IF_ERROR(ValidateTgdSet(tgds));
+  OMQC_RETURN_IF_ERROR(ValidateCQ(q));
+  XRewriteRun run(data_schema, tgds, q, options, nullptr, &on_disjunct);
+  return run.Run();
+}
+
+ConjunctiveQuery MinimizeCQ(const ConjunctiveQuery& q) {
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed && current.body.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.body.size(); ++i) {
+      ConjunctiveQuery candidate = current;
+      candidate.body.erase(candidate.body.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      // Answer variables must stay bound in the body.
+      if (!ValidateCQ(candidate).ok()) continue;
+      // candidate has fewer constraints, so current ⊆ candidate always;
+      // the atom is redundant iff also candidate ⊆ current.
+      if (CQContainedIn(candidate, current)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+UnionOfCQs MinimizeUCQ(const UnionOfCQs& ucq) {
+  std::vector<ConjunctiveQuery> kept;
+  for (const ConjunctiveQuery& candidate : ucq.disjuncts) {
+    bool subsumed = false;
+    for (const ConjunctiveQuery& k : kept) {
+      if (CQContainedIn(candidate, k)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    // Remove kept disjuncts subsumed by the new one.
+    std::vector<ConjunctiveQuery> next;
+    for (ConjunctiveQuery& k : kept) {
+      if (!CQContainedIn(k, candidate)) next.push_back(std::move(k));
+    }
+    next.push_back(candidate);
+    kept = std::move(next);
+  }
+  return UnionOfCQs(std::move(kept));
+}
+
+size_t LinearRewriteBound(const ConjunctiveQuery& q) { return q.size(); }
+
+size_t NonRecursiveRewriteBound(const TgdSet& tgds,
+                                const ConjunctiveQuery& q) {
+  size_t base = std::max<size_t>(tgds.MaxBodySize(), 1);
+  return q.size() * SaturatingPow(base, tgds.SchemaOf().size());
+}
+
+size_t StickyRewriteBound(const Schema& data_schema, const TgdSet& tgds,
+                          const ConjunctiveQuery& q) {
+  size_t terms = q.AllTerms().size() + tgds.Constants().size() + 1;
+  return data_schema.size() *
+         SaturatingPow(terms, static_cast<size_t>(data_schema.MaxArity()));
+}
+
+}  // namespace omqc

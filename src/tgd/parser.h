@@ -1,0 +1,72 @@
+// Text format for ontologies, queries and databases (DLGP-inspired).
+//
+// Grammar (statements end with '.'; '%' starts a line comment):
+//
+//   tgd:    body -> head .          e.g.  R(X,Y), P(Y) -> T(X,Z).
+//           -> head .               fact tgd (⊤ → ...), also "true -> head."
+//   query:  Name(Args) :- body .    e.g.  Q(X) :- R(X,Y), P(Y).
+//           Name(Args) :- true .    body-less query (rare; for tests)
+//   fact:   R(a,b).                 a database atom (all constants)
+//
+// Identifiers starting with an uppercase letter or '_' are variables; all
+// other identifiers, numbers and 'single-quoted strings' are constants.
+
+#ifndef OMQC_TGD_PARSER_H_
+#define OMQC_TGD_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "tgd/tgd.h"
+
+namespace omqc {
+
+/// A named query as it appears in program text.
+struct NamedQuery {
+  std::string name;
+  ConjunctiveQuery query;
+};
+
+/// The result of parsing a program: ontology rules, queries and facts.
+struct Program {
+  TgdSet tgds;
+  std::vector<NamedQuery> queries;
+  Database facts;
+
+  /// The disjuncts of all queries named `name`, as a UCQ (queries sharing
+  /// a name form a union, the usual Datalog convention).
+  UnionOfCQs QueriesNamed(const std::string& name) const;
+};
+
+/// Parses a full program. Errors carry 1-based line/column positions.
+Result<Program> ParseProgram(const std::string& text);
+
+/// Parses a single tgd, e.g. "R(X,Y) -> S(Y,Z)". No trailing period needed.
+Result<Tgd> ParseTgd(const std::string& text);
+
+/// Parses a set of tgds (one per statement).
+Result<TgdSet> ParseTgds(const std::string& text);
+
+/// Parses a single query, e.g. "Q(X) :- R(X,Y)".
+Result<ConjunctiveQuery> ParseQuery(const std::string& text);
+
+/// Parses a UCQ: several query statements (names are ignored).
+Result<UnionOfCQs> ParseUCQ(const std::string& text);
+
+/// Parses a database: fact statements only.
+Result<Database> ParseDatabase(const std::string& text);
+
+/// Parses a single atom, e.g. "R(X,a)".
+Result<Atom> ParseAtom(const std::string& text);
+
+/// Serializes a program back into the text format; the output re-parses
+/// into an equivalent program (round-trip tested). Query names are taken
+/// from `queries`; facts print one per line.
+std::string SerializeProgram(const Program& program);
+
+}  // namespace omqc
+
+#endif  // OMQC_TGD_PARSER_H_

@@ -1,0 +1,159 @@
+// Tests for the Sec. 7 applications: satisfiability, distribution over
+// components (Prop. 27) and UCQ rewritability (Sec. 7.2).
+
+#include <gtest/gtest.h>
+
+#include "core/applications.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Schema S(std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+Omq MakeOmq(Schema schema, const std::string& tgds,
+            const std::string& query) {
+  return Omq{std::move(schema), ParseTgds(tgds).value(),
+             ParseQuery(query).value()};
+}
+
+// ---------- Satisfiability. ----------
+
+TEST(SatisfiabilityTest, SatisfiableLinear) {
+  Omq q = MakeOmq(S({{"A", 1}}), "A(X) -> B(X).", "Q(X) :- B(X)");
+  EXPECT_TRUE(IsSatisfiable(q).value());
+}
+
+TEST(SatisfiabilityTest, UnsatisfiableWhenPredicateUnderivable) {
+  // Nothing in S or Σ can produce a C atom.
+  Omq q = MakeOmq(S({{"A", 1}}), "A(X) -> B(X).", "Q(X) :- C(X)");
+  EXPECT_FALSE(IsSatisfiable(q).value());
+}
+
+TEST(SatisfiabilityTest, GuardedViaCriticalDatabase) {
+  Omq q = MakeOmq(S({{"R", 2}, {"A", 1}}), "R(X,Y), A(X) -> A(Y).",
+                  "Q() :- A(X)");
+  EXPECT_TRUE(IsSatisfiable(q).value());
+  Omq unsat = MakeOmq(S({{"R", 2}, {"A", 1}}), "R(X,Y), A(X) -> A(Y).",
+                      "Q() :- Z(X)");
+  EXPECT_FALSE(IsSatisfiable(unsat).value());
+}
+
+// ---------- Distribution over components (Prop. 27). ----------
+
+TEST(DistributionTest, ConnectedQueryDistributes) {
+  // q is connected: its single component is q itself, and q ⊆ q.
+  Omq q = MakeOmq(S({{"R", 2}}), "", "Q(X) :- R(X,Y), R(Y,Z)");
+  auto result = DistributesOverComponents(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+  ASSERT_TRUE(result->witnessing_component.has_value());
+}
+
+TEST(DistributionTest, CartesianProductDoesNotDistribute) {
+  // q = A(x) ∧ B(y) (two components): a database with A and B in
+  // different components answers q but neither component alone does.
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "", "Q() :- A(X), B(Y)");
+  auto result = DistributesOverComponents(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kNotContained);
+}
+
+TEST(DistributionTest, OntologyCanRestoreDistribution) {
+  // With A(x) → B(x), the component A(x) alone implies ∃y B(y) as well,
+  // so q = A(x) ∧ B(y) distributes.
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "A(X) -> B(X).",
+                  "Q() :- A(X), B(Y)");
+  auto result = DistributesOverComponents(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+  ASSERT_TRUE(result->witnessing_component.has_value());
+}
+
+TEST(DistributionTest, UnsatisfiableQueryDistributes) {
+  Omq q = MakeOmq(S({{"A", 1}}), "", "Q() :- Zebra(X), A(Y)");
+  auto result = DistributesOverComponents(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+  EXPECT_FALSE(result->witnessing_component.has_value());
+}
+
+TEST(DistributionTest, ComponentEvaluationMatchesWhenDistributing) {
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "A(X) -> B(X).",
+                  "Q() :- A(X), B(Y)");
+  Database db = ParseDatabase("A(a). B(b).").value();
+  auto whole = EvalAll(q, db);
+  auto split = EvalOverComponents(q, db);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(*whole, *split);
+}
+
+TEST(DistributionTest, ComponentEvaluationDiffersWhenNotDistributing) {
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "", "Q() :- A(X), B(Y)");
+  Database db = ParseDatabase("A(a). B(b).").value();
+  auto whole = EvalAll(q, db);
+  auto split = EvalOverComponents(q, db);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(whole->size(), 1u);   // the Boolean query holds on D
+  EXPECT_TRUE(split->empty());    // but on no single component
+}
+
+// ---------- UCQ rewritability (Sec. 7.2). ----------
+
+TEST(UcqRewritabilityTest, LinearIsAlwaysRewritable) {
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "A(X) -> B(X).", "Q(X) :- B(X)");
+  auto result = CheckUcqRewritability(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+  ASSERT_TRUE(result->rewriting.has_value());
+  EXPECT_EQ(result->rewriting->size(), 2u);  // B(x) ∨ A(x)
+}
+
+TEST(UcqRewritabilityTest, GuardedRewritableCaseSaturates) {
+  // Forward propagation with an existential query: the pruned rewriting
+  // collapses to A(x).
+  Omq q = MakeOmq(S({{"A", 1}, {"R", 2}}), "R(X,Y), A(X) -> A(Y).",
+                  "Q() :- A(X)");
+  auto result = CheckUcqRewritability(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+  ASSERT_TRUE(result->rewriting.has_value());
+  EXPECT_EQ(result->rewriting->size(), 1u);
+}
+
+TEST(UcqRewritabilityTest, GuardedNonRewritableCaseIsUnknown) {
+  // Backward reachability to a constant: the perfect rewriting is the
+  // infinite R-path family (the boundedness property of Prop. 30 fails).
+  Omq q = MakeOmq(S({{"A", 1}, {"R", 2}}), "R(X,Y), A(Y) -> A(X).",
+                  "Q() :- A(c)");
+  ContainmentOptions options;
+  options.rewrite.max_queries = 80;
+  auto result = CheckUcqRewritability(q, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kUnknown);
+  EXPECT_GT(result->disjuncts_found, 10u);  // the growing-family evidence
+}
+
+TEST(UcqRewritabilityTest, CertificateIsActuallyARewriting) {
+  Omq q = MakeOmq(S({{"A", 1}, {"T", 1}}),
+                  "A(X) -> P(X). T(X) -> P(X).", "Q(X) :- P(X)");
+  auto result = CheckUcqRewritability(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, ContainmentOutcome::kContained);
+  const UnionOfCQs& rewriting = *result->rewriting;
+  Database db = ParseDatabase("A(a). T(t).").value();
+  auto direct = EvalAll(q, db).value();
+  auto via_rewriting = EvaluateUCQ(rewriting, db);
+  EXPECT_EQ(direct, via_rewriting);
+}
+
+}  // namespace
+}  // namespace omqc

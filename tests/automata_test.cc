@@ -1,0 +1,288 @@
+// Tests for the 2WAPA substrate (Defs. 10/11) and the NTA utilities used
+// by Sec. 7.2's infinity reduction.
+
+#include <gtest/gtest.h>
+
+#include "automata/pbf.h"
+#include "automata/twapa.h"
+
+namespace omqc {
+namespace {
+
+// ---------- Positive Boolean formulas. ----------
+
+TEST(PbfTest, EvaluationAndSimplification) {
+  Formula t = Formula::True();
+  Formula f = Formula::False();
+  EXPECT_EQ(Formula::And(t, f).kind(), Formula::Kind::kFalse);
+  EXPECT_EQ(Formula::Or(t, f).kind(), Formula::Kind::kTrue);
+  Formula atom = Diamond(Move::kChild, 3);
+  EXPECT_EQ(Formula::And(t, atom).kind(), Formula::Kind::kAtom);
+
+  auto always = [](const TransitionAtom&) { return true; };
+  auto never = [](const TransitionAtom&) { return false; };
+  Formula mixed = Formula::Or(Formula::And(atom, atom), f);
+  EXPECT_TRUE(mixed.Evaluate(always));
+  EXPECT_FALSE(mixed.Evaluate(never));
+}
+
+TEST(PbfTest, DualSwapsEverything) {
+  Formula f = Formula::And(Diamond(Move::kChild, 1),
+                           Formula::Or(Box(Move::kUp, 2), Formula::True()));
+  Formula dual = f.Dual();
+  // dual = [∗]1 ∨ (⟨-1⟩2 ∧ false) = [∗]1.
+  EXPECT_EQ(dual.kind(), Formula::Kind::kAtom);
+  EXPECT_TRUE(dual.atom().universal);
+  EXPECT_EQ(dual.atom().state, 1);
+}
+
+TEST(PbfTest, CollectAtoms) {
+  Formula f = Formula::And(Diamond(Move::kStay, 1), Box(Move::kChild, 2));
+  std::vector<TransitionAtom> atoms;
+  f.CollectAtoms(atoms);
+  EXPECT_EQ(atoms.size(), 2u);
+}
+
+TEST(PbfTest, NaryConstructors) {
+  EXPECT_EQ(Formula::AndAll({}).kind(), Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::OrAll({}).kind(), Formula::Kind::kFalse);
+}
+
+// ---------- Labeled trees. ----------
+
+TEST(LabeledTreeTest, Construction) {
+  LabeledTree tree = LabeledTree::Leaf(0);
+  int child = tree.AddChild(tree.root(), 1);
+  tree.AddChild(child, 2);
+  EXPECT_EQ(tree.nodes.size(), 3u);
+  EXPECT_EQ(tree.nodes[1].parent, 0);
+  EXPECT_EQ(tree.nodes[0].children.size(), 1u);
+}
+
+// ---------- 2WAPA membership. ----------
+
+/// Automaton: state 0 accepts iff SOME node reachable downward has label 1.
+Twapa SomeLabelOneAutomaton() {
+  Twapa a;
+  a.num_states = 1;
+  a.num_labels = 2;
+  a.initial_state = 0;
+  a.mode = AcceptanceMode::kFiniteRuns;
+  a.delta = [](int /*state*/, int label) {
+    if (label == 1) return Formula::True();
+    return Diamond(Move::kChild, 0);
+  };
+  return a;
+}
+
+TEST(TwapaTest, ReachabilityMembership) {
+  Twapa a = SomeLabelOneAutomaton();
+  LabeledTree no_one = LabeledTree::Leaf(0);
+  no_one.AddChild(0, 0);
+  EXPECT_FALSE(Accepts(a, no_one));
+
+  LabeledTree has_one = LabeledTree::Leaf(0);
+  int mid = has_one.AddChild(0, 0);
+  has_one.AddChild(mid, 1);
+  EXPECT_TRUE(Accepts(a, has_one));
+}
+
+TEST(TwapaTest, UniversalObligation) {
+  // State 0: every child must carry label 1 ([∗]-style via state 1).
+  Twapa a;
+  a.num_states = 2;
+  a.num_labels = 2;
+  a.initial_state = 0;
+  a.delta = [](int state, int label) {
+    if (state == 0) return Box(Move::kChild, 1);
+    return label == 1 ? Formula::True() : Formula::False();
+  };
+  LabeledTree all_ones = LabeledTree::Leaf(0);
+  all_ones.AddChild(0, 1);
+  all_ones.AddChild(0, 1);
+  EXPECT_TRUE(Accepts(a, all_ones));
+  LabeledTree one_zero = all_ones;
+  one_zero.AddChild(0, 0);
+  EXPECT_FALSE(Accepts(a, one_zero));
+  // Vacuously true on a leaf.
+  EXPECT_TRUE(Accepts(a, LabeledTree::Leaf(0)));
+}
+
+TEST(TwapaTest, TwoWayMovement) {
+  // State 0 walks down to a node labeled 1, then state 1 walks back up
+  // demanding the ROOT (no parent) is labeled 2... we encode: state 1
+  // moves up while possible; at the root ([−1] vacuous), check label 2
+  // via state 2.
+  Twapa a;
+  a.num_states = 3;
+  a.num_labels = 3;
+  a.initial_state = 0;
+  a.delta = [](int state, int label) {
+    switch (state) {
+      case 0:
+        if (label == 1) return Formula::Or(Diamond(Move::kStay, 1),
+                                           Diamond(Move::kChild, 0));
+        return Diamond(Move::kChild, 0);
+      case 1:
+        // Either continue upward or verify we are at a node labeled 2.
+        return Formula::Or(Diamond(Move::kUp, 1), Diamond(Move::kStay, 2));
+      default:
+        return label == 2 ? Formula::True() : Formula::False();
+    }
+  };
+  LabeledTree good = LabeledTree::Leaf(2);
+  int mid = good.AddChild(0, 0);
+  good.AddChild(mid, 1);
+  EXPECT_TRUE(Accepts(a, good));
+
+  LabeledTree bad = LabeledTree::Leaf(0);
+  mid = bad.AddChild(0, 0);
+  bad.AddChild(mid, 1);
+  EXPECT_FALSE(Accepts(a, bad));
+}
+
+TEST(TwapaTest, ComplementFlipsAcceptance) {
+  Twapa a = SomeLabelOneAutomaton();
+  Twapa complement = Complement(a);
+  LabeledTree has_one = LabeledTree::Leaf(1);
+  LabeledTree no_one = LabeledTree::Leaf(0);
+  EXPECT_TRUE(Accepts(a, has_one));
+  EXPECT_FALSE(Accepts(complement, has_one));
+  EXPECT_FALSE(Accepts(a, no_one));
+  EXPECT_TRUE(Accepts(complement, no_one));
+}
+
+TEST(TwapaTest, ComplementHandlesDeepTrees) {
+  Twapa complement = Complement(SomeLabelOneAutomaton());
+  LabeledTree tree = LabeledTree::Leaf(0);
+  int current = 0;
+  for (int i = 0; i < 5; ++i) current = tree.AddChild(current, 0);
+  EXPECT_TRUE(Accepts(complement, tree));
+  tree.AddChild(current, 1);
+  EXPECT_FALSE(Accepts(complement, tree));
+}
+
+TEST(TwapaTest, IntersectionRequiresMatchingAlphabets) {
+  Twapa a = SomeLabelOneAutomaton();
+  Twapa b = SomeLabelOneAutomaton();
+  b.num_labels = 5;
+  EXPECT_FALSE(Intersect(a, b).ok());
+}
+
+TEST(TwapaTest, IntersectionSemantics) {
+  // L(a): some node labeled 1. L(b): root labeled 0.
+  Twapa a = SomeLabelOneAutomaton();
+  Twapa b;
+  b.num_states = 1;
+  b.num_labels = 2;
+  b.initial_state = 0;
+  b.delta = [](int, int label) {
+    return label == 0 ? Formula::True() : Formula::False();
+  };
+  Twapa both = Intersect(a, b).value();
+
+  LabeledTree yes = LabeledTree::Leaf(0);
+  yes.AddChild(0, 1);
+  EXPECT_TRUE(Accepts(both, yes));
+
+  LabeledTree root_one = LabeledTree::Leaf(1);
+  EXPECT_FALSE(Accepts(both, root_one));  // b rejects
+
+  LabeledTree no_one = LabeledTree::Leaf(0);
+  EXPECT_FALSE(Accepts(both, no_one));  // a rejects
+}
+
+TEST(TwapaTest, FindAcceptedTree) {
+  // Accepts only trees whose root is labeled 1 and has a child labeled 0.
+  Twapa a;
+  a.num_states = 2;
+  a.num_labels = 2;
+  a.initial_state = 0;
+  a.delta = [](int state, int label) {
+    if (state == 0) {
+      if (label != 1) return Formula::False();
+      return Diamond(Move::kChild, 1);
+    }
+    return label == 0 ? Formula::True() : Formula::False();
+  };
+  auto witness = FindAcceptedTree(a, /*max_nodes=*/3, /*max_branching=*/2);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(Accepts(a, *witness));
+  EXPECT_EQ(witness->nodes[0].label, 1);
+
+  // An unsatisfiable automaton yields no witness within the bound.
+  Twapa empty = a;
+  empty.delta = [](int, int) { return Formula::False(); };
+  EXPECT_FALSE(FindAcceptedTree(empty, 3, 2).has_value());
+}
+
+// ---------- NTA utilities. ----------
+
+Nta ChainAutomaton() {
+  // Accepts unary chains 0^k 1: state 0 on label 0 with one child in
+  // state 0, or label 1 as a leaf.
+  Nta a;
+  a.num_states = 1;
+  a.num_labels = 2;
+  a.initial_state = 0;
+  a.rules.push_back({0, 0, {0}});
+  a.rules.push_back({0, 1, {}});
+  return a;
+}
+
+TEST(NtaTest, EmptinessAndMembership) {
+  Nta chain = ChainAutomaton();
+  EXPECT_FALSE(IsEmpty(chain));
+  LabeledTree t = LabeledTree::Leaf(0);
+  int c = t.AddChild(0, 0);
+  t.AddChild(c, 1);
+  EXPECT_TRUE(Accepts(chain, t));
+  LabeledTree bad = LabeledTree::Leaf(0);
+  bad.AddChild(0, 0);  // chain not terminated by label 1
+  EXPECT_FALSE(Accepts(chain, bad));
+
+  Nta empty;
+  empty.num_states = 1;
+  empty.num_labels = 1;
+  empty.initial_state = 0;
+  empty.rules.push_back({0, 0, {0}});  // no terminating rule
+  EXPECT_TRUE(IsEmpty(empty));
+}
+
+TEST(NtaTest, InfinityDetection) {
+  // The chain automaton accepts arbitrarily long chains: infinite.
+  EXPECT_TRUE(IsInfinite(ChainAutomaton()));
+
+  // A two-tree language: finite.
+  Nta finite;
+  finite.num_states = 2;
+  finite.num_labels = 2;
+  finite.initial_state = 0;
+  finite.rules.push_back({0, 0, {1}});
+  finite.rules.push_back({1, 1, {}});
+  finite.rules.push_back({0, 1, {}});
+  EXPECT_FALSE(IsInfinite(finite));
+
+  // Empty language: not infinite.
+  Nta empty;
+  empty.num_states = 1;
+  empty.num_labels = 1;
+  empty.initial_state = 0;
+  EXPECT_TRUE(IsEmpty(empty));
+  EXPECT_FALSE(IsInfinite(empty));
+}
+
+TEST(NtaTest, InfinityRequiresReachableCycle) {
+  // A cycle unreachable from the initial state does not count.
+  Nta a;
+  a.num_states = 3;
+  a.num_labels = 2;
+  a.initial_state = 0;
+  a.rules.push_back({0, 1, {}});
+  a.rules.push_back({2, 0, {2}});  // cycle on an unreachable state
+  a.rules.push_back({2, 1, {}});
+  EXPECT_FALSE(IsInfinite(a));
+}
+
+}  // namespace
+}  // namespace omqc

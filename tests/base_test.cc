@@ -1,0 +1,129 @@
+// Unit tests for the base substrate: Status, Result, string and hash
+// utilities, plus the program serialization round-trip.
+
+#include <gtest/gtest.h>
+
+#include "base/hash_util.h"
+#include "base/status.h"
+#include "base/string_util.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad atom");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "INVALID_ARGUMENT: bad atom");
+  EXPECT_EQ(st, Status::InvalidArgument("bad atom"));
+  EXPECT_FALSE(st == Status::InvalidArgument("other"));
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kResourceExhausted, StatusCode::kUnsupported,
+        StatusCode::kInternal, StatusCode::kNotFound}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  OMQC_ASSIGN_OR_RETURN(int h, Half(x));
+  OMQC_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());   // 3 is odd at the second step
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  std::vector<std::string> parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("n=", 42, ", f=", 1.5), "n=42, f=1.5");
+}
+
+TEST(HashUtilTest, CombinatorsAreOrderSensitive) {
+  std::vector<int> a{1, 2, 3}, b{3, 2, 1};
+  EXPECT_NE((VectorHash<int>{}(a)), (VectorHash<int>{}(b)));
+  EXPECT_EQ((VectorHash<int>{}(a)), (VectorHash<int>{}({1, 2, 3})));
+  EXPECT_NE((PairHash<int, int>{}({1, 2})), (PairHash<int, int>{}({2, 1})));
+}
+
+TEST(SerializationTest, ProgramRoundTrip) {
+  const char* text = R"(
+    R(X,Y), P(Y) -> T(X,Z).
+    -> Seed(c).
+    Q(X) :- T(X,Y).
+    Q(X) :- Seed(X).
+    R(a,b). P(b).
+  )";
+  Program original = ParseProgram(text).value();
+  std::string serialized = SerializeProgram(original);
+  auto reparsed = ParseProgram(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << serialized;
+  EXPECT_EQ(reparsed->tgds.ToString(), original.tgds.ToString());
+  EXPECT_EQ(reparsed->queries.size(), original.queries.size());
+  EXPECT_TRUE(reparsed->facts == original.facts);
+  EXPECT_EQ(reparsed->QueriesNamed("Q").size(), 2u);
+}
+
+TEST(PrettifyTest, RenamesMachineConstantsOnly) {
+  Database db =
+      ParseDatabase("R('@f1_X','@f1_Y'). P('@f1_X'). P(user).").value();
+  Database pretty = PrettifiedCopy(db);
+  EXPECT_TRUE(pretty.Contains(ParseAtom("P(user)").value()));
+  EXPECT_TRUE(pretty.Contains(ParseAtom("P(c0)").value()));
+  EXPECT_TRUE(pretty.Contains(ParseAtom("R(c0,c1)").value()));
+  EXPECT_EQ(pretty.size(), db.size());
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,165 @@
+// Tests for the chase engine (Sec. 2 "Tgds and the chase procedure").
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Database Db(const std::string& text) { return ParseDatabase(text).value(); }
+TgdSet Tgds(const std::string& text) { return ParseTgds(text).value(); }
+ConjunctiveQuery Q(const std::string& text) {
+  return ParseQuery(text).value();
+}
+
+TEST(ChaseTest, SingleStepCreatesNull) {
+  ChaseResult result = Chase(Db("P(a)."), Tgds("P(X) -> R(X,Y).")).value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.instance.size(), 2u);
+  EXPECT_EQ(result.steps, 1u);
+  // The new atom holds a fresh null in the second position.
+  bool found = false;
+  for (const Atom& a : result.instance.atoms()) {
+    if (a.predicate == Predicate::Get("R", 2)) {
+      EXPECT_EQ(a.args[0], Term::Constant("a"));
+      EXPECT_TRUE(a.args[1].IsNull());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChaseTest, RestrictedChaseSkipsSatisfiedHeads) {
+  // R(a,b) already satisfies the head for X=a.
+  ChaseResult result =
+      Chase(Db("P(a). R(a,b)."), Tgds("P(X) -> R(X,Y).")).value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_EQ(result.instance.size(), 2u);
+}
+
+TEST(ChaseTest, ObliviousChaseFiresAnyway) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kOblivious;
+  ChaseResult result =
+      Chase(Db("P(a). R(a,b)."), Tgds("P(X) -> R(X,Y)."), options).value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.steps, 1u);
+  EXPECT_EQ(result.instance.size(), 3u);
+}
+
+TEST(ChaseTest, FactTgdsFireOnEmptyDatabase) {
+  ChaseResult result =
+      Chase(Database{}, Tgds("-> Tile(X). Tile(X) -> Good(X).")).value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.instance.size(), 2u);
+}
+
+TEST(ChaseTest, MultiHeadAtomsShareNulls) {
+  ChaseResult result =
+      Chase(Db("A(a)."), Tgds("A(X) -> R(X,Y), P(Y).")).value();
+  EXPECT_TRUE(result.complete);
+  // R(a,n) and P(n) with the same null n.
+  Term null_in_r, null_in_p;
+  for (const Atom& a : result.instance.atoms()) {
+    if (a.predicate == Predicate::Get("R", 2)) null_in_r = a.args[1];
+    if (a.predicate == Predicate::Get("P", 1)) null_in_p = a.args[0];
+  }
+  EXPECT_TRUE(null_in_r.IsNull());
+  EXPECT_EQ(null_in_r, null_in_p);
+}
+
+TEST(ChaseTest, NonRecursiveChaseTerminates) {
+  TgdSet tgds = Tgds(
+      "R(X,Y) -> S(Y,Z)."
+      "S(X,Y) -> T(X,Y)."
+      "T(X,Y), S(X,Y) -> U(X).");
+  ChaseResult result = Chase(Db("R(a,b). R(b,c)."), tgds).value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.instance.size(), 4u);
+}
+
+TEST(ChaseTest, LevelBudgetTruncatesInfiniteChase) {
+  // Linear recursive: infinite chase.
+  ChaseOptions options;
+  options.max_level = 4;
+  ChaseResult result =
+      Chase(Db("P(a)."), Tgds("P(X) -> R(X,Y). R(X,Y) -> P(Y)."), options)
+          .value();
+  EXPECT_FALSE(result.complete);
+  EXPECT_LE(result.max_level_reached, 4);
+  EXPECT_GE(result.instance.size(), 5u);
+}
+
+TEST(ChaseTest, AtomBudgetStopsEarly) {
+  ChaseOptions options;
+  options.max_atoms = 10;
+  ChaseResult result =
+      Chase(Db("P(a)."), Tgds("P(X) -> R(X,Y), P(Y)."), options).value();
+  EXPECT_FALSE(result.complete);
+  EXPECT_LE(result.instance.size(), 12u);
+}
+
+TEST(ChaseTest, RestrictedChaseOfUnconstrainedHeadTerminates) {
+  // ∃Y P(Y) is satisfied by any P atom: the restricted chase of
+  // P(X) -> P(Y) stops immediately (the oblivious one would not).
+  ChaseResult result =
+      Chase(Db("P(a)."), Tgds("P(X) -> P(Y).")).value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+TEST(ChaseTest, LevelsTrackDerivationDepth) {
+  ChaseResult result =
+      Chase(Db("A(a)."), Tgds("A(X) -> B(X). B(X) -> C(X). C(X) -> D(X)."))
+          .value();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.max_level_reached, 3);
+  ASSERT_EQ(result.atoms_per_level.size(), 4u);
+  EXPECT_EQ(result.atoms_per_level[0], 1u);
+  EXPECT_EQ(result.atoms_per_level[3], 1u);
+}
+
+TEST(ChaseTest, ConstantInTgdHead) {
+  ChaseResult result =
+      Chase(Db("P(a)."), Tgds("P(X) -> R(X,c).")).value();
+  EXPECT_TRUE(result.instance.Contains(
+      Atom::Make("R", {Term::Constant("a"), Term::Constant("c")})));
+}
+
+TEST(CertainAnswersTest, ViaChase) {
+  auto answers = CertainAnswersViaChase(Q("Q(X) :- S(X,Y)"),
+                                        Db("R(a,b)."),
+                                        Tgds("R(X,Y) -> S(Y,Z)."));
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0][0], Term::Constant("b"));
+}
+
+TEST(CertainAnswersTest, BudgetExhaustionIsAnError) {
+  ChaseOptions options;
+  options.max_level = 3;
+  auto answers = CertainAnswersViaChase(
+      Q("Q() :- Unreachable(X)"), Db("P(a)."),
+      Tgds("P(X) -> R(X,Y). R(X,Y) -> P(Y)."), options);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ChaseTest, CertainAnswerSemanticsMatchPaperExample) {
+  // cert(q, D, Σ) = q(chase(D, Σ)): nulls witness existentials but are
+  // never answers.
+  TgdSet tgds = Tgds("Person(X) -> HasParent(X,Y). HasParent(X,Y) -> Person(Y).");
+  ChaseOptions options;
+  options.max_level = 6;
+  ChaseResult result = Chase(Db("Person(alice)."), tgds, options).value();
+  auto people = EvaluateCQ(Q("Q(X) :- Person(X)"), result.instance);
+  ASSERT_EQ(people.size(), 1u);  // alice; ancestors are nulls
+  auto has_parent = EvaluateCQ(Q("Q() :- HasParent(X,Y)"), result.instance);
+  EXPECT_EQ(has_parent.size(), 1u);
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,230 @@
+// Tests for the tgd class recognizers (Sec. 2), including the two sets of
+// Figure 1 (sticky vs. non-sticky) and the marking procedure itself.
+
+#include <gtest/gtest.h>
+
+#include "tgd/classify.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+TgdSet Tgds(const std::string& text) {
+  auto tgds = ParseTgds(text);
+  EXPECT_TRUE(tgds.ok()) << tgds.status().ToString();
+  return tgds.value();
+}
+
+TEST(ClassifyTest, LinearRecognition) {
+  EXPECT_TRUE(IsLinear(Tgds("R(X,Y) -> P(Y). P(X) -> T(X,Z).")));
+  EXPECT_FALSE(IsLinear(Tgds("R(X,Y), P(Y) -> T(X,Y).")));
+  EXPECT_TRUE(IsLinear(Tgds("-> P(a).")));  // fact tgds are linear
+}
+
+TEST(ClassifyTest, GuardedRecognition) {
+  // R(X,Y) guards {X,Y}.
+  EXPECT_TRUE(IsGuarded(Tgds("R(X,Y), P(Y) -> T(X,Z).")));
+  // No atom contains both X and Z.
+  EXPECT_FALSE(IsGuarded(Tgds("R(X,Y), P(Y,Z) -> T(X,Z).")));
+  // Linear implies guarded.
+  EXPECT_TRUE(IsGuarded(Tgds("R(X,Y) -> P(Y).")));
+}
+
+TEST(ClassifyTest, FullRecognition) {
+  EXPECT_TRUE(IsFull(Tgds("R(X,Y) -> P(Y).")));
+  EXPECT_FALSE(IsFull(Tgds("R(X,Y) -> T(Y,Z).")));
+}
+
+TEST(ClassifyTest, NonRecursiveRecognition) {
+  EXPECT_TRUE(IsNonRecursive(Tgds("R(X,Y) -> P(Y). P(X) -> T(X).")));
+  EXPECT_FALSE(IsNonRecursive(Tgds("R(X,Y) -> P(Y). P(X) -> R(X,X).")));
+  EXPECT_FALSE(IsNonRecursive(Tgds("P(X) -> P(X).")));  // self-loop
+}
+
+TEST(ClassifyTest, StratificationMatchesNonRecursiveness) {
+  TgdSet acyclic = Tgds("R(X,Y) -> P(Y). P(X) -> T(X).");
+  auto strat = Stratify(acyclic);
+  ASSERT_TRUE(strat.has_value());
+  // µ(R) < µ(P) < µ(T) (Definition 3, condition 2).
+  EXPECT_LT(strat->stratum_of[Predicate::Get("R", 2)],
+            strat->stratum_of[Predicate::Get("P", 1)]);
+  EXPECT_LT(strat->stratum_of[Predicate::Get("P", 1)],
+            strat->stratum_of[Predicate::Get("T", 1)]);
+  EXPECT_FALSE(Stratify(Tgds("P(X) -> P(X).")).has_value());
+}
+
+// Figure 1: the set whose first tgd *keeps the join variable* (S(Y,W)) is
+// sticky — the join variable Y of the second tgd sticks to every inferred
+// atom.
+TEST(ClassifyTest, Figure1StickySet) {
+  TgdSet tgds = Tgds(
+      "T(X,Y,Z) -> S(Y,W)."
+      "R(X,Y), P(Y,Z) -> T(X,Y,W).");
+  EXPECT_TRUE(IsSticky(tgds));
+}
+
+// Figure 1: the set whose first tgd drops the join variable (S(X,W)) is
+// NOT sticky: Y is marked in T's second position (it vanishes in S(X,W))
+// and occurs twice in the second tgd's body.
+TEST(ClassifyTest, Figure1NonStickySet) {
+  TgdSet tgds = Tgds(
+      "T(X,Y,Z) -> S(X,W)."
+      "R(X,Y), P(Y,Z) -> T(X,Y,W).");
+  EXPECT_FALSE(IsSticky(tgds));
+}
+
+TEST(ClassifyTest, Figure1MarkingDetails) {
+  // Non-sticky set: in tgd 0 (T(X,Y,Z) -> S(X,W)), Y and Z vanish and are
+  // marked; X survives. Propagation: tgd 1's head T(X,Y,W) carries Y at
+  // T's (marked) second position, so Y is marked in tgd 1 — and occurs
+  // twice there.
+  TgdSet non_sticky = Tgds(
+      "T(X,Y,Z) -> S(X,W)."
+      "R(X,Y), P(Y,Z) -> T(X,Y,W).");
+  StickyMarking marking = ComputeStickyMarking(non_sticky);
+  EXPECT_TRUE(marking.marked[0].count(Term::Variable("Y")) > 0);
+  EXPECT_TRUE(marking.marked[0].count(Term::Variable("Z")) > 0);
+  EXPECT_FALSE(marking.marked[0].count(Term::Variable("X")) > 0);
+  EXPECT_TRUE(marking.marked[1].count(Term::Variable("Y")) > 0);
+  EXPECT_TRUE(marking.marked[1].count(Term::Variable("Z")) > 0);
+
+  // Sticky set: S(Y,W) keeps Y; now X vanishes in tgd 0 and the marking
+  // reaches tgd 1's X (single occurrence — harmless), while Y stays
+  // unmarked.
+  TgdSet sticky = Tgds(
+      "T(X,Y,Z) -> S(Y,W)."
+      "R(X,Y), P(Y,Z) -> T(X,Y,W).");
+  StickyMarking marking_sticky = ComputeStickyMarking(sticky);
+  EXPECT_TRUE(marking_sticky.marked[0].count(Term::Variable("X")) > 0);
+  EXPECT_FALSE(marking_sticky.marked[1].count(Term::Variable("Y")) > 0);
+  EXPECT_TRUE(marking_sticky.marked[1].count(Term::Variable("X")) > 0);
+}
+
+TEST(ClassifyTest, LosslessTgdsAreSticky) {
+  // Every body variable reaches the head: nothing is ever marked.
+  TgdSet tgds = Tgds("R(X,Y), P(Y,Z) -> T(X,Y,Z). T(X,Y,Z) -> U(Z,Y,X).");
+  StickyMarking marking = ComputeStickyMarking(tgds);
+  EXPECT_TRUE(marking.marked[0].empty());
+  EXPECT_TRUE(marking.marked[1].empty());
+  EXPECT_TRUE(IsSticky(tgds));
+}
+
+TEST(ClassifyTest, FrontierGuardedRecognition) {
+  // Guarded implies frontier-guarded.
+  EXPECT_TRUE(IsFrontierGuarded(Tgds("R(X,Y), P(Y) -> T(X,Y).")));
+  // Unguarded body, but the frontier {X} is covered by one atom.
+  TgdSet fg = Tgds("R(X,Y), P(Y,Z) -> U(X).");
+  EXPECT_FALSE(IsGuarded(fg));
+  EXPECT_TRUE(IsFrontierGuarded(fg));
+  // Frontier {X,Z} split across atoms: not frontier-guarded.
+  EXPECT_FALSE(IsFrontierGuarded(Tgds("R(X,Y), P(Y,Z) -> U(X,Z).")));
+  // Fact tgds are trivially frontier-guarded.
+  EXPECT_TRUE(IsFrontierGuarded(Tgds("-> Seed(X).")));
+}
+
+TEST(ClassifyTest, WeaklyAcyclicRecognition) {
+  // Full recursive tgds are weakly acyclic (no existentials at all).
+  EXPECT_TRUE(IsWeaklyAcyclic(Tgds("R(X,Y) -> R(Y,X).")));
+  // The classic non-weakly-acyclic example: null feeds its own creator.
+  EXPECT_FALSE(IsWeaklyAcyclic(Tgds("R(X,Y) -> R(Y,Z).")));
+  // Non-recursive implies weakly acyclic.
+  EXPECT_TRUE(IsWeaklyAcyclic(Tgds("R(X,Y) -> P(Y,Z). P(X,Y) -> T(X).")));
+}
+
+TEST(ClassifyTest, WeaklyGuardedRecognition) {
+  // Not guarded, but the unguarded join is over unaffected positions.
+  TgdSet tgds = Tgds("R(X,Y), P(Y,Z) -> T(X,Z).");
+  EXPECT_FALSE(IsGuarded(tgds));
+  EXPECT_TRUE(IsWeaklyGuarded(tgds));
+}
+
+TEST(ClassifyTest, AffectedPositions) {
+  TgdSet tgds = Tgds("R(X) -> S(X,Y). S(X,Y) -> T(Y).");
+  auto affected = AffectedPositions(tgds);
+  EXPECT_TRUE(affected.count({Predicate::Get("S", 2), 1}) > 0);
+  EXPECT_FALSE(affected.count({Predicate::Get("S", 2), 0}) > 0);
+  // T's position inherits affectedness through Y.
+  EXPECT_TRUE(affected.count({Predicate::Get("T", 1), 0}) > 0);
+}
+
+TEST(ClassifyTest, PrimaryClassDispatch) {
+  EXPECT_EQ(PrimaryClass(TgdSet{}), TgdClass::kEmpty);
+  EXPECT_EQ(PrimaryClass(Tgds("R(X,Y) -> P(Y).")), TgdClass::kLinear);
+  EXPECT_EQ(PrimaryClass(Tgds("R(X,Y), P(Y) -> T(X,Y). T(X,Y) -> U(X).")),
+            TgdClass::kNonRecursive);
+  // Guarded and recursive, neither sticky nor NR.
+  EXPECT_EQ(PrimaryClass(Tgds("R(X,Y), A(Y) -> A(X). A(X) -> R(X,Y).")),
+            TgdClass::kGuarded);
+  // Full recursive with a non-guarded join.
+  EXPECT_EQ(PrimaryClass(Tgds("R(X,Y), R(Y,Z) -> R(X,Z).")),
+            TgdClass::kFull);
+}
+
+TEST(ClassifyTest, StickyButNotGuardedNotNR) {
+  // Recursive rules with an unguarded join on X; only Z ever gets marked
+  // and it occurs once per body, so the set is sticky.
+  TgdSet tgds = Tgds("R(X,Y), P(X,Z) -> T(X,Y,Z). T(X,Y,Z) -> R(Y,X).");
+  EXPECT_TRUE(IsSticky(tgds));
+  EXPECT_FALSE(IsGuarded(tgds));
+  EXPECT_FALSE(IsNonRecursive(tgds));
+  EXPECT_EQ(PrimaryClass(tgds), TgdClass::kSticky);
+}
+
+TEST(ClassifyTest, ReportAndToString) {
+  ClassificationReport report = Classify(Tgds("R(X,Y) -> P(Y)."));
+  EXPECT_TRUE(report.linear);
+  EXPECT_TRUE(report.guarded);
+  EXPECT_TRUE(report.sticky);
+  EXPECT_TRUE(report.non_recursive);
+  EXPECT_NE(report.ToString().find("linear"), std::string::npos);
+}
+
+TEST(ClassifyTest, UcqRewritableClasses) {
+  EXPECT_TRUE(IsUcqRewritableClass(TgdClass::kLinear));
+  EXPECT_TRUE(IsUcqRewritableClass(TgdClass::kNonRecursive));
+  EXPECT_TRUE(IsUcqRewritableClass(TgdClass::kSticky));
+  EXPECT_TRUE(IsUcqRewritableClass(TgdClass::kEmpty));
+  EXPECT_FALSE(IsUcqRewritableClass(TgdClass::kGuarded));
+  EXPECT_FALSE(IsUcqRewritableClass(TgdClass::kFull));
+}
+
+TEST(NormalizeTest, SingleHeadAtoms) {
+  TgdSet tgds = Tgds("R(X,Y) -> P(X), T(X,Z).");
+  TgdSet normalized = SingleHeadAtoms(tgds, "@t");
+  for (const Tgd& tgd : normalized.tgds) {
+    EXPECT_EQ(tgd.head.size(), 1u);
+  }
+}
+
+TEST(NormalizeTest, SplitWithoutExistentialsIsDirect) {
+  TgdSet tgds = Tgds("R(X,Y) -> P(X), T(X,Y).");
+  TgdSet normalized = SingleHeadAtoms(tgds, "@t");
+  EXPECT_EQ(normalized.size(), 2u);  // no auxiliary predicate needed
+}
+
+TEST(NormalizeTest, NormalizeHeadsBoundsExistentials) {
+  TgdSet tgds = Tgds("R(X) -> S(X,Y,Z). P(X) -> U(Y,Y).");
+  TgdSet normalized = NormalizeHeads(tgds, "@t");
+  for (const Tgd& tgd : normalized.tgds) {
+    ASSERT_EQ(tgd.head.size(), 1u);
+    std::vector<Term> ex = tgd.ExistentialVariables();
+    EXPECT_LE(ex.size(), 1u);
+    if (!ex.empty()) {
+      int occurrences = 0;
+      for (const Term& t : tgd.head.front().args) {
+        if (t == ex.front()) ++occurrences;
+      }
+      EXPECT_EQ(occurrences, 1);
+    }
+  }
+}
+
+TEST(NormalizeTest, PreservesLinearity) {
+  TgdSet tgds = Tgds("R(X) -> S(X,Y), T(Y,Z).");
+  EXPECT_TRUE(IsLinear(NormalizeHeads(tgds, "@t")));
+  EXPECT_TRUE(IsGuarded(NormalizeHeads(tgds, "@t")));
+  EXPECT_TRUE(IsNonRecursive(NormalizeHeads(tgds, "@t")));
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,131 @@
+// Tests for the downward 2WAPA → NTA conversion and the resulting exact
+// emptiness decision — the toy-scale realization of Prop. 25's
+// "containment iff L(A) = ∅".
+
+#include <gtest/gtest.h>
+
+#include "automata/downward.h"
+#include "core/guarded_automata.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+/// Accepts iff some descendant (or the node itself) carries label 1.
+Twapa Reach1(int num_labels) {
+  Twapa a;
+  a.num_states = 1;
+  a.num_labels = num_labels;
+  a.initial_state = 0;
+  a.mode = AcceptanceMode::kFiniteRuns;
+  a.delta = [](int, int label) {
+    return label == 1 ? Formula::True() : Diamond(Move::kChild, 0);
+  };
+  return a;
+}
+
+/// Accepts iff every node carries label 0 (a downward safety check that
+/// still has finite-runs acceptance on finite trees).
+Twapa All0(int num_labels) {
+  Twapa a;
+  a.num_states = 1;
+  a.num_labels = num_labels;
+  a.initial_state = 0;
+  a.mode = AcceptanceMode::kFiniteRuns;
+  a.delta = [](int, int label) {
+    return label == 0 ? Box(Move::kChild, 0) : Formula::False();
+  };
+  return a;
+}
+
+TEST(DownwardTest, NonEmptyReachability) {
+  auto empty = DownwardIsEmpty(Reach1(2));
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_FALSE(*empty);
+}
+
+TEST(DownwardTest, UnsatisfiableIntersectionIsEmpty) {
+  // "some node has label 1" ∧ "every node has label 0" is contradictory.
+  auto both = Intersect(Reach1(2), All0(2)).value();
+  auto empty = DownwardIsEmpty(both);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_TRUE(*empty);
+}
+
+TEST(DownwardTest, SatisfiableIntersection) {
+  // "some node has label 1" ∧ "root has label 1" is satisfiable.
+  Twapa root1;
+  root1.num_states = 1;
+  root1.num_labels = 2;
+  root1.initial_state = 0;
+  root1.delta = [](int, int label) {
+    return label == 1 ? Formula::True() : Formula::False();
+  };
+  auto both = Intersect(Reach1(2), root1).value();
+  EXPECT_FALSE(DownwardIsEmpty(both).value());
+}
+
+TEST(DownwardTest, NtaWitnessesAreAcceptedByTheTwapa) {
+  Twapa a = Reach1(3);
+  Nta nta = DownwardToNta(a).value();
+  EXPECT_FALSE(IsEmpty(nta));
+  // Cross-check on concrete trees: every small tree accepted by the NTA
+  // is accepted by the 2WAPA (the conversion is witness-sound).
+  LabeledTree leaf1 = LabeledTree::Leaf(1);
+  EXPECT_TRUE(Accepts(nta, leaf1));
+  EXPECT_TRUE(Accepts(a, leaf1));
+  LabeledTree chain = LabeledTree::Leaf(0);
+  chain.AddChild(0, 1);
+  EXPECT_TRUE(Accepts(nta, chain));
+  EXPECT_TRUE(Accepts(a, chain));
+  LabeledTree no1 = LabeledTree::Leaf(0);
+  EXPECT_FALSE(Accepts(nta, no1));
+  EXPECT_FALSE(Accepts(a, no1));
+}
+
+TEST(DownwardTest, RejectsTwoWayAutomata) {
+  Twapa two_way;
+  two_way.num_states = 1;
+  two_way.num_labels = 1;
+  two_way.initial_state = 0;
+  two_way.delta = [](int, int) { return Diamond(Move::kUp, 0); };
+  auto result = DownwardIsEmpty(two_way);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DownwardTest, RejectsSafetyMode) {
+  Twapa safety = Complement(Reach1(2));
+  auto result = DownwardIsEmpty(safety);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---- Prop. 25 at toy scale, now with a real emptiness decision. ----
+
+TEST(DownwardTest, Prop25EmptinessOnGammaAlphabet) {
+  Schema schema;
+  schema.Add(Predicate::Get("r", 2));
+  schema.Add(Predicate::Get("A", 1));
+  auto alphabet = EnumerateGammaAlphabet(schema, 1, 1, 500000).value();
+  Twapa consistency = ConsistencyAutomaton(alphabet);
+  Twapa has_r = AtomPresenceAutomaton(alphabet, Predicate::Get("r", 2));
+
+  // Consistent trees containing an r-atom exist: non-empty.
+  auto c_and_r = Intersect(consistency, has_r).value();
+  DownwardOptions options;
+  options.max_states = 20000;
+  auto nonempty = DownwardIsEmpty(c_and_r, options);
+  ASSERT_TRUE(nonempty.ok()) << nonempty.status().ToString();
+  EXPECT_FALSE(*nonempty);
+
+  // Consistent trees containing an atom of an absent predicate do not.
+  Twapa has_missing =
+      AtomPresenceAutomaton(alphabet, Predicate::Get("missing", 1));
+  auto c_and_missing = Intersect(consistency, has_missing).value();
+  auto is_empty = DownwardIsEmpty(c_and_missing, options);
+  ASSERT_TRUE(is_empty.ok()) << is_empty.status().ToString();
+  EXPECT_TRUE(*is_empty);
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,107 @@
+// Tests for chase provenance and derivation trees (appendix
+// "Derivation Trees" used as an explanation facility).
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "core/explain.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Schema S(std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+Database Db(const std::string& text) { return ParseDatabase(text).value(); }
+
+TEST(ProvenanceTest, ChaseRecordsPremises) {
+  ChaseOptions options;
+  options.track_provenance = true;
+  ChaseResult result =
+      Chase(Db("R(a,b)."), ParseTgds("R(X,Y) -> P(Y).").value(), options)
+          .value();
+  Atom derived = Atom::Make("P", {Term::Constant("b")});
+  ASSERT_TRUE(result.provenance.count(derived) > 0);
+  const auto& why = result.provenance.at(derived);
+  EXPECT_EQ(why.tgd_index, 0u);
+  ASSERT_EQ(why.premises.size(), 1u);
+  EXPECT_EQ(why.premises[0], Atom::Make("R", {Term::Constant("a"),
+                                              Term::Constant("b")}));
+}
+
+TEST(ProvenanceTest, OffByDefault) {
+  ChaseResult result =
+      Chase(Db("R(a,b)."), ParseTgds("R(X,Y) -> P(Y).").value()).value();
+  EXPECT_TRUE(result.provenance.empty());
+}
+
+TEST(ExplainTest, DatabaseFactIsItsOwnProof) {
+  Omq q{S({{"R", 2}}), TgdSet{}, ParseQuery("Q(X) :- R(X,Y)").value()};
+  auto explanation = ExplainTuple(q, Db("R(a,b)."), {Term::Constant("a")});
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_EQ(explanation->roots.size(), 1u);
+  EXPECT_EQ(explanation->roots[0].tgd_index, DerivationNode::kDatabaseFact);
+  EXPECT_EQ(explanation->roots[0].size(), 1u);
+  EXPECT_EQ(explanation->roots[0].depth(), 1);
+}
+
+TEST(ExplainTest, MultiStepDerivation) {
+  Omq q{S({{"R", 2}}),
+        ParseTgds("R(X,Y) -> Knows(X,Y). Knows(X,Y), R(Y,Z) -> Knows(X,Z).")
+            .value(),
+        ParseQuery("Q(X,Z) :- Knows(X,Z)").value()};
+  auto explanation =
+      ExplainTuple(q, Db("R(a,b). R(b,c)."),
+                   {Term::Constant("a"), Term::Constant("c")});
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_EQ(explanation->roots.size(), 1u);
+  const DerivationNode& root = explanation->roots[0];
+  EXPECT_EQ(root.tgd_index, 1);       // the transitive rule
+  EXPECT_EQ(root.premises.size(), 2u);
+  EXPECT_GE(root.depth(), 3);         // Knows(a,c) <- Knows(a,b) <- R(a,b)
+  std::string rendered = explanation->ToString(q.tgds);
+  EXPECT_NE(rendered.find("Knows(a,c)"), std::string::npos);
+  EXPECT_NE(rendered.find("[database fact]"), std::string::npos);
+  EXPECT_NE(rendered.find("[tgd 1"), std::string::npos);
+}
+
+TEST(ExplainTest, NonAnswerIsNotFound) {
+  Omq q{S({{"R", 2}}), ParseTgds("R(X,Y) -> P(Y).").value(),
+        ParseQuery("Q(X) :- P(X)").value()};
+  auto explanation = ExplainTuple(q, Db("R(a,b)."), {Term::Constant("a")});
+  EXPECT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExplainTest, ExistentialWitnessesAppearAsNulls) {
+  Omq q{S({{"A", 1}}),
+        ParseTgds("A(X) -> R(X,Y). R(X,Y) -> B(X).").value(),
+        ParseQuery("Q(X) :- B(X)").value()};
+  auto explanation = ExplainTuple(q, Db("A(a)."), {Term::Constant("a")});
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  const DerivationNode& root = explanation->roots[0];
+  EXPECT_EQ(root.tgd_index, 1);
+  ASSERT_EQ(root.premises.size(), 1u);
+  // The premise R(a, n) holds a labeled null.
+  EXPECT_TRUE(root.premises[0]->atom.args[1].IsNull());
+}
+
+TEST(ExplainTest, RepeatedAnswerVariables) {
+  Omq q{S({{"R", 2}}), TgdSet{},
+        ParseQuery("Q(X,X) :- R(X,X)").value()};
+  auto good = ExplainTuple(q, Db("R(a,a)."),
+                           {Term::Constant("a"), Term::Constant("a")});
+  EXPECT_TRUE(good.ok());
+  auto bad = ExplainTuple(q, Db("R(a,a)."),
+                          {Term::Constant("a"), Term::Constant("b")});
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,179 @@
+// Tests for the workload generators: the Prop. 18 sticky family, the
+// Prop. 35 full→sticky transform, random OMQs and the ELI chain.
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/eval.h"
+#include "generators/families.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Database Db(const std::string& text) { return ParseDatabase(text).value(); }
+
+// ---------- Prop. 18 family. ----------
+
+TEST(StickyFamilyTest, IsStickyAndSmall) {
+  for (int n = 3; n <= 8; ++n) {
+    Omq q = MakeStickyWitnessFamily(n);
+    EXPECT_TRUE(IsSticky(q.tgds)) << n;
+    // ||Σ^n|| = O(n²).
+    EXPECT_LE(q.tgds.SymbolCount(),
+              static_cast<size_t>(8 * n * n + 8 * n + 8));
+  }
+}
+
+TEST(StickyFamilyTest, CompleteCubeIsAnAnswer) {
+  // n = 4: data bits b1,b2; all four S(b1,b2,0,1) facts needed.
+  Omq q = MakeStickyWitnessFamily(4);
+  Database db = Db(
+      "S('0','0','0','1'). S('0','1','0','1')."
+      "S('1','0','0','1'). S('1','1','0','1').");
+  auto result = EvalTuple(q, db, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(*result);
+}
+
+TEST(StickyFamilyTest, MissingFactBreaksTheAnswer) {
+  Omq q = MakeStickyWitnessFamily(4);
+  Database db = Db(
+      "S('0','0','0','1'). S('0','1','0','1'). S('1','0','0','1').");
+  auto result = EvalTuple(q, db, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(StickyFamilyTest, WitnessSizeGrowsExponentially) {
+  // Prop. 18: any D with Q^n(D) ≠ ∅ has at least 2^(n-2) facts. We verify
+  // the shape on the smallest witness produced by the rewriting engine:
+  // the single disjunct of the rewriting has exactly 2^(n-2) atoms.
+  // (n is capped: the number of *intermediate* rewriting states is the
+  // number of antichains of a binary tree, which explodes past n = 5.)
+  for (int n = 3; n <= 5; ++n) {
+    Omq q = MakeStickyWitnessFamily(n);
+    auto rewriting = XRewrite(q.data_schema, q.tgds, q.query);
+    ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+    UnionOfCQs minimized = MinimizeUCQ(*rewriting);
+    size_t min_witness = SIZE_MAX;
+    for (const ConjunctiveQuery& d : minimized.disjuncts) {
+      min_witness = std::min(min_witness, d.size());
+    }
+    EXPECT_EQ(min_witness, size_t{1} << (n - 2)) << "n=" << n;
+  }
+}
+
+// ---------- Prop. 35: full → sticky. ----------
+
+TEST(FullToStickyTest, OutputIsSticky) {
+  Schema schema;
+  schema.Add(Predicate::Get("E", 2));
+  Omq q{schema,
+        ParseTgds("E(X,Y), E(Y,Z) -> E(X,Z).").value(),
+        ParseQuery("Q() :- E(X,X)").value()};
+  auto sticky = FullToSticky(q);
+  ASSERT_TRUE(sticky.ok()) << sticky.status().ToString();
+  EXPECT_TRUE(IsSticky(sticky->tgds));
+  EXPECT_FALSE(IsSticky(q.tgds));  // transitivity alone is not sticky
+}
+
+TEST(FullToStickyTest, PreservesZeroOneSemantics) {
+  // Transitive closure over the 0-1 domain.
+  Schema schema;
+  schema.Add(Predicate::Get("E", 2));
+  Omq q{schema,
+        ParseTgds("E(X,Y), E(Y,Z) -> E(X,Z).").value(),
+        ParseQuery("Q() :- E('0','0')").value()};
+  Omq sticky = FullToSticky(q).value();
+  // D: 0 -> 1 -> 0: the closure contains E(0,0).
+  Database cycle = Db("E('0','1'). E('1','0').");
+  EXPECT_TRUE(EvalTuple(q, cycle, {}).value());
+  EXPECT_TRUE(EvalTuple(sticky, cycle, {}).value());
+  // D: 0 -> 1 only: no loop at 0.
+  Database path = Db("E('0','1').");
+  EXPECT_FALSE(EvalTuple(q, path, {}).value());
+  EXPECT_FALSE(EvalTuple(sticky, path, {}).value());
+}
+
+TEST(FullToStickyTest, RejectsExistentialRules) {
+  Schema schema;
+  schema.Add(Predicate::Get("A", 1));
+  Omq q{schema, ParseTgds("A(X) -> R(X,Y).").value(),
+        ParseQuery("Q() :- R(X,Y)").value()};
+  EXPECT_FALSE(FullToSticky(q).ok());
+}
+
+// ---------- ELI chain. ----------
+
+TEST(EliChainTest, IsGuardedAndRecursive) {
+  TgdSet tgds = MakeEliChainOntology(3);
+  EXPECT_TRUE(IsGuarded(tgds));
+  EXPECT_FALSE(IsNonRecursive(tgds));
+  EXPECT_EQ(PrimaryClass(tgds), TgdClass::kGuarded);
+}
+
+TEST(EliChainTest, ChainDerivesConcepts) {
+  Schema schema;
+  schema.Add(Predicate::Get("A0", 1));
+  Omq q{schema, MakeEliChainOntology(2),
+        ParseQuery("Q(X) :- B0(X)").value()};
+  // A0(a) → ∃y r0(a,y) ∧ A1(y) → B0(a).
+  auto result = EvalTuple(q, Db("A0(a)."), {Term::Constant("a")});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(*result);
+}
+
+// ---------- Random OMQs. ----------
+
+TEST(RandomOmqTest, GeneratedClassesClassifyCorrectly) {
+  for (uint32_t seed = 1; seed <= 10; ++seed) {
+    RandomOmqConfig config;
+    config.seed = seed;
+
+    config.target = TgdClass::kLinear;
+    EXPECT_TRUE(IsLinear(MakeRandomOmq(config).tgds)) << seed;
+
+    config.target = TgdClass::kNonRecursive;
+    EXPECT_TRUE(IsNonRecursive(MakeRandomOmq(config).tgds)) << seed;
+
+    config.target = TgdClass::kSticky;
+    EXPECT_TRUE(IsSticky(MakeRandomOmq(config).tgds)) << seed;
+
+    config.target = TgdClass::kGuarded;
+    EXPECT_TRUE(IsGuarded(MakeRandomOmq(config).tgds)) << seed;
+
+    config.target = TgdClass::kFull;
+    EXPECT_TRUE(IsFull(MakeRandomOmq(config).tgds)) << seed;
+  }
+}
+
+TEST(RandomOmqTest, DeterministicPerSeed) {
+  RandomOmqConfig config;
+  config.seed = 7;
+  Omq a = MakeRandomOmq(config);
+  Omq b = MakeRandomOmq(config);
+  EXPECT_EQ(a.tgds.ToString(), b.tgds.ToString());
+  EXPECT_EQ(a.query.ToString(), b.query.ToString());
+}
+
+TEST(RandomOmqTest, ValidatesAndSelfContains) {
+  for (uint32_t seed = 20; seed < 26; ++seed) {
+    RandomOmqConfig config;
+    config.seed = seed;
+    config.target = TgdClass::kLinear;
+    Omq q = MakeRandomOmq(config);
+    ASSERT_TRUE(ValidateOmq(q).ok());
+    auto self = CheckContainment(q, q);
+    ASSERT_TRUE(self.ok()) << self.status().ToString();
+    EXPECT_EQ(self->outcome, ContainmentOutcome::kContained) << seed;
+  }
+}
+
+TEST(ChainDatabaseTest, Shape) {
+  Database db = MakeChainDatabase(5);
+  EXPECT_EQ(db.size(), 7u);  // A + 5 edges + B
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,161 @@
+// Tests for the CQ evaluation engine (homomorphism search).
+
+#include <gtest/gtest.h>
+
+#include "logic/homomorphism.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Database Db(const std::string& text) {
+  auto db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return db.value();
+}
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.value();
+}
+
+TEST(HomomorphismTest, FindsSimpleMatch) {
+  Database db = Db("R(a,b). P(b).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y)");
+  auto hom = FindHomomorphism(q.body, db);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->Apply(Term::Variable("X")), Term::Constant("a"));
+}
+
+TEST(HomomorphismTest, RespectsJoins) {
+  Database db = Db("R(a,b). P(c).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y)");
+  EXPECT_FALSE(FindHomomorphism(q.body, db).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsMustMatch) {
+  Database db = Db("R(a,b).");
+  ConjunctiveQuery q1 = Q("Q() :- R(a,Y)");
+  ConjunctiveQuery q2 = Q("Q() :- R(b,Y)");
+  EXPECT_TRUE(FindHomomorphism(q1.body, db).has_value());
+  EXPECT_FALSE(FindHomomorphism(q2.body, db).has_value());
+}
+
+TEST(HomomorphismTest, SeedConstrainsSearch) {
+  Database db = Db("R(a,b). R(c,d).");
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y)");
+  Substitution seed;
+  seed.Bind(Term::Variable("X"), Term::Constant("c"));
+  auto hom = FindHomomorphism(q.body, db, seed);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->Apply(Term::Variable("Y")), Term::Constant("d"));
+}
+
+TEST(HomomorphismTest, EnumeratesAllHomomorphisms) {
+  Database db = Db("R(a,b). R(a,c). R(d,e).");
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y)");
+  int count = 0;
+  ForEachHomomorphism(q.body, db, Substitution(),
+                      [&count](const Substitution&) {
+                        ++count;
+                        return true;
+                      });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(HomomorphismTest, EarlyStop) {
+  Database db = Db("R(a,b). R(a,c). R(d,e).");
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y)");
+  int count = 0;
+  ForEachHomomorphism(q.body, db, Substitution(),
+                      [&count](const Substitution&) {
+                        ++count;
+                        return false;
+                      });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EvaluateCQTest, CollectsConstantTuples) {
+  Database db = Db("R(a,b). R(b,c). P(b).");
+  auto answers = EvaluateCQ(Q("Q(X) :- R(X,Y), P(Y)"), db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], Term::Constant("a"));
+}
+
+TEST(EvaluateCQTest, NullsAreNotAnswers) {
+  Instance inst;
+  Term n = Term::FreshNull();
+  inst.Add(Atom::Make("R", {Term::Constant("a"), n}));
+  auto answers = EvaluateCQ(Q("Q(X,Y) :- R(X,Y)"), inst);
+  EXPECT_TRUE(answers.empty());  // (a, null) filtered out
+  auto boolean = EvaluateCQ(Q("Q() :- R(X,Y)"), inst);
+  EXPECT_EQ(boolean.size(), 1u);  // but the Boolean projection holds
+}
+
+TEST(EvaluateCQTest, EmptyBodyYieldsEmptyTuple) {
+  Database db;
+  ConjunctiveQuery q({}, {});
+  auto answers = EvaluateCQ(q, db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_TRUE(answers[0].empty());
+}
+
+TEST(EvaluateUCQTest, UnionsAndDeduplicates) {
+  Database db = Db("R(a,b). P(a).");
+  UnionOfCQs ucq = ParseUCQ("Q(X) :- R(X,Y). Q(X) :- P(X).").value();
+  auto answers = EvaluateUCQ(ucq, db);
+  EXPECT_EQ(answers.size(), 1u);  // both disjuncts give (a)
+}
+
+TEST(TupleInAnswerTest, ChecksMembership) {
+  Database db = Db("R(a,b). R(b,c).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y)");
+  EXPECT_TRUE(TupleInAnswer(q, db, {Term::Constant("a")}));
+  EXPECT_TRUE(TupleInAnswer(q, db, {Term::Constant("b")}));
+  EXPECT_FALSE(TupleInAnswer(q, db, {Term::Constant("c")}));
+}
+
+TEST(TupleInAnswerTest, RepeatedAnswerVariables) {
+  Database db = Db("R(a,a). R(a,b).");
+  ConjunctiveQuery q = Q("Q(X,X) :- R(X,X)");
+  EXPECT_TRUE(
+      TupleInAnswer(q, db, {Term::Constant("a"), Term::Constant("a")}));
+  EXPECT_FALSE(
+      TupleInAnswer(q, db, {Term::Constant("a"), Term::Constant("b")}));
+}
+
+TEST(CQContainmentTest, ChandraMerlin) {
+  // More atoms = more constrained: longer chains are contained in shorter.
+  ConjunctiveQuery path2 = Q("Q(X) :- R(X,Y), R(Y,Z)");
+  ConjunctiveQuery path1 = Q("Q(X) :- R(X,Y)");
+  EXPECT_TRUE(CQContainedIn(path2, path1));
+  EXPECT_FALSE(CQContainedIn(path1, path2));
+}
+
+TEST(CQContainmentTest, SelfContainment) {
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y)");
+  EXPECT_TRUE(CQContainedIn(q, q));
+}
+
+TEST(UCQContainmentTest, SagivYannakakis) {
+  UnionOfCQs u1 = ParseUCQ("Q(X) :- R(X,Y), R(Y,Z).").value();
+  UnionOfCQs u2 = ParseUCQ("Q(X) :- R(X,Y). Q(X) :- P(X).").value();
+  EXPECT_TRUE(UCQContainedIn(u1, u2));
+  EXPECT_FALSE(UCQContainedIn(u2, u1));
+}
+
+TEST(HomomorphismTest, LargerJoinUsesIndexes) {
+  // A modest butterfly join to exercise the most-constrained-first order.
+  Database db;
+  for (int i = 0; i < 30; ++i) {
+    db.Add(Atom::Make("E", {Term::Constant("v" + std::to_string(i)),
+                            Term::Constant("v" + std::to_string(i + 1))}));
+  }
+  ConjunctiveQuery q = Q("Q(A) :- E(A,B), E(B,C), E(C,D), E(D,F)");
+  auto answers = EvaluateCQ(q, db);
+  EXPECT_EQ(answers.size(), 27u);
+}
+
+}  // namespace
+}  // namespace omqc

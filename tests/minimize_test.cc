@@ -1,0 +1,80 @@
+// Tests for ontology-aware OMQ minimization.
+
+#include <gtest/gtest.h>
+
+#include "core/minimize.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Schema S(std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+Omq MakeOmq(Schema schema, const std::string& tgds,
+            const std::string& query) {
+  return Omq{std::move(schema), ParseTgds(tgds).value(),
+             ParseQuery(query).value()};
+}
+
+TEST(MinimizeOmqTest, OntologyMakesAtomRedundant) {
+  // Hub(x) implies an outgoing Flight, which is a Connection: the query
+  // Hub(x) ∧ Connected(x,y) minimizes to Hub(x).
+  Omq q = MakeOmq(S({{"Hub", 1}, {"Flight", 2}}),
+                  "Flight(X,Y) -> Connected(X,Y). Hub(X) -> Flight(X,Y).",
+                  "Q(X) :- Hub(X), Connected(X,Y)");
+  auto result = MinimizeOmqQuery(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->atoms_removed, 1u);
+  EXPECT_TRUE(result->certified_minimal);
+  EXPECT_EQ(result->minimized.query.size(), 1u);
+  EXPECT_EQ(result->minimized.query.body[0].predicate,
+            Predicate::Get("Hub", 1));
+}
+
+TEST(MinimizeOmqTest, PlainCQRedundancyStillDetected) {
+  Omq q = MakeOmq(S({{"R", 2}}), "",
+                  "Q(X) :- R(X,Y), R(X,Z)");
+  auto result = MinimizeOmqQuery(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->minimized.query.size(), 1u);
+}
+
+TEST(MinimizeOmqTest, NothingToRemove) {
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "",
+                  "Q(X) :- A(X), B(X)");
+  auto result = MinimizeOmqQuery(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->atoms_removed, 0u);
+  EXPECT_EQ(result->minimized.query.size(), 2u);
+  EXPECT_TRUE(result->certified_minimal);
+}
+
+TEST(MinimizeOmqTest, AnswerVariablesStayBound) {
+  // Removing A(X) would unbind the answer variable; removing B(Y)... Y is
+  // existential, and nothing implies B, so both atoms stay.
+  Omq q = MakeOmq(S({{"A", 1}, {"B", 1}}), "",
+                  "Q(X) :- A(X), B(Y)");
+  auto result = MinimizeOmqQuery(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->minimized.query.size(), 2u);
+}
+
+TEST(MinimizeOmqTest, MinimizedOmqStaysEquivalent) {
+  Omq q = MakeOmq(S({{"Hub", 1}, {"Flight", 2}}),
+                  "Flight(X,Y) -> Connected(X,Y). Hub(X) -> Flight(X,Y).",
+                  "Q(X) :- Hub(X), Flight(X,Y), Connected(X,Z)");
+  auto result = MinimizeOmqQuery(q);
+  ASSERT_TRUE(result.ok());
+  auto equivalence = CheckEquivalence(result->minimized, q);
+  ASSERT_TRUE(equivalence.ok());
+  EXPECT_EQ(equivalence->outcome, ContainmentOutcome::kContained);
+}
+
+}  // namespace
+}  // namespace omqc

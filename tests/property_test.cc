@@ -1,0 +1,289 @@
+// Property-based sweeps (parameterized over seeds): cross-validate the
+// engines against each other and against brute force on randomized
+// workloads.
+//
+//   * rewriting vs chase: cert answers agree for every UCQ-rewritable
+//     class (the defining equation of UCQ rewritability, Def. 1);
+//   * Chandra-Merlin: CQ containment agrees with per-database evaluation
+//     on random databases;
+//   * containment laws: reflexivity, transitivity, body-extension
+//     monotonicity;
+//   * Props. 5/6: the evaluation<->containment reductions agree with
+//     direct evaluation on random instances;
+//   * chase invariants: the result satisfies Σ; levels are consistent.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "core/containment.h"
+#include "core/reductions.h"
+#include "generators/families.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+/// A deterministic random database over the given predicates.
+Database RandomDatabase(const Schema& schema, int domain_size, int facts,
+                        uint32_t seed) {
+  std::mt19937 rng(seed);
+  Database db;
+  std::vector<Predicate> preds(schema.predicates().begin(),
+                               schema.predicates().end());
+  for (int i = 0; i < facts && !preds.empty(); ++i) {
+    const Predicate& p =
+        preds[rng() % static_cast<uint32_t>(preds.size())];
+    std::vector<Term> args;
+    for (int j = 0; j < p.arity(); ++j) {
+      args.push_back(Term::Constant(
+          "d" + std::to_string(rng() % static_cast<uint32_t>(domain_size))));
+    }
+    db.Add(Atom(p, std::move(args)));
+  }
+  return db;
+}
+
+class SeededTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest, ::testing::Range(1u, 21u));
+
+// ---------- Rewriting vs chase agreement. ----------
+
+TEST_P(SeededTest, RewritingMatchesChaseOnLinear) {
+  RandomOmqConfig config;
+  config.target = TgdClass::kLinear;
+  config.seed = GetParam();
+  Omq q = MakeRandomOmq(config);
+  Database db = RandomDatabase(q.data_schema, 4, 10, GetParam() * 7 + 1);
+
+  auto rewriting = XRewrite(q.data_schema, q.tgds, q.query);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  auto via_rewriting = EvaluateUCQ(*rewriting, db);
+
+  ChaseOptions chase_options;
+  chase_options.max_level = 12;
+  auto chased = Chase(db, q.tgds, chase_options);
+  ASSERT_TRUE(chased.ok());
+  auto via_chase = EvaluateCQ(q.query, chased->instance);
+
+  EXPECT_EQ(via_rewriting, via_chase) << "seed " << GetParam();
+}
+
+TEST_P(SeededTest, RewritingMatchesChaseOnNonRecursive) {
+  RandomOmqConfig config;
+  config.target = TgdClass::kNonRecursive;
+  config.seed = GetParam();
+  Omq q = MakeRandomOmq(config);
+  Database db = RandomDatabase(q.data_schema, 3, 12, GetParam() * 13 + 2);
+
+  auto rewriting = XRewrite(q.data_schema, q.tgds, q.query);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  auto via_rewriting = EvaluateUCQ(*rewriting, db);
+
+  auto chased = Chase(db, q.tgds);  // NR: terminates
+  ASSERT_TRUE(chased.ok());
+  ASSERT_TRUE(chased->complete);
+  auto via_chase = EvaluateCQ(q.query, chased->instance);
+
+  EXPECT_EQ(via_rewriting, via_chase) << "seed " << GetParam();
+}
+
+TEST_P(SeededTest, RewritingMatchesChaseOnSticky) {
+  RandomOmqConfig config;
+  config.target = TgdClass::kSticky;
+  config.seed = GetParam();
+  Omq q = MakeRandomOmq(config);
+  ASSERT_TRUE(IsSticky(q.tgds));
+  Database db = RandomDatabase(q.data_schema, 3, 10, GetParam() * 3 + 5);
+
+  auto rewriting = XRewrite(q.data_schema, q.tgds, q.query);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  auto via_rewriting = EvaluateUCQ(*rewriting, db);
+
+  auto chased = Chase(db, q.tgds);  // these random sticky sets are NR too
+  ASSERT_TRUE(chased.ok());
+  ASSERT_TRUE(chased->complete);
+  auto via_chase = EvaluateCQ(q.query, chased->instance);
+
+  EXPECT_EQ(via_rewriting, via_chase) << "seed " << GetParam();
+}
+
+// ---------- Chandra-Merlin cross-validation. ----------
+
+TEST_P(SeededTest, CQContainmentMatchesEvaluationOnRandomDatabases) {
+  std::mt19937 rng(GetParam());
+  Schema schema;
+  schema.Add(Predicate::Get("R", 2));
+  schema.Add(Predicate::Get("P", 1));
+  auto random_cq = [&rng]() {
+    std::vector<Atom> body;
+    int atoms = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < atoms; ++i) {
+      auto v = [&rng]() {
+        return Term::Variable("V" + std::to_string(rng() % 3));
+      };
+      if (rng() % 2 == 0) {
+        body.push_back(Atom::Make("R", {v(), v()}));
+      } else {
+        body.push_back(Atom::Make("P", {v()}));
+      }
+    }
+    return ConjunctiveQuery({}, std::move(body));
+  };
+  ConjunctiveQuery q1 = random_cq();
+  ConjunctiveQuery q2 = random_cq();
+  bool contained = CQContainedIn(q1, q2);
+  // Soundness check on random databases: wherever q1 holds, q2 must too.
+  for (uint32_t i = 0; i < 6; ++i) {
+    Database db = RandomDatabase(schema, 3, 8, GetParam() * 31 + i);
+    bool holds1 = HoldsIn(q1, db);
+    bool holds2 = HoldsIn(q2, db);
+    if (contained && holds1) {
+      EXPECT_TRUE(holds2) << "q1=" << q1.ToString()
+                          << " q2=" << q2.ToString() << "\n"
+                          << db.ToString();
+    }
+  }
+}
+
+// ---------- Containment laws. ----------
+
+TEST_P(SeededTest, ContainmentIsReflexive) {
+  RandomOmqConfig config;
+  config.target = GetParam() % 2 == 0 ? TgdClass::kLinear
+                                      : TgdClass::kNonRecursive;
+  config.seed = GetParam();
+  Omq q = MakeRandomOmq(config);
+  auto result = CheckContainment(q, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+}
+
+TEST_P(SeededTest, AddingBodyAtomsShrinksTheQuery) {
+  RandomOmqConfig config;
+  config.target = TgdClass::kLinear;
+  config.seed = GetParam();
+  Omq smaller = MakeRandomOmq(config);
+  // Extend the body with one more atom over the data schema: the extended
+  // query is contained in the original.
+  Omq larger = smaller;
+  const Predicate& p = *smaller.data_schema.predicates().begin();
+  std::vector<Term> args;
+  for (int i = 0; i < p.arity(); ++i) {
+    args.push_back(Term::Variable("Extra" + std::to_string(i)));
+  }
+  larger.query.body.push_back(Atom(p, std::move(args)));
+  auto result = CheckContainment(larger, smaller);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+}
+
+TEST_P(SeededTest, ContainmentIsTransitiveOnDecidedTriples) {
+  // Build three comparable linear OMQs: chains of decreasing length are
+  // increasing in ⊆.
+  Schema schema;
+  schema.Add(Predicate::Get("R", 2));
+  TgdSet tgds = ParseTgds("R(X,Y) -> S(X,Y).").value();
+  int base = 1 + static_cast<int>(GetParam() % 3);
+  auto chain = [&](int len) {
+    std::string text = "Q(X0) :- ";
+    for (int i = 0; i < len; ++i) {
+      if (i > 0) text += ", ";
+      text += "R(X" + std::to_string(i) + ",X" + std::to_string(i + 1) + ")";
+    }
+    return Omq{schema, tgds, ParseQuery(text).value()};
+  };
+  Omq a = chain(base + 2), b = chain(base + 1), c = chain(base);
+  EXPECT_EQ(CheckContainment(a, b)->outcome, ContainmentOutcome::kContained);
+  EXPECT_EQ(CheckContainment(b, c)->outcome, ContainmentOutcome::kContained);
+  EXPECT_EQ(CheckContainment(a, c)->outcome, ContainmentOutcome::kContained);
+}
+
+// ---------- Props. 5/6 on random instances. ----------
+
+TEST_P(SeededTest, Prop5MatchesDirectEvaluation) {
+  Schema schema;
+  schema.Add(Predicate::Get("R", 2));
+  schema.Add(Predicate::Get("P", 1));
+  Omq q{schema, ParseTgds("R(X,Y) -> P(Y). P(X) -> Good(X).").value(),
+        ParseQuery("Q(X) :- Good(X)").value()};
+  Database db = RandomDatabase(schema, 3, 6, GetParam() * 17 + 3);
+  for (const Term& c : db.ActiveDomainConstants()) {
+    bool direct = EvalTuple(q, db, {c}).value();
+    auto reduction = EvalToContainment(q, db, {c});
+    ASSERT_TRUE(reduction.ok());
+    auto contained = CheckContainment(reduction->q1, reduction->q2);
+    ASSERT_TRUE(contained.ok());
+    EXPECT_EQ(contained->outcome == ContainmentOutcome::kContained, direct)
+        << c.ToString() << "\n"
+        << db.ToString();
+  }
+}
+
+TEST_P(SeededTest, Prop6MatchesDirectEvaluation) {
+  Schema schema;
+  schema.Add(Predicate::Get("R", 2));
+  Omq q{schema, ParseTgds("R(X,Y) -> P(Y).").value(),
+        ParseQuery("Q(X) :- P(X)").value()};
+  Database db = RandomDatabase(schema, 3, 5, GetParam() * 29 + 11);
+  for (const Term& c : db.ActiveDomainConstants()) {
+    bool direct = EvalTuple(q, db, {c}).value();
+    auto reduction = EvalToCoContainment(q, db, {c});
+    ASSERT_TRUE(reduction.ok());
+    auto contained = CheckContainment(reduction->q1, reduction->q2);
+    ASSERT_TRUE(contained.ok());
+    // c ∈ Q(D) iff Q1 ⊄ Q2.
+    EXPECT_EQ(contained->outcome == ContainmentOutcome::kNotContained,
+              direct);
+  }
+}
+
+// ---------- Chase invariants. ----------
+
+TEST_P(SeededTest, ChaseResultSatisfiesTheTgds) {
+  RandomOmqConfig config;
+  config.target = TgdClass::kNonRecursive;
+  config.seed = GetParam();
+  Omq q = MakeRandomOmq(config);
+  Database db = RandomDatabase(q.data_schema, 3, 8, GetParam() + 100);
+  auto chased = Chase(db, q.tgds);
+  ASSERT_TRUE(chased.ok());
+  ASSERT_TRUE(chased->complete);
+  // I |= Σ: every body match extends to a head match.
+  for (const Tgd& tgd : q.tgds.tgds) {
+    bool violated = false;
+    ForEachHomomorphism(
+        tgd.body, chased->instance, Substitution(),
+        [&](const Substitution& trigger) {
+          if (!FindHomomorphism(tgd.head, chased->instance, trigger)
+                   .has_value()) {
+            violated = true;
+            return false;
+          }
+          return true;
+        });
+    EXPECT_FALSE(violated) << tgd.ToString();
+  }
+}
+
+TEST_P(SeededTest, ObliviousChaseSubsumesRestricted) {
+  RandomOmqConfig config;
+  config.target = TgdClass::kNonRecursive;
+  config.seed = GetParam();
+  Omq q = MakeRandomOmq(config);
+  Database db = RandomDatabase(q.data_schema, 3, 6, GetParam() + 200);
+  ChaseOptions oblivious;
+  oblivious.variant = ChaseVariant::kOblivious;
+  auto restricted = Chase(db, q.tgds);
+  auto full = Chase(db, q.tgds, oblivious);
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_GE(full->instance.size(), restricted->instance.size());
+  // Both are universal models: each maps into the other, so they agree on
+  // every Boolean CQ; spot-check with the query itself.
+  EXPECT_EQ(HoldsIn(q.query, restricted->instance),
+            HoldsIn(q.query, full->instance));
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,181 @@
+// Tests for the reductions of Sec. 3: Prop. 5 (Eval → Cont), Prop. 6
+// (Eval → coCont) and Prop. 9 (UCQ → CQ).
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/eval.h"
+#include "core/reductions.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Schema S(std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+Omq MakeOmq(Schema schema, const std::string& tgds,
+            const std::string& query) {
+  return Omq{std::move(schema), ParseTgds(tgds).value(),
+             ParseQuery(query).value()};
+}
+
+Database Db(const std::string& text) { return ParseDatabase(text).value(); }
+
+// ---------- Prop. 5: c̄ ∈ Q(D) iff Q1 ⊆ Q2. ----------
+
+TEST(Prop5Test, PositiveInstanceGivesContainment) {
+  Omq q = MakeOmq(S({{"R", 2}}), "R(X,Y) -> P(Y).", "Q(X) :- P(X)");
+  Database db = Db("R(a,b).");
+  // b IS a certain answer.
+  auto instance = EvalToContainment(q, db, {Term::Constant("b")});
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  auto contained = CheckContainment(instance->q1, instance->q2);
+  ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+  EXPECT_EQ(contained->outcome, ContainmentOutcome::kContained);
+}
+
+TEST(Prop5Test, NegativeInstanceGivesNonContainment) {
+  Omq q = MakeOmq(S({{"R", 2}}), "R(X,Y) -> P(Y).", "Q(X) :- P(X)");
+  Database db = Db("R(a,b).");
+  // a is NOT a certain answer.
+  auto instance = EvalToContainment(q, db, {Term::Constant("a")});
+  ASSERT_TRUE(instance.ok());
+  auto contained = CheckContainment(instance->q1, instance->q2);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_EQ(contained->outcome, ContainmentOutcome::kNotContained);
+}
+
+TEST(Prop5Test, AgreesWithDirectEvaluationOnManyTuples) {
+  Omq q = MakeOmq(S({{"E", 2}}), "E(X,Y), E(Y,Z) -> P2(X,Z).",
+                  "Q(X,Y) :- P2(X,Y)");
+  Database db = Db("E(a,b). E(b,c). E(c,d).");
+  for (const char* from : {"a", "b", "c", "d"}) {
+    for (const char* to : {"a", "b", "c", "d"}) {
+      std::vector<Term> tuple{Term::Constant(from), Term::Constant(to)};
+      bool direct = EvalTuple(q, db, tuple).value();
+      auto instance = EvalToContainment(q, db, tuple);
+      ASSERT_TRUE(instance.ok());
+      auto contained = CheckContainment(instance->q1, instance->q2);
+      ASSERT_TRUE(contained.ok());
+      EXPECT_EQ(contained->outcome == ContainmentOutcome::kContained,
+                direct)
+          << from << " -> " << to;
+    }
+  }
+}
+
+// ---------- Prop. 6: c̄ ∈ Q(D) iff Q1 ⊄ Q2. ----------
+
+TEST(Prop6Test, PositiveInstanceGivesNonContainment) {
+  Omq q = MakeOmq(S({{"R", 2}}), "R(X,Y) -> P(Y).", "Q(X) :- P(X)");
+  Database db = Db("R(a,b).");
+  auto instance = EvalToCoContainment(q, db, {Term::Constant("b")});
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  auto contained = CheckContainment(instance->q1, instance->q2);
+  ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+  EXPECT_EQ(contained->outcome, ContainmentOutcome::kNotContained);
+}
+
+TEST(Prop6Test, NegativeInstanceGivesContainment) {
+  Omq q = MakeOmq(S({{"R", 2}}), "R(X,Y) -> P(Y).", "Q(X) :- P(X)");
+  Database db = Db("R(a,b).");
+  auto instance = EvalToCoContainment(q, db, {Term::Constant("a")});
+  ASSERT_TRUE(instance.ok());
+  auto contained = CheckContainment(instance->q1, instance->q2);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_EQ(contained->outcome, ContainmentOutcome::kContained);
+}
+
+TEST(Prop6Test, StarredOntologyStaysInClass) {
+  // The construction adds fact tgds — every class is closed under that.
+  Omq q = MakeOmq(S({{"R", 2}}), "R(X,Y) -> P(Y).", "Q(X) :- P(X)");
+  auto instance = EvalToCoContainment(q, Db("R(a,b)."),
+                                      {Term::Constant("b")});
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(IsLinear(instance->q1.tgds));
+}
+
+// ---------- Prop. 9: UCQ → CQ. ----------
+
+TEST(Prop9Test, PreservesAnswersOnBooleanUcq) {
+  Schema schema = S({{"A", 1}, {"B", 1}});
+  UcqOmq ucq_omq{schema, ParseTgds("A(X) -> P(X).").value(),
+                 ParseUCQ("Q() :- P(X). Q() :- B(X).").value()};
+  auto cq_omq = UcqOmqToCqOmq(ucq_omq);
+  ASSERT_TRUE(cq_omq.ok()) << cq_omq.status().ToString();
+
+  for (const char* db_text : {"A(a).", "B(b).", "A(a). B(b)."}) {
+    Database db = Db(db_text);
+    // Original: evaluate the UCQ under the ontology via the chase.
+    bool original = false;
+    for (const ConjunctiveQuery& d : ucq_omq.query.disjuncts) {
+      Omq single{ucq_omq.data_schema, ucq_omq.tgds, d};
+      if (EvalTuple(single, db, {}).value()) original = true;
+    }
+    auto transformed = EvalTuple(*cq_omq, db, {});
+    ASSERT_TRUE(transformed.ok()) << transformed.status().ToString();
+    EXPECT_EQ(*transformed, original) << db_text;
+  }
+}
+
+TEST(Prop9Test, FalseWhenNoDisjunctHolds) {
+  Schema schema = S({{"A", 1}, {"B", 1}, {"C", 1}});
+  UcqOmq ucq_omq{schema, TgdSet{},
+                 ParseUCQ("Q() :- A(X), B(X). Q() :- C(X).").value()};
+  Omq cq_omq = UcqOmqToCqOmq(ucq_omq).value();
+  EXPECT_FALSE(EvalTuple(cq_omq, Db("A(a). B(b)."), {}).value());
+  EXPECT_TRUE(EvalTuple(cq_omq, Db("A(a). B(a)."), {}).value());
+  EXPECT_TRUE(EvalTuple(cq_omq, Db("C(c)."), {}).value());
+}
+
+TEST(Prop9Test, PreservesLinearity) {
+  Schema schema = S({{"A", 1}});
+  UcqOmq ucq_omq{schema, ParseTgds("A(X) -> P(X,Y). P(X,Y) -> B(Y).").value(),
+                 ParseUCQ("Q() :- B(X). Q() :- A(X).").value()};
+  Omq cq_omq = UcqOmqToCqOmq(ucq_omq).value();
+  EXPECT_TRUE(IsLinear(cq_omq.tgds));
+}
+
+TEST(Prop9Test, PreservesGuardedness) {
+  Schema schema = S({{"R", 2}, {"A", 1}});
+  UcqOmq ucq_omq{schema,
+                 ParseTgds("R(X,Y), A(X) -> A(Y).").value(),
+                 ParseUCQ("Q() :- A(X). Q() :- R(X,X).").value()};
+  Omq cq_omq = UcqOmqToCqOmq(ucq_omq).value();
+  EXPECT_TRUE(IsGuarded(cq_omq.tgds));
+}
+
+TEST(Prop9Test, PreservesNonRecursiveness) {
+  Schema schema = S({{"A", 1}});
+  UcqOmq ucq_omq{schema, ParseTgds("A(X) -> B(X). B(X) -> C(X).").value(),
+                 ParseUCQ("Q() :- C(X). Q() :- B(X).").value()};
+  Omq cq_omq = UcqOmqToCqOmq(ucq_omq).value();
+  EXPECT_TRUE(IsNonRecursive(cq_omq.tgds));
+}
+
+TEST(Prop9Test, RejectsNonBooleanUcq) {
+  Schema schema = S({{"A", 1}});
+  UcqOmq ucq_omq{schema, TgdSet{}, ParseUCQ("Q(X) :- A(X).").value()};
+  auto result = UcqOmqToCqOmq(ucq_omq);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Prop9Test, WorksWithFactTgdOntologies) {
+  // Fact tgds derive atoms true in every model: on the empty database the
+  // transform must still agree.
+  Schema schema = S({{"A", 1}});
+  UcqOmq ucq_omq{schema, ParseTgds("-> B(c).").value(),
+                 ParseUCQ("Q() :- B(X). Q() :- A(X).").value()};
+  Omq cq_omq = UcqOmqToCqOmq(ucq_omq).value();
+  EXPECT_TRUE(EvalTuple(cq_omq, Database{}, {}).value());
+}
+
+}  // namespace
+}  // namespace omqc

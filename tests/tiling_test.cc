@@ -1,0 +1,183 @@
+// Tests for the tiling encodings (Thms. 16 and 34): the reductions are
+// cross-checked against brute-force tiling solvers on small instances.
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "generators/tiling.h"
+
+namespace omqc {
+namespace {
+
+// ---------- Brute-force solvers. ----------
+
+TEST(TilingSolverTest, FreeTilingAlwaysSolvable) {
+  ExponentialTilingInstance t;
+  t.n = 1;
+  t.m = 2;
+  for (int i = 1; i <= 2; ++i) {
+    for (int j = 1; j <= 2; ++j) {
+      t.horizontal.insert({i, j});
+      t.vertical.insert({i, j});
+    }
+  }
+  EXPECT_TRUE(SolveTilingBruteForce(t));
+}
+
+TEST(TilingSolverTest, EmptyRelationsUnsolvable) {
+  ExponentialTilingInstance t;
+  t.n = 1;
+  t.m = 2;  // no compatible pairs at all
+  EXPECT_FALSE(SolveTilingBruteForce(t));
+}
+
+TEST(TilingSolverTest, CheckerboardConstraint) {
+  // Tiles must alternate: H and V only allow (1,2) and (2,1).
+  ExponentialTilingInstance t;
+  t.n = 1;
+  t.m = 2;
+  t.horizontal = {{1, 2}, {2, 1}};
+  t.vertical = {{1, 2}, {2, 1}};
+  EXPECT_TRUE(SolveTilingBruteForce(t));
+  // Forcing two equal initial tiles breaks it.
+  t.initial_row = {1, 1};
+  EXPECT_FALSE(SolveTilingBruteForce(t));
+  t.initial_row = {1, 2};
+  EXPECT_TRUE(SolveTilingBruteForce(t));
+}
+
+TEST(TilingSolverTest, EtpQuantifiesOverInitialConditions) {
+  ExtendedTilingInstance etp;
+  etp.k = 1;
+  etp.n = 1;
+  etp.m = 2;
+  // T1 solvable for every s; T2 solvable for every s too.
+  for (int i = 1; i <= 2; ++i) {
+    for (int j = 1; j <= 2; ++j) {
+      etp.h1.insert({i, j});
+      etp.v1.insert({i, j});
+      etp.h2.insert({i, j});
+      etp.v2.insert({i, j});
+    }
+  }
+  EXPECT_TRUE(SolveEtpBruteForce(etp));
+  // Break T2 while keeping T1: some s admits T1 but not T2 -> "no".
+  etp.h2.clear();
+  etp.v2.clear();
+  EXPECT_FALSE(SolveEtpBruteForce(etp));
+  // Also break T1: vacuously true again.
+  etp.h1.clear();
+  etp.v1.clear();
+  EXPECT_TRUE(SolveEtpBruteForce(etp));
+}
+
+// ---------- Thm. 16 encoding. ----------
+
+ExtendedTilingInstance SmallEtp(bool t1_solvable, bool t2_solvable) {
+  ExtendedTilingInstance etp;
+  etp.k = 1;
+  etp.n = 1;
+  etp.m = 1;  // a single tile: solvable iff (1,1) ∈ H ∩ V
+  if (t1_solvable) {
+    etp.h1.insert({1, 1});
+    etp.v1.insert({1, 1});
+  }
+  if (t2_solvable) {
+    etp.h2.insert({1, 1});
+    etp.v2.insert({1, 1});
+  }
+  return etp;
+}
+
+TEST(EtpEncodingTest, EncodingIsNonRecursive) {
+  auto encoding = EncodeExtendedTiling(SmallEtp(true, true));
+  ASSERT_TRUE(encoding.ok()) << encoding.status().ToString();
+  EXPECT_TRUE(IsNonRecursive(encoding->q1.tgds));
+  EXPECT_TRUE(IsNonRecursive(encoding->q2.tgds));
+  EXPECT_TRUE(ValidateOmq(encoding->q1).ok());
+  EXPECT_TRUE(ValidateOmq(encoding->q2).ok());
+}
+
+TEST(EtpEncodingTest, MatchesBruteForceOnSmallInstances) {
+  ContainmentOptions options;
+  options.rewrite.max_queries = 20000;
+  options.eval.chase_max_atoms = 500000;
+  for (bool t1 : {false, true}) {
+    for (bool t2 : {false, true}) {
+      ExtendedTilingInstance etp = SmallEtp(t1, t2);
+      bool expected = SolveEtpBruteForce(etp);
+      auto encoding = EncodeExtendedTiling(etp);
+      ASSERT_TRUE(encoding.ok());
+      auto contained =
+          CheckContainment(encoding->q1, encoding->q2, options);
+      ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+      EXPECT_EQ(contained->outcome == ContainmentOutcome::kContained,
+                expected)
+          << "t1=" << t1 << " t2=" << t2;
+    }
+  }
+}
+
+TEST(EtpEncodingTest, RejectsOversizedInitialCondition) {
+  ExtendedTilingInstance etp;
+  etp.k = 3;
+  etp.n = 1;  // 2^1 = 2 < 3
+  etp.m = 1;
+  EXPECT_FALSE(EncodeExtendedTiling(etp).ok());
+}
+
+// ---------- Thm. 34 encoding. ----------
+
+TEST(ExponentialTilingEncodingTest, ClassesAreAsStated) {
+  ExponentialTilingInstance t;
+  t.n = 1;
+  t.m = 2;
+  t.horizontal = {{1, 2}, {2, 1}};
+  t.vertical = {{1, 2}, {2, 1}};
+  auto encoding = EncodeExponentialTiling(t);
+  ASSERT_TRUE(encoding.ok()) << encoding.status().ToString();
+  // QT: full and non-recursive.
+  EXPECT_TRUE(IsFull(encoding->qt.tgds));
+  EXPECT_TRUE(IsNonRecursive(encoding->qt.tgds));
+  // Q'T: linear tgds.
+  EXPECT_TRUE(IsLinear(encoding->qt_prime.tgds));
+}
+
+TEST(ExponentialTilingEncodingTest, MatchesBruteForce) {
+  ContainmentOptions options;
+  options.rewrite.max_queries = 50000;
+  options.rewrite.max_steps = 5000000;
+  struct Case {
+    std::set<std::pair<int, int>> h, v;
+    std::vector<int> s;
+  };
+  std::vector<Case> cases;
+  // Checkerboard: solvable.
+  cases.push_back({{{1, 2}, {2, 1}}, {{1, 2}, {2, 1}}, {}});
+  // No vertical compatibility: unsolvable.
+  cases.push_back({{{1, 2}, {2, 1}}, {}, {}});
+  // Checkerboard with a contradictory initial row: unsolvable.
+  cases.push_back({{{1, 2}, {2, 1}}, {{1, 2}, {2, 1}}, {1, 1}});
+  for (const Case& c : cases) {
+    ExponentialTilingInstance t;
+    t.n = 1;
+    t.m = 2;
+    t.horizontal = c.h;
+    t.vertical = c.v;
+    t.initial_row = c.s;
+    bool solvable = SolveTilingBruteForce(t);
+    auto encoding = EncodeExponentialTiling(t);
+    ASSERT_TRUE(encoding.ok());
+    UcqOmq lhs{encoding->qt.data_schema, encoding->qt.tgds,
+               UnionOfCQs({encoding->qt.query})};
+    auto contained =
+        CheckUcqOmqContainment(lhs, encoding->qt_prime, options);
+    ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+    // T solvable iff QT ⊄ Q'T.
+    EXPECT_EQ(contained->outcome == ContainmentOutcome::kNotContained,
+              solvable);
+  }
+}
+
+}  // namespace
+}  // namespace omqc

@@ -1,0 +1,256 @@
+// Tests for the XRewrite algorithm (Algorithm 1), including the paper's
+// Example 1 and the size-bound propositions 12/14/17.
+
+#include <gtest/gtest.h>
+
+#include "logic/homomorphism.h"
+#include "rewrite/unify.h"
+#include "rewrite/xrewrite.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+TgdSet Tgds(const std::string& text) { return ParseTgds(text).value(); }
+ConjunctiveQuery Q(const std::string& text) {
+  return ParseQuery(text).value();
+}
+Database Db(const std::string& text) { return ParseDatabase(text).value(); }
+
+Schema SchemaOf(std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+TEST(UnifyTest, BasicUnification) {
+  Atom a1 = ParseAtom("R(X,Y)").value();
+  Atom a2 = ParseAtom("R(U,a)").value();
+  auto mgu = MostGeneralUnifier({a1, a2});
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(a1), mgu->Apply(a2));
+  EXPECT_EQ(mgu->Apply(Term::Variable("Y")), Term::Constant("a"));
+}
+
+TEST(UnifyTest, ClashingConstantsFail) {
+  Atom a1 = ParseAtom("R(a,X)").value();
+  Atom a2 = ParseAtom("R(b,Y)").value();
+  EXPECT_FALSE(MostGeneralUnifier({a1, a2}).has_value());
+}
+
+TEST(UnifyTest, TransitiveMerging) {
+  Atom a1 = ParseAtom("R(X,X)").value();
+  Atom a2 = ParseAtom("R(Y,a)").value();
+  auto mgu = MostGeneralUnifier({a1, a2});
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(Term::Variable("X")), Term::Constant("a"));
+  EXPECT_EQ(mgu->Apply(Term::Variable("Y")), Term::Constant("a"));
+}
+
+TEST(UnifyTest, ThreeAtoms) {
+  auto mgu = MostGeneralUnifier({ParseAtom("R(X,Y)").value(),
+                                 ParseAtom("R(Y,Z)").value(),
+                                 ParseAtom("R(Z,X)").value()});
+  ASSERT_TRUE(mgu.has_value());
+  Term image = mgu->Apply(Term::Variable("X"));
+  EXPECT_EQ(mgu->Apply(Term::Variable("Y")), image);
+  EXPECT_EQ(mgu->Apply(Term::Variable("Z")), image);
+}
+
+TEST(UnifyTest, DifferentPredicatesFail) {
+  EXPECT_FALSE(MostGeneralUnifier({ParseAtom("R(X,Y)").value(),
+                                   ParseAtom("P(X,Y)").value()})
+                   .has_value());
+}
+
+// Example 1 of the paper: S = {P, T}, Σ = { P(x) → ∃y R(x,y),
+// R(x,y) → P(y), T(x) → P(x) }, q(x) = ∃y (R(x,y) ∧ P(y)).
+// The UCQ rewriting over S is P(x) ∨ T(x).
+TEST(XRewriteTest, PaperExample1) {
+  Schema s = SchemaOf({{"P", 1}, {"T", 1}});
+  TgdSet tgds = Tgds(
+      "P(X) -> R(X,Y)."
+      "R(X,Y) -> P(Y)."
+      "T(X) -> P(X).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y)");
+  auto rewriting = XRewrite(s, tgds, q);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  UnionOfCQs minimized = MinimizeUCQ(*rewriting);
+  ASSERT_EQ(minimized.size(), 2u) << minimized.ToString();
+  // Exactly P(x) and T(x), modulo renaming.
+  UnionOfCQs expected = ParseUCQ("Q(X) :- P(X). Q(X) :- T(X).").value();
+  EXPECT_TRUE(UCQContainedIn(minimized, expected));
+  EXPECT_TRUE(UCQContainedIn(expected, minimized));
+}
+
+TEST(XRewriteTest, RewritingIsEquivalentToChaseEvaluation) {
+  Schema s = SchemaOf({{"P", 1}, {"T", 1}});
+  TgdSet tgds = Tgds(
+      "P(X) -> R(X,Y)."
+      "R(X,Y) -> P(Y)."
+      "T(X) -> P(X).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y)");
+  UnionOfCQs rewriting = XRewrite(s, tgds, q).value();
+  Database db = Db("T(a). P(b).");
+  auto rewritten_answers = EvaluateUCQ(rewriting, db);
+  EXPECT_EQ(rewritten_answers.size(), 2u);  // both a and b
+}
+
+TEST(XRewriteTest, EmptyOntologyReturnsQueryItself) {
+  Schema s = SchemaOf({{"R", 2}});
+  auto rewriting = XRewrite(s, TgdSet{}, Q("Q(X) :- R(X,Y)"));
+  ASSERT_TRUE(rewriting.ok());
+  ASSERT_EQ(rewriting->size(), 1u);
+  EXPECT_TRUE(IsomorphicCQs(rewriting->disjuncts[0], Q("Q(X) :- R(X,Y)")));
+}
+
+TEST(XRewriteTest, QueryOverNonDataPredicateNeedsResolution) {
+  // The query predicate is not in S: only resolved forms survive.
+  Schema s = SchemaOf({{"A", 1}});
+  TgdSet tgds = Tgds("A(X) -> B(X).");
+  auto rewriting = XRewrite(s, tgds, Q("Q(X) :- B(X)"));
+  ASSERT_TRUE(rewriting.ok());
+  ASSERT_EQ(rewriting->size(), 1u);
+  EXPECT_TRUE(IsomorphicCQs(rewriting->disjuncts[0], Q("Q(X) :- A(X)")));
+}
+
+TEST(XRewriteTest, LinearBoundProposition12) {
+  // With linear tgds no disjunct has more atoms than the original query.
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds(
+      "P(X) -> R(X,Y)."
+      "R(X,Y) -> P(X).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y), R(Y,Z)");
+  XRewriteStats stats;
+  auto rewriting = XRewrite(s, tgds, q, XRewriteOptions(), &stats);
+  ASSERT_TRUE(rewriting.ok());
+  EXPECT_LE(stats.max_disjunct_atoms, LinearRewriteBound(q));
+}
+
+TEST(XRewriteTest, ApplicabilityBlocksSharedExistentialPosition) {
+  // σ = P(u) → ∃w R(w,u): R(X,Y) has the shared variable X at the
+  // existential position R[1], so resolution must not fire directly; the
+  // factorization step recovers it (the paper's example after Def. 6).
+  Schema s = SchemaOf({{"P", 1}});
+  TgdSet tgds = Tgds("P(U) -> R(W,U).");
+  ConjunctiveQuery q = Q("Q() :- R(X,Y), R(X,Z)");
+  auto rewriting = XRewrite(s, tgds, q);
+  ASSERT_TRUE(rewriting.ok());
+  ASSERT_EQ(rewriting->size(), 1u);
+  EXPECT_TRUE(IsomorphicCQs(rewriting->disjuncts[0], Q("Q() :- P(Y)")));
+}
+
+TEST(XRewriteTest, ConstantAtExistentialPositionBlocks) {
+  // R(a,Y): constant at the existential position W of P(U) → R(W,U).
+  Schema s = SchemaOf({{"P", 1}, {"R", 2}});
+  TgdSet tgds = Tgds("P(U) -> R(W,U).");
+  auto rewriting = XRewrite(s, tgds, Q("Q() :- R(a,Y)"));
+  ASSERT_TRUE(rewriting.ok());
+  // Only the original query survives; no resolution with the tgd.
+  ASSERT_EQ(rewriting->size(), 1u);
+  EXPECT_EQ(rewriting->disjuncts[0].body[0].predicate,
+            Predicate::Get("R", 2));
+}
+
+TEST(XRewriteTest, StickyRewritingStaysWithinProposition17) {
+  Schema s = SchemaOf({{"R", 2}, {"P", 2}});
+  TgdSet tgds = Tgds(
+      "R(X,Y), P(X,Z) -> T(X,Y,Z)."
+      "T(X,Y,Z) -> R(Y,X).");
+  ConjunctiveQuery q = Q("Q() :- T(X,Y,Z), R(Y,X)");
+  XRewriteStats stats;
+  auto rewriting = XRewrite(s, tgds, q, XRewriteOptions(), &stats);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  EXPECT_LE(stats.max_disjunct_atoms, StickyRewriteBound(s, tgds, q));
+}
+
+TEST(XRewriteTest, NonRecursiveRewritingStaysWithinProposition14) {
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds(
+      "R(X,Y), P(Y) -> S(X,Y)."
+      "S(X,Y), S(Y,Z) -> U(X,Z).");
+  ConjunctiveQuery q = Q("Q(X) :- U(X,Y)");
+  XRewriteStats stats;
+  auto rewriting = XRewrite(s, tgds, q, XRewriteOptions(), &stats);
+  ASSERT_TRUE(rewriting.ok());
+  EXPECT_GT(rewriting->size(), 0u);
+  EXPECT_LE(stats.max_disjunct_atoms, NonRecursiveRewriteBound(tgds, q));
+}
+
+TEST(XRewriteTest, BudgetExceededIsReported) {
+  // Guarded recursive ontology whose rewriting is infinite without
+  // pruning.
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds("R(X,Y), P(Y) -> P(X).");
+  ConjunctiveQuery q = Q("Q() :- P(c)");
+  XRewriteOptions options;
+  options.max_queries = 50;
+  auto rewriting = XRewrite(s, tgds, q, options);
+  EXPECT_FALSE(rewriting.ok());
+  EXPECT_EQ(rewriting.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XRewriteTest, EnumerationReportsDisjunctsIncrementally) {
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds("R(X,Y), P(Y) -> P(X).");
+  ConjunctiveQuery q = Q("Q() :- P(c)");
+  XRewriteOptions options;
+  options.max_queries = 40;
+  int count = 0;
+  auto outcome = EnumerateRewritings(
+      s, tgds, q, options, [&count](const ConjunctiveQuery&) {
+        ++count;
+        return true;
+      });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, RewriteEnumeration::kBudgetExhausted);
+  EXPECT_GT(count, 3);  // P(c), R(c,y)∧P(y), R(c,y)∧R(y,z)∧P(z), ...
+}
+
+TEST(XRewriteTest, PruningTerminatesWhenRewritingIsBounded) {
+  // P propagates backwards along R; with q = ∃x P(x) the perfect
+  // rewriting collapses to P(x) — pruning detects this and saturates.
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds("R(X,Y), P(Y) -> P(X).");
+  ConjunctiveQuery q = Q("Q() :- P(X)");
+  XRewriteOptions options;
+  options.prune_subsumed = true;
+  int count = 0;
+  auto outcome = EnumerateRewritings(
+      s, tgds, q, options, [&count](const ConjunctiveQuery&) {
+        ++count;
+        return true;
+      });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, RewriteEnumeration::kSaturated);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(XRewriteTest, StoppedByCallback) {
+  Schema s = SchemaOf({{"P", 1}, {"T", 1}});
+  TgdSet tgds = Tgds("T(X) -> P(X).");
+  auto outcome = EnumerateRewritings(
+      s, tgds, Q("Q(X) :- P(X)"), XRewriteOptions(),
+      [](const ConjunctiveQuery&) { return false; });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, RewriteEnumeration::kStopped);
+}
+
+TEST(MinimizeUCQTest, DropsSubsumedDisjuncts) {
+  UnionOfCQs ucq =
+      ParseUCQ("Q(X) :- R(X,Y). Q(X) :- R(X,Y), R(Y,Z). Q(X) :- P(X).")
+          .value();
+  UnionOfCQs minimized = MinimizeUCQ(ucq);
+  EXPECT_EQ(minimized.size(), 2u);
+}
+
+TEST(MinimizeUCQTest, KeepsEquivalentRepresentative) {
+  UnionOfCQs ucq =
+      ParseUCQ("Q(X) :- R(X,Y). Q(U) :- R(U,V).").value();
+  EXPECT_EQ(MinimizeUCQ(ucq).size(), 1u);
+}
+
+}  // namespace
+}  // namespace omqc
