@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_language.dir/bench_cross_language.cc.o"
+  "CMakeFiles/bench_cross_language.dir/bench_cross_language.cc.o.d"
+  "bench_cross_language"
+  "bench_cross_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_stickiness.dir/bench_fig1_stickiness.cc.o"
+  "CMakeFiles/bench_fig1_stickiness.dir/bench_fig1_stickiness.cc.o.d"
+  "bench_fig1_stickiness"
+  "bench_fig1_stickiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_stickiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tiling.dir/bench_fig2_tiling.cc.o"
+  "CMakeFiles/bench_fig2_tiling.dir/bench_fig2_tiling.cc.o.d"
+  "bench_fig2_tiling"
+  "bench_fig2_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

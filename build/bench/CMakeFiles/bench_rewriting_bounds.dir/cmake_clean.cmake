@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriting_bounds.dir/bench_rewriting_bounds.cc.o"
+  "CMakeFiles/bench_rewriting_bounds.dir/bench_rewriting_bounds.cc.o.d"
+  "bench_rewriting_bounds"
+  "bench_rewriting_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriting_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

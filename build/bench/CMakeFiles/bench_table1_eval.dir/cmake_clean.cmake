@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_eval.dir/bench_table1_eval.cc.o"
+  "CMakeFiles/bench_table1_eval.dir/bench_table1_eval.cc.o.d"
+  "bench_table1_eval"
+  "bench_table1_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

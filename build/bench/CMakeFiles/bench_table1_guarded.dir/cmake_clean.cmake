@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_guarded.dir/bench_table1_guarded.cc.o"
+  "CMakeFiles/bench_table1_guarded.dir/bench_table1_guarded.cc.o.d"
+  "bench_table1_guarded"
+  "bench_table1_guarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_guarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_linear.dir/bench_table1_linear.cc.o"
+  "CMakeFiles/bench_table1_linear.dir/bench_table1_linear.cc.o.d"
+  "bench_table1_linear"
+  "bench_table1_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nonrecursive.dir/bench_table1_nonrecursive.cc.o"
+  "CMakeFiles/bench_table1_nonrecursive.dir/bench_table1_nonrecursive.cc.o.d"
+  "bench_table1_nonrecursive"
+  "bench_table1_nonrecursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nonrecursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sticky.dir/bench_table1_sticky.cc.o"
+  "CMakeFiles/bench_table1_sticky.dir/bench_table1_sticky.cc.o.d"
+  "bench_table1_sticky"
+  "bench_table1_sticky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sticky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

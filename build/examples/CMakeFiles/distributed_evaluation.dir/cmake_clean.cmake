@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_evaluation.dir/distributed_evaluation.cc.o"
+  "CMakeFiles/distributed_evaluation.dir/distributed_evaluation.cc.o.d"
+  "distributed_evaluation"
+  "distributed_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

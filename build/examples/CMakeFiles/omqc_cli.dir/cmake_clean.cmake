@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_cli.dir/omqc_cli.cc.o"
+  "CMakeFiles/omqc_cli.dir/omqc_cli.cc.o.d"
+  "omqc_cli"
+  "omqc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_optimization.dir/ontology_optimization.cc.o"
+  "CMakeFiles/ontology_optimization.dir/ontology_optimization.cc.o.d"
+  "ontology_optimization"
+  "ontology_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

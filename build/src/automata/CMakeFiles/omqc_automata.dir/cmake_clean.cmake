@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_automata.dir/downward.cc.o"
+  "CMakeFiles/omqc_automata.dir/downward.cc.o.d"
+  "CMakeFiles/omqc_automata.dir/pbf.cc.o"
+  "CMakeFiles/omqc_automata.dir/pbf.cc.o.d"
+  "CMakeFiles/omqc_automata.dir/twapa.cc.o"
+  "CMakeFiles/omqc_automata.dir/twapa.cc.o.d"
+  "libomqc_automata.a"
+  "libomqc_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_base.dir/status.cc.o"
+  "CMakeFiles/omqc_base.dir/status.cc.o.d"
+  "CMakeFiles/omqc_base.dir/string_util.cc.o"
+  "CMakeFiles/omqc_base.dir/string_util.cc.o.d"
+  "libomqc_base.a"
+  "libomqc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

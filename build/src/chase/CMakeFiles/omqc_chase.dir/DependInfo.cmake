@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/omqc_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/omqc_chase.dir/chase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tgd/CMakeFiles/omqc_tgd.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/omqc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/omqc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

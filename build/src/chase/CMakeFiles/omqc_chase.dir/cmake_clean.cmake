@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_chase.dir/chase.cc.o"
+  "CMakeFiles/omqc_chase.dir/chase.cc.o.d"
+  "libomqc_chase.a"
+  "libomqc_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/applications.cc" "src/core/CMakeFiles/omqc_core.dir/applications.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/applications.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/core/CMakeFiles/omqc_core.dir/containment.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/containment.cc.o.d"
+  "/root/repo/src/core/ctree.cc" "src/core/CMakeFiles/omqc_core.dir/ctree.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/ctree.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/omqc_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/omqc_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/guarded_automata.cc" "src/core/CMakeFiles/omqc_core.dir/guarded_automata.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/guarded_automata.cc.o.d"
+  "/root/repo/src/core/lean.cc" "src/core/CMakeFiles/omqc_core.dir/lean.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/lean.cc.o.d"
+  "/root/repo/src/core/minimize.cc" "src/core/CMakeFiles/omqc_core.dir/minimize.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/minimize.cc.o.d"
+  "/root/repo/src/core/omq.cc" "src/core/CMakeFiles/omqc_core.dir/omq.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/omq.cc.o.d"
+  "/root/repo/src/core/reductions.cc" "src/core/CMakeFiles/omqc_core.dir/reductions.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/reductions.cc.o.d"
+  "/root/repo/src/core/squid.cc" "src/core/CMakeFiles/omqc_core.dir/squid.cc.o" "gcc" "src/core/CMakeFiles/omqc_core.dir/squid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chase/CMakeFiles/omqc_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/omqc_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/omqc_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgd/CMakeFiles/omqc_tgd.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/omqc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/omqc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_core.dir/applications.cc.o"
+  "CMakeFiles/omqc_core.dir/applications.cc.o.d"
+  "CMakeFiles/omqc_core.dir/containment.cc.o"
+  "CMakeFiles/omqc_core.dir/containment.cc.o.d"
+  "CMakeFiles/omqc_core.dir/ctree.cc.o"
+  "CMakeFiles/omqc_core.dir/ctree.cc.o.d"
+  "CMakeFiles/omqc_core.dir/eval.cc.o"
+  "CMakeFiles/omqc_core.dir/eval.cc.o.d"
+  "CMakeFiles/omqc_core.dir/explain.cc.o"
+  "CMakeFiles/omqc_core.dir/explain.cc.o.d"
+  "CMakeFiles/omqc_core.dir/guarded_automata.cc.o"
+  "CMakeFiles/omqc_core.dir/guarded_automata.cc.o.d"
+  "CMakeFiles/omqc_core.dir/lean.cc.o"
+  "CMakeFiles/omqc_core.dir/lean.cc.o.d"
+  "CMakeFiles/omqc_core.dir/minimize.cc.o"
+  "CMakeFiles/omqc_core.dir/minimize.cc.o.d"
+  "CMakeFiles/omqc_core.dir/omq.cc.o"
+  "CMakeFiles/omqc_core.dir/omq.cc.o.d"
+  "CMakeFiles/omqc_core.dir/reductions.cc.o"
+  "CMakeFiles/omqc_core.dir/reductions.cc.o.d"
+  "CMakeFiles/omqc_core.dir/squid.cc.o"
+  "CMakeFiles/omqc_core.dir/squid.cc.o.d"
+  "libomqc_core.a"
+  "libomqc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_generators.dir/families.cc.o"
+  "CMakeFiles/omqc_generators.dir/families.cc.o.d"
+  "CMakeFiles/omqc_generators.dir/tiling.cc.o"
+  "CMakeFiles/omqc_generators.dir/tiling.cc.o.d"
+  "libomqc_generators.a"
+  "libomqc_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/atom.cc" "src/logic/CMakeFiles/omqc_logic.dir/atom.cc.o" "gcc" "src/logic/CMakeFiles/omqc_logic.dir/atom.cc.o.d"
+  "/root/repo/src/logic/cq.cc" "src/logic/CMakeFiles/omqc_logic.dir/cq.cc.o" "gcc" "src/logic/CMakeFiles/omqc_logic.dir/cq.cc.o.d"
+  "/root/repo/src/logic/homomorphism.cc" "src/logic/CMakeFiles/omqc_logic.dir/homomorphism.cc.o" "gcc" "src/logic/CMakeFiles/omqc_logic.dir/homomorphism.cc.o.d"
+  "/root/repo/src/logic/instance.cc" "src/logic/CMakeFiles/omqc_logic.dir/instance.cc.o" "gcc" "src/logic/CMakeFiles/omqc_logic.dir/instance.cc.o.d"
+  "/root/repo/src/logic/substitution.cc" "src/logic/CMakeFiles/omqc_logic.dir/substitution.cc.o" "gcc" "src/logic/CMakeFiles/omqc_logic.dir/substitution.cc.o.d"
+  "/root/repo/src/logic/term.cc" "src/logic/CMakeFiles/omqc_logic.dir/term.cc.o" "gcc" "src/logic/CMakeFiles/omqc_logic.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/omqc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_logic.dir/atom.cc.o"
+  "CMakeFiles/omqc_logic.dir/atom.cc.o.d"
+  "CMakeFiles/omqc_logic.dir/cq.cc.o"
+  "CMakeFiles/omqc_logic.dir/cq.cc.o.d"
+  "CMakeFiles/omqc_logic.dir/homomorphism.cc.o"
+  "CMakeFiles/omqc_logic.dir/homomorphism.cc.o.d"
+  "CMakeFiles/omqc_logic.dir/instance.cc.o"
+  "CMakeFiles/omqc_logic.dir/instance.cc.o.d"
+  "CMakeFiles/omqc_logic.dir/substitution.cc.o"
+  "CMakeFiles/omqc_logic.dir/substitution.cc.o.d"
+  "CMakeFiles/omqc_logic.dir/term.cc.o"
+  "CMakeFiles/omqc_logic.dir/term.cc.o.d"
+  "libomqc_logic.a"
+  "libomqc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_rewrite.dir/unify.cc.o"
+  "CMakeFiles/omqc_rewrite.dir/unify.cc.o.d"
+  "CMakeFiles/omqc_rewrite.dir/xrewrite.cc.o"
+  "CMakeFiles/omqc_rewrite.dir/xrewrite.cc.o.d"
+  "libomqc_rewrite.a"
+  "libomqc_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

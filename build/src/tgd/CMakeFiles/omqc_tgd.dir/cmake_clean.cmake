@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omqc_tgd.dir/classify.cc.o"
+  "CMakeFiles/omqc_tgd.dir/classify.cc.o.d"
+  "CMakeFiles/omqc_tgd.dir/parser.cc.o"
+  "CMakeFiles/omqc_tgd.dir/parser.cc.o.d"
+  "CMakeFiles/omqc_tgd.dir/tgd.cc.o"
+  "CMakeFiles/omqc_tgd.dir/tgd.cc.o.d"
+  "libomqc_tgd.a"
+  "libomqc_tgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omqc_tgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomqc_tgd.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omqc_tgd.
+# This may be replaced when dependencies are built.

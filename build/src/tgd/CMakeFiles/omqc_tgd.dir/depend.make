@@ -1,0 +1,2 @@
+# Empty dependencies file for omqc_tgd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctree_test.dir/ctree_test.cc.o"
+  "CMakeFiles/ctree_test.dir/ctree_test.cc.o.d"
+  "ctree_test"
+  "ctree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downward_test.dir/downward_test.cc.o"
+  "CMakeFiles/downward_test.dir/downward_test.cc.o.d"
+  "downward_test"
+  "downward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

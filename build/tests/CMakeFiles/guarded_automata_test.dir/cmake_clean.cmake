@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_automata_test.dir/guarded_automata_test.cc.o"
+  "CMakeFiles/guarded_automata_test.dir/guarded_automata_test.cc.o.d"
+  "guarded_automata_test"
+  "guarded_automata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_automata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_lean_test.dir/squid_lean_test.cc.o"
+  "CMakeFiles/squid_lean_test.dir/squid_lean_test.cc.o.d"
+  "squid_lean_test"
+  "squid_lean_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_lean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrewrite_test.dir/xrewrite_test.cc.o"
+  "CMakeFiles/xrewrite_test.dir/xrewrite_test.cc.o.d"
+  "xrewrite_test"
+  "xrewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
