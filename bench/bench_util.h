@@ -8,6 +8,8 @@
 #ifndef OMQC_BENCH_BENCH_UTIL_H_
 #define OMQC_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <initializer_list>
 #include <string>
 #include <utility>
@@ -17,6 +19,28 @@
 
 namespace omqc {
 namespace bench {
+
+/// Exports the per-layer EngineStats of one containment run as benchmark
+/// counters (last iteration wins — the engine is deterministic, so every
+/// iteration does the same work).
+inline void ReportEngineStats(benchmark::State& state, const EngineStats& s) {
+  state.counters["disjuncts_checked"] =
+      static_cast<double>(s.disjuncts_checked);
+  state.counters["witnesses_rejected"] =
+      static_cast<double>(s.witnesses_rejected);
+  state.counters["budget_exhaustions"] =
+      static_cast<double>(s.budget_exhaustions);
+  state.counters["rw_queries"] = static_cast<double>(s.rewrite.queries_generated);
+  state.counters["rw_dedup_hits"] = static_cast<double>(s.rewrite.dedup_hits);
+  state.counters["rw_subsumption_prunes"] =
+      static_cast<double>(s.rewrite.subsumption_prunes);
+  state.counters["hom_searches"] = static_cast<double>(s.hom.searches);
+  state.counters["hom_steps"] = static_cast<double>(s.hom.steps);
+  state.counters["hom_candidates"] =
+      static_cast<double>(s.hom.candidates_scanned);
+  state.counters["chase_steps"] = static_cast<double>(s.chase_steps);
+  state.counters["chase_atoms"] = static_cast<double>(s.chase_atoms_derived);
+}
 
 inline Schema MakeSchema(
     std::initializer_list<std::pair<const char*, int>> preds) {

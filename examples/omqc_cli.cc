@@ -8,14 +8,21 @@
 //   omqc_cli distribute <program-file> <query-name>
 //   omqc_cli explain <program-file> <query-name> [answer constants...]
 //
+// Flags (anywhere on the command line):
+//   --threads=N   worker threads for `contain` (0 = hardware concurrency)
+//   --stats       print per-layer EngineStats after `eval` / `contain`
+//
 // The program file holds tgds, named queries and facts in the DLGP-style
 // format (see README). The data schema is taken to be the set of
 // predicates occurring in the facts plus any query-body predicates that
 // no tgd derives.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "base/string_util.h"
 #include "core/applications.h"
@@ -33,6 +40,12 @@ int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
 }
+
+/// Command-line flags, stripped from argv before positional parsing.
+struct CliFlags {
+  size_t threads = 1;  ///< --threads=N (0 = hardware concurrency)
+  bool stats = false;  ///< --stats
+};
 
 Result<Program> LoadProgram(const char* path) {
   std::ifstream in(path);
@@ -81,10 +94,11 @@ int Classify(const Program& program) {
 }
 
 int Eval(const Program& program, const Schema& schema,
-         const std::string& name) {
+         const std::string& name, const CliFlags& flags) {
   auto omq = QueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
-  auto answers = EvalAll(*omq, program.facts);
+  EngineStats stats;
+  auto answers = EvalAll(*omq, program.facts, EvalOptions(), &stats);
   if (!answers.ok()) return Fail(answers.status().ToString());
   std::printf("%zu answer(s):\n", answers->size());
   for (const auto& tuple : *answers) {
@@ -93,6 +107,7 @@ int Eval(const Program& program, const Schema& schema,
                            [](const Term& t) { return t.ToString(); })
                     .c_str());
   }
+  if (flags.stats) std::printf("%s\n", stats.ToString().c_str());
   return 0;
 }
 
@@ -112,12 +127,15 @@ int Rewrite(const Program& program, const Schema& schema,
 }
 
 int Contain(const Program& program, const Schema& schema,
-            const std::string& lhs, const std::string& rhs) {
+            const std::string& lhs, const std::string& rhs,
+            const CliFlags& flags) {
   auto q1 = QueryNamed(program, schema, lhs);
   auto q2 = QueryNamed(program, schema, rhs);
   if (!q1.ok()) return Fail(q1.status().ToString());
   if (!q2.ok()) return Fail(q2.status().ToString());
-  auto result = CheckContainment(*q1, *q2);
+  ContainmentOptions options;
+  options.num_threads = flags.threads;
+  auto result = CheckContainment(*q1, *q2, options);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("%s ⊆ %s: %s\n", lhs.c_str(), rhs.c_str(),
               ContainmentOutcomeToString(result->outcome));
@@ -132,15 +150,17 @@ int Contain(const Program& program, const Schema& schema,
   }
   std::printf("candidates checked: %zu (largest: %zu atoms)\n",
               result->candidates_checked, result->max_witness_size);
+  if (flags.stats) std::printf("%s\n", result->stats.ToString().c_str());
   return 0;
 }
 
 int Explain(const Program& program, const Schema& schema,
-            const std::string& name, int argc, char** argv) {
+            const std::string& name,
+            const std::vector<std::string>& constants) {
   auto omq = QueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   std::vector<Term> tuple;
-  for (int i = 4; i < argc; ++i) tuple.push_back(Term::Constant(argv[i]));
+  for (const std::string& c : constants) tuple.push_back(Term::Constant(c));
   auto why = ExplainTuple(*omq, program.facts, tuple);
   if (!why.ok()) return Fail(why.status().ToString());
   std::printf("%s", why->ToString(program.tgds).c_str());
@@ -162,33 +182,54 @@ int Distribute(const Program& program, const Schema& schema,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  CliFlags flags;
+  std::vector<std::string> args;  // positional: command, file, names...
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      continue;
+    }
+    if (arg == "--stats") {
+      flags.stats = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    args.push_back(std::move(arg));
+  }
+  if (args.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s classify|eval|rewrite|contain|distribute|"
-                 "explain <program-file> [query names / constants...]\n",
+                 "explain <program-file> [query names / constants...] "
+                 "[--threads=N] [--stats]\n",
                  argv[0]);
     return 2;
   }
-  auto program = LoadProgram(argv[2]);
+  auto program = LoadProgram(args[1].c_str());
   if (!program.ok()) return Fail(program.status().ToString());
   Schema schema = InferDataSchema(*program);
 
-  std::string command = argv[1];
+  const std::string& command = args[0];
   if (command == "classify") return Classify(*program);
-  if (command == "eval" && argc >= 4) {
-    return Eval(*program, schema, argv[3]);
+  if (command == "eval" && args.size() >= 3) {
+    return Eval(*program, schema, args[2], flags);
   }
-  if (command == "rewrite" && argc >= 4) {
-    return Rewrite(*program, schema, argv[3]);
+  if (command == "rewrite" && args.size() >= 3) {
+    return Rewrite(*program, schema, args[2]);
   }
-  if (command == "contain" && argc >= 5) {
-    return Contain(*program, schema, argv[3], argv[4]);
+  if (command == "contain" && args.size() >= 4) {
+    return Contain(*program, schema, args[2], args[3], flags);
   }
-  if (command == "distribute" && argc >= 4) {
-    return Distribute(*program, schema, argv[3]);
+  if (command == "distribute" && args.size() >= 3) {
+    return Distribute(*program, schema, args[2]);
   }
-  if (command == "explain" && argc >= 4) {
-    return Explain(*program, schema, argv[3], argc, argv);
+  if (command == "explain" && args.size() >= 3) {
+    return Explain(*program, schema, args[2],
+                   std::vector<std::string>(args.begin() + 3, args.end()));
   }
   std::fprintf(stderr, "unknown or incomplete command '%s'\n",
                command.c_str());

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Configure, build and run the whole test suite under ASan + UBSan
+# (-Werror stays on). Usage: scripts/sanitize.sh [extra ctest args...]
+set -eu
+cd "$(dirname "$0")/.."
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset asan -j"$(nproc)" "$@"

@@ -1,0 +1,63 @@
+// A small fixed-size worker pool for fan-out/join parallelism.
+//
+// The containment engine uses it to check independent rewriting disjuncts
+// concurrently (see src/core/containment.cc): tasks are submitted from one
+// producer thread, workers drain a FIFO queue, and Wait() joins the batch.
+// There is deliberately no future/packaged-task machinery — results are
+// aggregated by the tasks themselves under caller-owned synchronization,
+// which keeps the pool dependency-free and the hot path allocation-light.
+
+#ifndef OMQC_BASE_THREAD_POOL_H_
+#define OMQC_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omqc {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+/// Thread-safe: Submit/Wait may be called from any thread (typically one
+/// producer). The destructor drains the queue and joins all workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Completes all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not Submit to or Wait on their own pool.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static size_t DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_BASE_THREAD_POOL_H_

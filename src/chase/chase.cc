@@ -60,8 +60,10 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
             triggers.push_back(sub);
             return true;
           };
+      HomomorphismOptions hom_options;
+      hom_options.counters = options.hom_counters;
       ForEachHomomorphism(tgd.body, result.instance, Substitution(),
-                          collect);
+                          collect, hom_options);
       for (const Substitution& trigger : triggers) {
         TriggerKey key{i, trigger.Apply(body_vars[i])};
         if (processed.count(key) > 0) continue;
@@ -86,7 +88,7 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
           for (const auto& [from, to] : trigger.bindings()) {
             seed.Bind(from, to);
           }
-          if (FindHomomorphism(tgd.head, result.instance, seed)
+          if (FindHomomorphism(tgd.head, result.instance, seed, hom_options)
                   .has_value()) {
             processed.insert(std::move(key));
             continue;

@@ -39,6 +39,9 @@ struct ChaseOptions {
   /// Maximum derivation level (database atoms are level 0; a derived atom
   /// has level 1 + max level of the trigger's body image).
   int max_level = -1;
+  /// Optional tally of the homomorphism searches performed internally
+  /// (trigger collection and restricted-chase head checks). Not owned.
+  HomCounters* hom_counters = nullptr;
 };
 
 /// The outcome of a chase run.

@@ -1,8 +1,13 @@
 #include "core/containment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <utility>
 
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "logic/homomorphism.h"
 
 namespace omqc {
@@ -21,9 +26,19 @@ const char* ContainmentOutcomeToString(ContainmentOutcome outcome) {
 
 namespace {
 
+/// The RHS check callback: "tuple ∈ Q2(D)?" for a frozen candidate. Exact
+/// true/false, or an error Status (typically ResourceExhausted) when a
+/// budget prevented an exact answer. Per-call work is tallied into `stats`
+/// (never null inside RunEngine); implementations must be safe to invoke
+/// concurrently from several worker threads with distinct stats objects.
+using ContainsFn = std::function<Result<bool>(
+    const Database&, const std::vector<Term>&, EngineStats*)>;
+
 /// Evaluates "tuple ∈ Q2(D)" for the candidate-witness databases produced
 /// during enumeration. Precomputes a UCQ rewriting for linear/sticky RHS
-/// ontologies so repeated candidates do not re-run XRewrite.
+/// ontologies so repeated candidates do not re-run XRewrite. Contains() is
+/// const and touches no mutable state, so the parallel engine may call it
+/// from any number of workers.
 class RhsEvaluator {
  public:
   static Result<RhsEvaluator> Make(const Omq& q2,
@@ -37,23 +52,46 @@ class RhsEvaluator {
         !IsNonRecursive(q2.tgds) && !IsFull(q2.tgds)) {
       OMQC_ASSIGN_OR_RETURN(
           UnionOfCQs rewriting,
-          XRewrite(q2.data_schema, q2.tgds, q2.query, options.eval.rewrite));
+          XRewrite(q2.data_schema, q2.tgds, q2.query, options.eval.rewrite,
+                   &evaluator.setup_stats_));
       evaluator.rewriting_ = std::move(rewriting);
     }
     return evaluator;
   }
 
-  /// Exact answer or ResourceExhausted (budgeted guarded/general RHS).
-  Result<bool> Contains(const Database& db,
-                        const std::vector<Term>& tuple) const {
+  /// Exact answer or ResourceExhausted (budgeted guarded/general RHS, or a
+  /// homomorphism step budget).
+  Result<bool> Contains(const Database& db, const std::vector<Term>& tuple,
+                        EngineStats* stats) const {
     if (rewriting_.has_value()) {
+      HomomorphismOptions hom;
+      hom.max_steps = options_.eval.hom_max_steps;
+      hom.counters = stats != nullptr ? &stats->hom : nullptr;
+      bool exhausted = false;
       for (const ConjunctiveQuery& disjunct : rewriting_->disjuncts) {
-        if (TupleInAnswer(disjunct, db, tuple)) return true;
+        switch (TupleInAnswerBudgeted(disjunct, db, tuple, hom)) {
+          case HomSearchOutcome::kFound:
+            return true;
+          case HomSearchOutcome::kExhausted:
+            exhausted = true;  // another disjunct may still match
+            break;
+          case HomSearchOutcome::kNotFound:
+            break;
+        }
+      }
+      if (exhausted) {
+        return Status::ResourceExhausted(
+            StrCat("homomorphism step budget (", options_.eval.hom_max_steps,
+                   ") exhausted on a RHS rewriting disjunct; cannot certify "
+                   "a negative answer"));
       }
       return false;
     }
-    return EvalTuple(q2_, db, tuple, options_.eval);
+    return EvalTuple(q2_, db, tuple, options_.eval, stats);
   }
+
+  /// Stats of the one-time rewriting precomputation (not per-candidate).
+  const XRewriteStats& setup_stats() const { return setup_stats_; }
 
  private:
   RhsEvaluator(const Omq& q2, const ContainmentOptions& options)
@@ -62,43 +100,98 @@ class RhsEvaluator {
   const Omq& q2_;
   const ContainmentOptions& options_;
   std::optional<UnionOfCQs> rewriting_;
+  XRewriteStats setup_stats_;
 };
 
-/// The shared engine: enumerate LHS rewriting disjuncts, test each frozen
-/// candidate against `contains`.
-Result<ContainmentResult> RunEngine(
-    const Omq& q1, const ContainmentOptions& options,
-    const std::function<Result<bool>(const Database&,
-                                     const std::vector<Term>&)>& contains) {
+/// The shared engine: enumerate LHS rewriting disjuncts, freeze each, test
+/// the frozen candidate against `contains`.
+///
+/// With options.num_threads > 1 the RHS checks fan out over a ThreadPool:
+/// enumeration and freezing stay on the calling thread, each candidate is
+/// checked by a worker, and a refutation raises an atomic stop flag that
+/// (a) makes in-queue tasks return immediately and (b) stops the
+/// enumeration at its next disjunct. Workers tally into thread-local
+/// EngineStats objects merged under one mutex, so the search hot paths
+/// never contend. The serial path (num_threads <= 1) runs the identical
+/// per-candidate logic inline; outcomes are the same either way, because
+/// a refutation wins regardless of which worker finds it and kContained /
+/// kUnknown are decided only after every check has finished.
+Result<ContainmentResult> RunEngine(const Omq& q1,
+                                    const ContainmentOptions& options,
+                                    const ContainsFn& contains) {
   ContainmentResult result;
   bool refuted = false;
   bool inconclusive_rhs = false;
   std::string rhs_detail;
+  XRewriteStats lhs_stats;   // written by the enumeration (caller thread)
+  EngineStats check_stats;   // merged RHS-check work, guarded by mu if pooled
+  std::mutex mu;
+  std::atomic<bool> stop{false};
+
+  size_t num_threads = options.num_threads != 0
+                           ? options.num_threads
+                           : ThreadPool::DefaultConcurrency();
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
+
+  // Folds one finished RHS check into the shared state. Caller holds `mu`
+  // when pooled; runs inline otherwise.
+  auto record = [&](Result<bool> r, FrozenQuery frozen, EngineStats local) {
+    check_stats.Merge(local);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kResourceExhausted) {
+        ++check_stats.budget_exhaustions;
+      }
+      inconclusive_rhs = true;
+      if (rhs_detail.empty()) rhs_detail = r.status().ToString();
+      return;  // keep scanning for a definite refutation
+    }
+    if (*r) {
+      ++check_stats.witnesses_rejected;  // candidate failed to refute
+      return;
+    }
+    if (!refuted) {
+      refuted = true;
+      result.witness = ContainmentWitness{std::move(frozen.database),
+                                          std::move(frozen.answer_tuple)};
+    }
+    stop.store(true, std::memory_order_relaxed);
+  };
 
   std::function<bool(const ConjunctiveQuery&)> on_disjunct =
       [&](const ConjunctiveQuery& p) {
+        if (stop.load(std::memory_order_relaxed)) return false;
         ++result.candidates_checked;
         result.max_witness_size = std::max(result.max_witness_size, p.size());
         FrozenQuery frozen = Freeze(p);
-        Result<bool> r = contains(frozen.database, frozen.answer_tuple);
-        if (!r.ok()) {
-          inconclusive_rhs = true;
-          rhs_detail = r.status().ToString();
-          return true;  // keep scanning for a definite refutation
+        if (!pool.has_value()) {
+          EngineStats local;
+          Result<bool> r =
+              contains(frozen.database, frozen.answer_tuple, &local);
+          record(std::move(r), std::move(frozen), std::move(local));
+          return !stop.load(std::memory_order_relaxed);
         }
-        if (!*r) {
-          refuted = true;
-          result.witness = ContainmentWitness{std::move(frozen.database),
-                                              std::move(frozen.answer_tuple)};
-          return false;
-        }
+        pool->Submit([&contains, &record, &mu, &stop,
+                      frozen = std::move(frozen)]() mutable {
+          if (stop.load(std::memory_order_relaxed)) return;
+          EngineStats local;
+          Result<bool> r =
+              contains(frozen.database, frozen.answer_tuple, &local);
+          std::lock_guard<std::mutex> lock(mu);
+          record(std::move(r), std::move(frozen), std::move(local));
+        });
         return true;
       };
 
   OMQC_ASSIGN_OR_RETURN(
       RewriteEnumeration outcome,
       EnumerateRewritings(q1.data_schema, q1.tgds, q1.query, options.rewrite,
-                          on_disjunct));
+                          on_disjunct, &lhs_stats));
+  if (pool.has_value()) pool->Wait();
+
+  result.stats.Merge(check_stats);
+  result.stats.rewrite.Merge(lhs_stats);
+  result.stats.disjuncts_checked += result.candidates_checked;
 
   if (refuted) {
     result.outcome = ContainmentOutcome::kNotContained;
@@ -151,10 +244,15 @@ Result<ContainmentResult> CheckContainment(const Omq& q1, const Omq& q2,
                                            const ContainmentOptions& options) {
   OMQC_RETURN_IF_ERROR(CheckCompatible(q1, q2));
   OMQC_ASSIGN_OR_RETURN(RhsEvaluator rhs, RhsEvaluator::Make(q2, options));
-  return RunEngine(q1, options,
-                   [&rhs](const Database& db, const std::vector<Term>& tuple) {
-                     return rhs.Contains(db, tuple);
-                   });
+  OMQC_ASSIGN_OR_RETURN(
+      ContainmentResult result,
+      RunEngine(q1, options,
+                [&rhs](const Database& db, const std::vector<Term>& tuple,
+                       EngineStats* stats) {
+                  return rhs.Contains(db, tuple, stats);
+                }));
+  result.stats.rewrite.Merge(rhs.setup_stats());
+  return result;
 }
 
 Result<ContainmentResult> CheckContainmentInUcq(
@@ -168,10 +266,29 @@ Result<ContainmentResult> CheckContainmentInUcq(
   }
   return RunEngine(
       q1, options,
-      [&ucq](const Database& db,
-             const std::vector<Term>& tuple) -> Result<bool> {
+      [&ucq, &options](const Database& db, const std::vector<Term>& tuple,
+                       EngineStats* stats) -> Result<bool> {
+        HomomorphismOptions hom;
+        hom.max_steps = options.eval.hom_max_steps;
+        hom.counters = stats != nullptr ? &stats->hom : nullptr;
+        bool exhausted = false;
         for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
-          if (TupleInAnswer(disjunct, db, tuple)) return true;
+          switch (TupleInAnswerBudgeted(disjunct, db, tuple, hom)) {
+            case HomSearchOutcome::kFound:
+              return true;
+            case HomSearchOutcome::kExhausted:
+              exhausted = true;
+              break;
+            case HomSearchOutcome::kNotFound:
+              break;
+          }
+        }
+        if (exhausted) {
+          return Status::ResourceExhausted(
+              StrCat("homomorphism step budget (",
+                     options.eval.hom_max_steps,
+                     ") exhausted on a RHS UCQ disjunct; cannot certify a "
+                     "negative answer"));
         }
         return false;
       });
@@ -194,12 +311,13 @@ Result<ContainmentResult> CheckUcqOmqContainment(
           return RunEngine(
               lhs, opts,
               [&rhs, &opts](const Database& db,
-                            const std::vector<Term>& tuple) -> Result<bool> {
+                            const std::vector<Term>& tuple,
+                            EngineStats* stats) -> Result<bool> {
                 for (const ConjunctiveQuery& d : rhs.query.disjuncts) {
                   Omq rhs_omq{rhs.data_schema, rhs.tgds, d};
                   OMQC_ASSIGN_OR_RETURN(bool in,
                                         EvalTuple(rhs_omq, db, tuple,
-                                                  opts.eval));
+                                                  opts.eval, stats));
                   if (in) return true;
                 }
                 return false;
@@ -208,6 +326,7 @@ Result<ContainmentResult> CheckUcqOmqContainment(
     merged.candidates_checked += partial.candidates_checked;
     merged.max_witness_size =
         std::max(merged.max_witness_size, partial.max_witness_size);
+    merged.stats.Merge(partial.stats);
     if (partial.outcome == ContainmentOutcome::kNotContained) {
       merged.outcome = ContainmentOutcome::kNotContained;
       merged.witness = std::move(partial.witness);
@@ -229,6 +348,7 @@ Result<ContainmentResult> CheckEquivalence(const Omq& q1, const Omq& q2,
   OMQC_ASSIGN_OR_RETURN(ContainmentResult backward,
                         CheckContainment(q2, q1, options));
   backward.candidates_checked += forward.candidates_checked;
+  backward.stats.Merge(forward.stats);
   return backward;
 }
 

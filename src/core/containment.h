@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "core/engine_stats.h"
 #include "core/eval.h"
 #include "core/omq.h"
 #include "rewrite/xrewrite.h"
@@ -59,6 +60,9 @@ struct ContainmentResult {
   size_t candidates_checked = 0;
   /// Size (atoms) of the largest candidate witness examined.
   size_t max_witness_size = 0;
+  /// Per-layer work counters of the whole run (LHS enumeration, RHS
+  /// chase/rewriting/homomorphism searches).
+  EngineStats stats;
 };
 
 struct ContainmentOptions {
@@ -69,6 +73,13 @@ struct ContainmentOptions {
   XRewriteOptions rewrite;
   /// Budgets for evaluating the RHS over candidate witnesses.
   EvalOptions eval;
+  /// Worker threads for the per-disjunct RHS checks: 1 (default) runs the
+  /// engine serially on the calling thread; 0 means "hardware
+  /// concurrency"; n > 1 fans the frozen candidates out over n workers
+  /// with an early exit once any worker refutes containment. The outcome
+  /// is identical for every thread count (only the reported witness may
+  /// differ when several disjuncts refute).
+  size_t num_threads = 1;
 
   ContainmentOptions() {
     rewrite.prune_subsumed = true;

@@ -1,0 +1,46 @@
+// EngineStats: the containment/evaluation observability surface.
+//
+// One struct aggregates the counters of every layer the engine touches —
+// homomorphism search (src/logic), XRewrite enumeration (src/rewrite), the
+// chase (src/chase) and the containment loop itself (src/core). Counters
+// are plain tallies with no synchronization: the parallel containment
+// engine keeps one EngineStats per worker task and merges them under a
+// lock, so the hot search paths never contend.
+
+#ifndef OMQC_CORE_ENGINE_STATS_H_
+#define OMQC_CORE_ENGINE_STATS_H_
+
+#include <string>
+
+#include "logic/homomorphism.h"
+#include "rewrite/xrewrite.h"
+
+namespace omqc {
+
+struct EngineStats {
+  /// Homomorphism-search layer (RHS witness checks, chase triggers).
+  HomCounters hom;
+
+  /// Rewriting layer: the LHS disjunct enumeration plus any RHS
+  /// rewritings computed during evaluation.
+  XRewriteStats rewrite;
+
+  /// Chase layer (RHS evaluation of candidate witnesses).
+  size_t chase_steps = 0;          ///< trigger applications
+  size_t chase_atoms_derived = 0;  ///< atoms beyond the input database
+  int chase_max_level = 0;         ///< deepest derivation level reached
+
+  /// Containment layer.
+  size_t disjuncts_checked = 0;    ///< candidate witnesses examined
+  size_t witnesses_rejected = 0;   ///< candidates that failed to refute
+  size_t budget_exhaustions = 0;   ///< RHS checks that hit some budget
+
+  void Merge(const EngineStats& other);
+
+  /// Multi-line human-readable report (omqc_cli, benches).
+  std::string ToString() const;
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_ENGINE_STATS_H_

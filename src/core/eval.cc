@@ -1,5 +1,7 @@
 #include "core/eval.h"
 
+#include <algorithm>
+
 #include "base/string_util.h"
 #include "logic/homomorphism.h"
 
@@ -62,30 +64,70 @@ ChaseOptions ChaseOptionsFor(const Omq& omq, const EvalOptions& options) {
   return chase;
 }
 
+/// Folds a finished chase run into `stats` (no-op on nullptr).
+void RecordChase(const ChaseResult& chased, size_t database_size,
+                 EngineStats* stats) {
+  if (stats == nullptr) return;
+  stats->chase_steps += chased.steps;
+  stats->chase_atoms_derived += chased.instance.size() - database_size;
+  stats->chase_max_level =
+      std::max(stats->chase_max_level, chased.max_level_reached);
+}
+
 }  // namespace
 
 Result<bool> EvalTuple(const Omq& omq, const Database& database,
                        const std::vector<Term>& tuple,
-                       const EvalOptions& options) {
+                       const EvalOptions& options, EngineStats* stats) {
   OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
   OMQC_RETURN_IF_ERROR(CheckDatabaseSchema(omq, database));
   if (tuple.size() != omq.AnswerArity()) {
     return Status::InvalidArgument("answer tuple arity mismatch");
   }
+  HomomorphismOptions hom_options;
+  hom_options.max_steps = options.hom_max_steps;
+  hom_options.counters = stats != nullptr ? &stats->hom : nullptr;
   if (ChoosePath(omq, options) == Path::kRewrite) {
     OMQC_ASSIGN_OR_RETURN(
         UnionOfCQs rewriting,
-        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite));
+        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite,
+                 stats != nullptr ? &stats->rewrite : nullptr));
+    bool exhausted = false;
     for (const ConjunctiveQuery& disjunct : rewriting.disjuncts) {
-      if (TupleInAnswer(disjunct, database, tuple)) return true;
+      switch (TupleInAnswerBudgeted(disjunct, database, tuple, hom_options)) {
+        case HomSearchOutcome::kFound:
+          return true;
+        case HomSearchOutcome::kExhausted:
+          exhausted = true;  // keep looking: another disjunct may match
+          break;
+        case HomSearchOutcome::kNotFound:
+          break;
+      }
+    }
+    if (exhausted) {
+      return Status::ResourceExhausted(
+          StrCat("homomorphism step budget (", options.hom_max_steps,
+                 ") exhausted on a rewriting disjunct; cannot certify a "
+                 "negative answer"));
     }
     return false;
   }
-  OMQC_ASSIGN_OR_RETURN(
-      ChaseResult chased,
-      Chase(database, omq.tgds, ChaseOptionsFor(omq, options)));
-  if (TupleInAnswer(omq.query, chased.instance, tuple)) {
-    return true;  // sound even on a truncated chase
+  ChaseOptions chase_options = ChaseOptionsFor(omq, options);
+  chase_options.hom_counters = hom_options.counters;
+  OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
+                        Chase(database, omq.tgds, chase_options));
+  RecordChase(chased, database.size(), stats);
+  switch (TupleInAnswerBudgeted(omq.query, chased.instance, tuple,
+                                hom_options)) {
+    case HomSearchOutcome::kFound:
+      return true;  // sound even on a truncated chase
+    case HomSearchOutcome::kExhausted:
+      return Status::ResourceExhausted(
+          StrCat("homomorphism step budget (", options.hom_max_steps,
+                 ") exhausted on the chase instance; cannot certify a "
+                 "negative answer"));
+    case HomSearchOutcome::kNotFound:
+      break;
   }
   if (!chased.complete) {
     return Status::ResourceExhausted(
@@ -98,18 +140,22 @@ Result<bool> EvalTuple(const Omq& omq, const Database& database,
 
 Result<std::vector<std::vector<Term>>> EvalAll(const Omq& omq,
                                                const Database& database,
-                                               const EvalOptions& options) {
+                                               const EvalOptions& options,
+                                               EngineStats* stats) {
   OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
   OMQC_RETURN_IF_ERROR(CheckDatabaseSchema(omq, database));
   if (ChoosePath(omq, options) == Path::kRewrite) {
     OMQC_ASSIGN_OR_RETURN(
         UnionOfCQs rewriting,
-        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite));
+        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite,
+                 stats != nullptr ? &stats->rewrite : nullptr));
     return EvaluateUCQ(rewriting, database);
   }
-  OMQC_ASSIGN_OR_RETURN(
-      ChaseResult chased,
-      Chase(database, omq.tgds, ChaseOptionsFor(omq, options)));
+  ChaseOptions chase_options = ChaseOptionsFor(omq, options);
+  chase_options.hom_counters = stats != nullptr ? &stats->hom : nullptr;
+  OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
+                        Chase(database, omq.tgds, chase_options));
+  RecordChase(chased, database.size(), stats);
   if (!chased.complete) {
     return Status::ResourceExhausted(
         StrCat("chase budget exhausted (", chased.instance.size(),
@@ -119,11 +165,11 @@ Result<std::vector<std::vector<Term>>> EvalAll(const Omq& omq,
 }
 
 Result<bool> EvalBoolean(const Omq& omq, const Database& database,
-                         const EvalOptions& options) {
+                         const EvalOptions& options, EngineStats* stats) {
   if (!omq.query.IsBoolean()) {
     return Status::InvalidArgument("EvalBoolean expects a Boolean OMQ");
   }
-  return EvalTuple(omq, database, {}, options);
+  return EvalTuple(omq, database, {}, options, stats);
 }
 
 }  // namespace omqc

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "chase/chase.h"
+#include "core/engine_stats.h"
 #include "core/omq.h"
 #include "rewrite/xrewrite.h"
 
@@ -37,25 +38,32 @@ struct EvalOptions {
   /// Chase budgets used by the chase path for guarded/general ontologies.
   size_t chase_max_atoms = 200000;
   int chase_max_level = 16;
+  /// Step budget for each final query-matching homomorphism search
+  /// (0 = unlimited). An exhausted search is reported as
+  /// Status::ResourceExhausted, never as a negative answer.
+  size_t hom_max_steps = 0;
   /// Rewriting budgets for the rewriting path.
   XRewriteOptions rewrite;
 };
 
 /// Is `tuple` a certain answer of Q over `database`? Exact for all
 /// decidable classes; ResourceExhausted when a budget prevented an exact
-/// negative answer.
+/// negative answer. If `stats` is non-null, counters of the work performed
+/// (chase, rewriting, homomorphism search) are accumulated into it.
 Result<bool> EvalTuple(const Omq& omq, const Database& database,
                        const std::vector<Term>& tuple,
-                       const EvalOptions& options = EvalOptions());
+                       const EvalOptions& options = EvalOptions(),
+                       EngineStats* stats = nullptr);
 
 /// All certain answers Q(D). Same exactness contract as EvalTuple.
 Result<std::vector<std::vector<Term>>> EvalAll(
     const Omq& omq, const Database& database,
-    const EvalOptions& options = EvalOptions());
+    const EvalOptions& options = EvalOptions(), EngineStats* stats = nullptr);
 
 /// Boolean convenience: Q(D) ≠ ∅ for a Boolean OMQ.
 Result<bool> EvalBoolean(const Omq& omq, const Database& database,
-                         const EvalOptions& options = EvalOptions());
+                         const EvalOptions& options = EvalOptions(),
+                         EngineStats* stats = nullptr);
 
 }  // namespace omqc
 

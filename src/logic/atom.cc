@@ -1,5 +1,7 @@
 #include "logic/atom.h"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
 
 #include "base/string_util.h"
@@ -12,18 +14,27 @@ struct PredicateInfo {
   int arity;
 };
 
+/// Synchronized for the parallel containment engine (see base/thread_pool);
+/// `infos` is a deque so references handed out by Info() survive growth.
 struct PredicateInterner {
+  std::mutex mu;
   std::unordered_map<std::string, int32_t> by_key;
-  std::vector<PredicateInfo> infos;
+  std::deque<PredicateInfo> infos;
 
   int32_t Intern(const std::string& name, int arity) {
     std::string key = StrCat(name, "/", arity);
+    std::lock_guard<std::mutex> lock(mu);
     auto it = by_key.find(key);
     if (it != by_key.end()) return it->second;
     int32_t id = static_cast<int32_t>(infos.size());
     infos.push_back({name, arity});
     by_key.emplace(std::move(key), id);
     return id;
+  }
+
+  const PredicateInfo& Info(int32_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return infos[static_cast<size_t>(id)];
   }
 };
 
@@ -39,12 +50,10 @@ Predicate Predicate::Get(const std::string& name, int arity) {
 }
 
 const std::string& Predicate::name() const {
-  return Interner().infos[static_cast<size_t>(id_)].name;
+  return Interner().Info(id_).name;
 }
 
-int Predicate::arity() const {
-  return Interner().infos[static_cast<size_t>(id_)].arity;
-}
+int Predicate::arity() const { return Interner().Info(id_).arity; }
 
 std::string Predicate::ToString() const {
   if (!valid()) return "<invalid>/0";

@@ -1,6 +1,7 @@
 #include "logic/cq.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -151,8 +152,10 @@ std::string ConjunctiveQuery::ToString() const {
 }
 
 FrozenQuery Freeze(const ConjunctiveQuery& q, const std::string& tag) {
-  static int64_t freeze_counter = 0;
-  int64_t stamp = freeze_counter++;
+  // Atomic: worker threads of the parallel containment engine freeze
+  // candidate disjuncts concurrently.
+  static std::atomic<int64_t> freeze_counter{0};
+  int64_t stamp = freeze_counter.fetch_add(1, std::memory_order_relaxed);
   FrozenQuery out;
   for (const Term& v : q.Variables()) {
     out.freezing.Bind(

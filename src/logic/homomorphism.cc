@@ -16,18 +16,23 @@ int BoundArgs(const Atom& atom, const Substitution& sub) {
   return bound;
 }
 
-/// The candidate atoms in `target` that may match `atom` under `sub`:
-/// uses the most selective available index.
+/// The candidate atoms in `target` that may match `atom` under `sub`: the
+/// most selective available index, i.e. the smallest candidate list over
+/// ALL bound argument positions (not merely the first one — see
+/// HomomorphismTest.CandidatesUseMostSelectiveIndex).
 const std::vector<Atom>& Candidates(const Atom& atom, const Substitution& sub,
                                     const Instance& target) {
+  const std::vector<Atom>* best = nullptr;
   for (size_t i = 0; i < atom.args.size(); ++i) {
     const Term& t = atom.args[i];
     Term image = t.IsVariable() ? sub.Apply(t) : t;
-    if (!image.IsVariable()) {
-      return target.AtomsWithArg(atom.predicate, static_cast<int>(i), image);
-    }
+    if (image.IsVariable()) continue;
+    const std::vector<Atom>& list =
+        target.AtomsWithArg(atom.predicate, static_cast<int>(i), image);
+    if (best == nullptr || list.size() < best->size()) best = &list;
+    if (best->empty()) break;  // cannot get more selective
   }
-  return target.AtomsWith(atom.predicate);
+  return best != nullptr ? *best : target.AtomsWith(atom.predicate);
 }
 
 struct SearchState {
@@ -35,19 +40,22 @@ struct SearchState {
   const std::function<bool(const Substitution&)>& visitor;
   size_t max_steps;
   size_t steps = 0;
-  bool stopped = false;  // visitor requested stop or budget exhausted
+  size_t candidates_scanned = 0;
+  bool visitor_stop = false;  // visitor requested stop
+  bool exhausted = false;     // max_steps budget hit
 };
 
 /// Recursive most-constrained-first backtracking search. `remaining` holds
 /// indices of body atoms not yet matched.
 bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
             Substitution& sub, SearchState& state) {
-  if (state.max_steps != 0 && ++state.steps > state.max_steps) {
-    state.stopped = true;
+  ++state.steps;  // counted even without a budget, for observability
+  if (state.max_steps != 0 && state.steps > state.max_steps) {
+    state.exhausted = true;
     return false;
   }
   if (remaining.empty()) {
-    if (!state.visitor(sub)) state.stopped = true;
+    if (!state.visitor(sub)) state.visitor_stop = true;
     return true;
   }
   // Pick the remaining atom with the most bound arguments.
@@ -67,6 +75,7 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
 
   bool found = false;
   for (const Atom& candidate : Candidates(atom, sub, state.target)) {
+    ++state.candidates_scanned;
     std::vector<Term> newly_bound;
     bool feasible = true;
     for (size_t i = 0; i < atom.args.size(); ++i) {
@@ -94,7 +103,7 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
       if (Search(atoms, remaining, sub, state)) found = true;
     }
     for (const Term& v : newly_bound) sub.Unbind(v);
-    if (state.stopped) break;
+    if (state.visitor_stop || state.exhausted) break;
   }
 
   remaining.push_back(atom_index);
@@ -102,34 +111,65 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
   return found;
 }
 
-}  // namespace
-
-void ForEachHomomorphism(
+/// Runs one search and flushes counters. Returns the tri-state verdict.
+HomSearchOutcome RunSearch(
     const std::vector<Atom>& atoms, const Instance& target,
     const Substitution& seed,
-    const std::function<bool(const Substitution&)>& visitor) {
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options, bool* found_any) {
   Substitution sub = seed;
   std::vector<size_t> remaining(atoms.size());
   for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
-  SearchState state{target, visitor, /*max_steps=*/0};
-  Search(atoms, remaining, sub, state);
+  SearchState state{target, visitor, options.max_steps};
+  bool found = Search(atoms, remaining, sub, state);
+  if (found_any != nullptr) *found_any = found;
+  if (options.counters != nullptr) {
+    ++options.counters->searches;
+    options.counters->steps += state.steps;
+    options.counters->candidates_scanned += state.candidates_scanned;
+    if (state.exhausted) ++options.counters->budget_exhaustions;
+  }
+  if (found) return HomSearchOutcome::kFound;
+  // An exhausted budget means the unexplored remainder could still hold a
+  // homomorphism — never report kNotFound in that case.
+  return state.exhausted ? HomSearchOutcome::kExhausted
+                         : HomSearchOutcome::kNotFound;
+}
+
+}  // namespace
+
+HomSearchOutcome SearchHomomorphism(const std::vector<Atom>& atoms,
+                                    const Instance& target,
+                                    const Substitution& seed,
+                                    const HomomorphismOptions& options,
+                                    Substitution* found) {
+  std::function<bool(const Substitution&)> capture =
+      [found](const Substitution& sub) {
+        if (found != nullptr) *found = sub;
+        return false;  // stop after the first hit
+      };
+  return RunSearch(atoms, target, seed, capture, options, nullptr);
 }
 
 std::optional<Substitution> FindHomomorphism(
     const std::vector<Atom>& atoms, const Instance& target,
     const Substitution& seed, const HomomorphismOptions& options) {
-  std::optional<Substitution> result;
-  std::function<bool(const Substitution&)> capture =
-      [&result](const Substitution& sub) {
-        result = sub;
-        return false;  // stop after the first hit
-      };
-  Substitution sub = seed;
-  std::vector<size_t> remaining(atoms.size());
-  for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
-  SearchState state{target, capture, options.max_steps};
-  Search(atoms, remaining, sub, state);
-  return result;
+  Substitution witness;
+  if (SearchHomomorphism(atoms, target, seed, options, &witness) ==
+      HomSearchOutcome::kFound) {
+    return witness;
+  }
+  return std::nullopt;
+}
+
+void ForEachHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options) {
+  HomomorphismOptions unbounded = options;
+  unbounded.max_steps = 0;  // enumeration is always exhaustive
+  RunSearch(atoms, target, seed, visitor, unbounded, nullptr);
 }
 
 std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
@@ -159,24 +199,34 @@ std::vector<std::vector<Term>> EvaluateUCQ(const UnionOfCQs& q,
   return std::vector<std::vector<Term>>(answers.begin(), answers.end());
 }
 
-bool TupleInAnswer(const ConjunctiveQuery& q, const Instance& instance,
-                   const std::vector<Term>& tuple) {
-  if (tuple.size() != q.answer_vars.size()) return false;
+HomSearchOutcome TupleInAnswerBudgeted(const ConjunctiveQuery& q,
+                                       const Instance& instance,
+                                       const std::vector<Term>& tuple,
+                                       const HomomorphismOptions& options) {
+  if (tuple.size() != q.answer_vars.size()) {
+    return HomSearchOutcome::kNotFound;
+  }
   Substitution seed;
   for (size_t i = 0; i < tuple.size(); ++i) {
     const Term& v = q.answer_vars[i];
     if (!v.IsVariable()) {
-      if (v != tuple[i]) return false;
+      if (v != tuple[i]) return HomSearchOutcome::kNotFound;
       continue;
     }
     auto existing = seed.Lookup(v);
     if (existing.has_value()) {
-      if (*existing != tuple[i]) return false;
+      if (*existing != tuple[i]) return HomSearchOutcome::kNotFound;
       continue;
     }
     seed.Bind(v, tuple[i]);
   }
-  return FindHomomorphism(q.body, instance, seed).has_value();
+  return SearchHomomorphism(q.body, instance, seed, options);
+}
+
+bool TupleInAnswer(const ConjunctiveQuery& q, const Instance& instance,
+                   const std::vector<Term>& tuple) {
+  return TupleInAnswerBudgeted(q, instance, tuple) ==
+         HomSearchOutcome::kFound;
 }
 
 bool HoldsIn(const ConjunctiveQuery& q, const Instance& instance) {

@@ -2,9 +2,17 @@
 //
 // The evaluator is a backtracking join over the instance's per-predicate and
 // per-(predicate,position,term) indexes, picking at each step the body atom
-// with the most bound arguments (most-constrained-first). This is the
+// with the most bound arguments (most-constrained-first) and, per atom, the
+// smallest candidate list over all bound argument positions. This is the
 // workhorse behind chase applicability checks, certain-answer computation,
 // CQ containment and the small-witness containment algorithm.
+//
+// Budget semantics: a bounded search (max_steps > 0) has THREE outcomes —
+// found / exhaustively refuted / stopped at the budget. The tri-state
+// SearchHomomorphism / TupleInAnswerBudgeted entry points report which one
+// occurred; callers that need soundness (the containment engine) map
+// kExhausted to an "unknown" verdict, never to a negative answer. The
+// bool/optional wrappers below run unbounded and are always exact.
 
 #ifndef OMQC_LOGIC_HOMOMORPHISM_H_
 #define OMQC_LOGIC_HOMOMORPHISM_H_
@@ -19,18 +27,57 @@
 
 namespace omqc {
 
+/// Observability counters for homomorphism searches. Accumulated (never
+/// reset) by every search that is handed a non-null pointer; not
+/// synchronized — use one instance per thread and merge (EngineStats does).
+struct HomCounters {
+  /// Number of searches run.
+  size_t searches = 0;
+  /// Backtracking steps (recursive extension attempts) across searches.
+  size_t steps = 0;
+  /// Candidate atoms scanned across all index lookups.
+  size_t candidates_scanned = 0;
+  /// Searches that stopped at their max_steps budget.
+  size_t budget_exhaustions = 0;
+
+  void Merge(const HomCounters& other) {
+    searches += other.searches;
+    steps += other.steps;
+    candidates_scanned += other.candidates_scanned;
+    budget_exhaustions += other.budget_exhaustions;
+  }
+};
+
 /// Options controlling a homomorphism search.
 struct HomomorphismOptions {
-  /// Upper bound on backtracking steps; 0 means unlimited. When exhausted
-  /// the search reports "not found" pessimistically — callers that need
-  /// exactness must leave this at 0 (the default everywhere in the library).
+  /// Upper bound on backtracking steps; 0 means unlimited. A search that
+  /// hits the bound reports HomSearchOutcome::kExhausted — it does NOT
+  /// claim non-existence (see the header comment).
   size_t max_steps = 0;
+  /// Optional counters to accumulate into (may be null).
+  HomCounters* counters = nullptr;
+};
+
+/// The three possible verdicts of a budgeted search.
+enum class HomSearchOutcome {
+  kFound,      ///< a homomorphism exists (witness produced)
+  kNotFound,   ///< the search space was exhausted: none exists
+  kExhausted,  ///< max_steps hit before a conclusion — NOT a refutation
 };
 
 /// Finds one homomorphism h from `atoms` into `target` extending `seed`
 /// (h is the identity on constants; nulls in `atoms` are treated as
-/// constants, i.e. they must map to themselves).
-/// Returns nullopt if none exists.
+/// constants, i.e. they must map to themselves). On kFound, `*found` (when
+/// non-null) receives the witness.
+HomSearchOutcome SearchHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution& seed = Substitution(),
+    const HomomorphismOptions& options = HomomorphismOptions(),
+    Substitution* found = nullptr);
+
+/// Unbounded convenience wrapper: returns the witness or nullopt, exactly.
+/// (Budgeted callers must use SearchHomomorphism: with max_steps set this
+/// wrapper cannot distinguish refutation from exhaustion.)
 std::optional<Substitution> FindHomomorphism(
     const std::vector<Atom>& atoms, const Instance& target,
     const Substitution& seed = Substitution(),
@@ -38,10 +85,13 @@ std::optional<Substitution> FindHomomorphism(
 
 /// Enumerates all homomorphisms from `atoms` into `target` extending `seed`,
 /// invoking `visitor` for each; the visitor returns false to stop early.
+/// `options.max_steps` is ignored (enumeration is always exhaustive);
+/// `options.counters` is honored.
 void ForEachHomomorphism(
     const std::vector<Atom>& atoms, const Instance& target,
     const Substitution& seed,
-    const std::function<bool(const Substitution&)>& visitor);
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options = HomomorphismOptions());
 
 /// Evaluates q over I: the set of answer tuples h(x̄) for homomorphisms h
 /// from the body into I with h(x̄) consisting of constants only
@@ -54,7 +104,14 @@ std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
 std::vector<std::vector<Term>> EvaluateUCQ(const UnionOfCQs& q,
                                            const Instance& instance);
 
-/// True iff tuple ∈ q(I).
+/// Budgeted membership test "tuple ∈ q(I)". kExhausted means the search
+/// stopped at options.max_steps without a verdict.
+HomSearchOutcome TupleInAnswerBudgeted(
+    const ConjunctiveQuery& q, const Instance& instance,
+    const std::vector<Term>& tuple,
+    const HomomorphismOptions& options = HomomorphismOptions());
+
+/// True iff tuple ∈ q(I). Unbounded, always exact.
 bool TupleInAnswer(const ConjunctiveQuery& q, const Instance& instance,
                    const std::vector<Term>& tuple);
 

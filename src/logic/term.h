@@ -1,9 +1,9 @@
 // Terms: constants, labeled nulls and variables (Sec. 2 of the paper).
 //
 // Terms are small value types backed by a process-wide interning table, so
-// equality and hashing are O(1) integer operations. The library is
-// single-threaded by design (the paper's algorithms are sequential); the
-// interner is not synchronized.
+// equality and hashing are O(1) integer operations. The interning tables
+// and the fresh-null counter are synchronized: the parallel containment
+// engine (src/core/containment.cc) interns terms from worker threads.
 
 #ifndef OMQC_LOGIC_TERM_H_
 #define OMQC_LOGIC_TERM_H_

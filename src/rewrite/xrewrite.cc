@@ -92,19 +92,15 @@ class XRewriteRun {
     start.body = DedupAtoms(start.body);
     AddQuery(std::move(start), /*from_rewriting=*/true);
     RewriteEnumeration outcome = RewriteEnumeration::kSaturated;
-    while (!stopped_) {
+    while (!stopped_ && !budget_exhausted_) {
       int index = NextUnexplored();
       if (index < 0) break;
       entries_[static_cast<size_t>(index)].explored = true;
       // Copy: AddQuery may reallocate entries_.
       ConjunctiveQuery q = entries_[static_cast<size_t>(index)].query;
       OMQC_RETURN_IF_ERROR(Explore(q));
-      if (entries_.size() > options_.max_queries ||
-          steps_ > options_.max_steps) {
-        outcome = RewriteEnumeration::kBudgetExhausted;
-        break;
-      }
     }
+    if (budget_exhausted_) outcome = RewriteEnumeration::kBudgetExhausted;
     if (stopped_) outcome = RewriteEnumeration::kStopped;
     if (stats_ != nullptr) stats_->queries_generated = entries_.size();
     return outcome;
@@ -151,7 +147,12 @@ class XRewriteRun {
   /// rewriting-produced queries are blocked only by rewriting-labeled
   /// queries; factorization-produced queries by any query), or — with
   /// prune_subsumed — unless an existing rewriting query subsumes it.
+  /// The max_queries budget is enforced HERE, at admission time: deduped
+  /// or pruned candidates never count, and once the cap is reached the
+  /// run is marked budget-exhausted instead of storing the query, so
+  /// `entries_` can never grow past the cap within an exploration burst.
   void AddQuery(ConjunctiveQuery q, bool from_rewriting) {
+    if (budget_exhausted_) return;
     if (options_.minimize_disjuncts) q = MinimizeCQ(q);
     size_t signature = QuerySignature(q);
     auto it = buckets_.find(signature);
@@ -160,6 +161,7 @@ class XRewriteRun {
         const Entry& e = entries_[idx];
         if (from_rewriting && !e.from_rewriting) continue;
         if (IsomorphicCQs(q, e.query)) {
+          if (stats_ != nullptr) ++stats_->dedup_hits;
           // A rewriting duplicate of a factorization query upgrades the
           // label so it reaches the final rewriting.
           if (from_rewriting && !entries_[idx].from_rewriting) {
@@ -175,19 +177,35 @@ class XRewriteRun {
         if (e.from_rewriting &&
             e.query.answer_vars.size() == q.answer_vars.size() &&
             CQContainedIn(q, e.query)) {
+          if (stats_ != nullptr) ++stats_->subsumption_prunes;
           return;  // subsumed: contributes nothing to the UCQ
         }
       }
+    }
+    if (entries_.size() >= options_.max_queries) {
+      budget_exhausted_ = true;
+      return;
     }
     buckets_[signature].push_back(entries_.size());
     entries_.push_back(Entry{std::move(q), from_rewriting, false, false});
     MaybeReport(entries_.size() - 1);
   }
 
+  /// Burns one rewriting/factorization step; returns false (and marks the
+  /// run budget-exhausted) when the step budget is spent.
+  bool TakeStep() {
+    ++steps_;
+    if (options_.max_steps != 0 && steps_ > options_.max_steps) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    return true;
+  }
+
   Status Explore(const ConjunctiveQuery& q) {
     std::set<Term> shared = q.SharedVariables();
     for (const NormalRule& rule : rules_) {
-      if (stopped_) return Status::OK();
+      if (stopped_ || budget_exhausted_) return Status::OK();
       OMQC_RETURN_IF_ERROR(RewritingSteps(q, shared, rule));
       OMQC_RETURN_IF_ERROR(FactorizationSteps(q, rule));
     }
@@ -210,7 +228,8 @@ class XRewriteRun {
                  head_pred.ToString(), " exceed max_group_size"));
     }
     const size_t subsets = (size_t{1} << group.size());
-    for (size_t mask = 1; mask < subsets && !stopped_; ++mask) {
+    for (size_t mask = 1;
+         mask < subsets && !stopped_ && !budget_exhausted_; ++mask) {
       std::vector<size_t> s_indices;
       for (size_t b = 0; b < group.size(); ++b) {
         if (mask & (size_t{1} << b)) s_indices.push_back(group[b]);
@@ -230,7 +249,7 @@ class XRewriteRun {
         if (blocked) continue;
       }
       // Applicability condition 1: S ∪ {head(σ^i)} unifies.
-      ++steps_;
+      if (!TakeStep()) return Status::OK();
       Tgd renamed = rule.tgd.RenamedApart(static_cast<int>(steps_));
       std::vector<Atom> to_unify;
       for (size_t idx : s_indices) to_unify.push_back(q.body[idx]);
@@ -270,7 +289,8 @@ class XRewriteRun {
     }
     std::set<Term> answer_vars(q.answer_vars.begin(), q.answer_vars.end());
     const size_t subsets = (size_t{1} << group.size());
-    for (size_t mask = 1; mask < subsets && !stopped_; ++mask) {
+    for (size_t mask = 1;
+         mask < subsets && !stopped_ && !budget_exhausted_; ++mask) {
       if (__builtin_popcountll(mask) < 2) continue;
       std::vector<size_t> s_indices;
       for (size_t b = 0; b < group.size(); ++b) {
@@ -310,7 +330,7 @@ class XRewriteRun {
       for (size_t idx : s_indices) to_unify.push_back(q.body[idx]);
       std::optional<Substitution> mgu = MostGeneralUnifier(to_unify);
       if (!mgu.has_value()) continue;
-      ++steps_;
+      if (!TakeStep()) return Status::OK();
       ConjunctiveQuery result(mgu->Apply(q.answer_vars),
                               DedupAtoms(mgu->Apply(q.body)));
       if (stats_ != nullptr) ++stats_->factorization_steps;
@@ -329,6 +349,7 @@ class XRewriteRun {
   std::unordered_map<size_t, std::vector<size_t>> buckets_;
   size_t steps_ = 0;
   bool stopped_ = false;
+  bool budget_exhausted_ = false;
 };
 
 /// base^exp with saturation.
@@ -367,10 +388,11 @@ Result<UnionOfCQs> XRewrite(const Schema& data_schema, const TgdSet& tgds,
 Result<RewriteEnumeration> EnumerateRewritings(
     const Schema& data_schema, const TgdSet& tgds, const ConjunctiveQuery& q,
     const XRewriteOptions& options,
-    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct) {
+    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct,
+    XRewriteStats* stats) {
   OMQC_RETURN_IF_ERROR(ValidateTgdSet(tgds));
   OMQC_RETURN_IF_ERROR(ValidateCQ(q));
-  XRewriteRun run(data_schema, tgds, q, options, nullptr, &on_disjunct);
+  XRewriteRun run(data_schema, tgds, q, options, stats, &on_disjunct);
   return run.Run();
 }
 

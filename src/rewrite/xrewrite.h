@@ -15,6 +15,7 @@
 #ifndef OMQC_REWRITE_XREWRITE_H_
 #define OMQC_REWRITE_XREWRITE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 
@@ -28,9 +29,14 @@ namespace omqc {
 /// ontologies but may be exponentially large (Props. 14, 17); budgets turn
 /// a blow-up into Status::ResourceExhausted instead of an endless run.
 struct XRewriteOptions {
-  /// Maximum number of generated queries (explored + frontier).
+  /// Maximum number of generated queries (explored + frontier). Enforced
+  /// at admission time: once the cap is reached no further query is
+  /// stored, the run is marked budget-exhausted, and `queries_generated`
+  /// never exceeds this value (a single exploration burst cannot blow
+  /// past it).
   size_t max_queries = 100000;
-  /// Maximum number of rewriting/factorization step applications.
+  /// Maximum number of rewriting/factorization step applications, checked
+  /// per step (same no-overshoot guarantee as max_queries).
   size_t max_steps = 1000000;
   /// Largest per-predicate body group for subset enumeration (the subsets
   /// S range over atoms sharing the head predicate of a tgd).
@@ -57,6 +63,20 @@ struct XRewriteStats {
   size_t factorization_steps = 0;
   size_t queries_generated = 0;
   size_t max_disjunct_atoms = 0;
+  /// Candidates dropped because an ≃-equivalent query already existed.
+  size_t dedup_hits = 0;
+  /// Candidates dropped by subsumption pruning (prune_subsumed only).
+  size_t subsumption_prunes = 0;
+
+  void Merge(const XRewriteStats& other) {
+    rewriting_steps += other.rewriting_steps;
+    factorization_steps += other.factorization_steps;
+    queries_generated += other.queries_generated;
+    max_disjunct_atoms = std::max(max_disjunct_atoms,
+                                  other.max_disjunct_atoms);
+    dedup_hits += other.dedup_hits;
+    subsumption_prunes += other.subsumption_prunes;
+  }
 };
 
 /// Computes a UCQ rewriting of (S=data_schema, Σ=tgds, q) such that for
@@ -90,10 +110,12 @@ enum class RewriteEnumeration {
 /// complete in the limit). The callback returns false to stop early.
 /// Unlike XRewrite(), hitting a budget is reported as a regular outcome,
 /// not an error — this powers the guarded containment semi-procedure.
+/// If `stats` is non-null it receives run statistics.
 Result<RewriteEnumeration> EnumerateRewritings(
     const Schema& data_schema, const TgdSet& tgds, const ConjunctiveQuery& q,
     const XRewriteOptions& options,
-    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct);
+    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct,
+    XRewriteStats* stats = nullptr);
 
 /// Minimizes a single CQ by removing redundant atoms (query elimination,
 /// [40]): the result is equivalent to the input and no atom can be dropped

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "base/hash_util.h"
 #include "base/status.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "tgd/parser.h"
 
 namespace omqc {
@@ -113,6 +116,56 @@ TEST(SerializationTest, ProgramRoundTrip) {
   EXPECT_EQ(reparsed->queries.size(), original.queries.size());
   EXPECT_TRUE(reparsed->facts == original.facts);
   EXPECT_EQ(reparsed->QueriesNamed("Q").size(), 2u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+  pool.Wait();  // no pending work: returns immediately
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTheQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
 }
 
 TEST(PrettifyTest, RenamesMachineConstantsOnly) {

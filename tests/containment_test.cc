@@ -244,6 +244,48 @@ TEST(ContainmentTest, RejectsMismatchedArity) {
   EXPECT_FALSE(CheckContainment(q1, q2).ok());
 }
 
+// ---------- Budget soundness (tri-state homomorphism search). ----------
+
+TEST(ContainmentTest, TinyHomBudgetYieldsUnknownNotRefutation) {
+  // Regression: this pair is definitely contained. Before the tri-state
+  // homomorphism result, an exhausted step budget looked like "tuple not
+  // in answer" and flipped the verdict to kNotContained — it must be
+  // kUnknown with an explanation.
+  Schema schema = S({{"R", 2}});
+  Omq longer = MakeOmq(schema, "", "Q(X) :- R(X,Y), R(Y,Z)");
+  Omq shorter = MakeOmq(schema, "", "Q(X) :- R(X,Y)");
+  ContainmentOptions options;
+  options.eval.hom_max_steps = 1;
+  auto result = CheckContainment(longer, shorter, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kUnknown);
+  EXPECT_FALSE(result->witness.has_value());
+  EXPECT_NE(result->detail.find("exhausted"), std::string::npos)
+      << result->detail;
+  EXPECT_GT(result->stats.budget_exhaustions, 0u);
+  EXPECT_GT(result->stats.hom.budget_exhaustions, 0u);
+
+  // With an adequate budget the same pair certifies.
+  options.eval.hom_max_steps = 10000;
+  auto exact = CheckContainment(longer, shorter, options);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->outcome, ContainmentOutcome::kContained);
+}
+
+TEST(ContainmentTest, StatsReportPerLayerWork) {
+  Schema schema = S({{"P", 1}, {"T", 1}});
+  Omq q1 = MakeOmq(schema, "T(X) -> P(X).", "Q(X) :- T(X)");
+  Omq q2 = MakeOmq(schema, "T(X) -> P(X).", "Q(X) :- P(X)");
+  auto result = CheckContainment(q1, q2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+  EXPECT_EQ(result->stats.disjuncts_checked, result->candidates_checked);
+  EXPECT_EQ(result->stats.witnesses_rejected, result->candidates_checked);
+  EXPECT_GT(result->stats.hom.searches, 0u);
+  EXPECT_GT(result->stats.rewrite.queries_generated, 0u);
+  EXPECT_FALSE(result->stats.ToString().empty());
+}
+
 TEST(ContainmentTest, OutcomeToString) {
   EXPECT_STREQ(ContainmentOutcomeToString(ContainmentOutcome::kContained),
                "CONTAINED");

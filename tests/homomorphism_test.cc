@@ -145,6 +145,80 @@ TEST(UCQContainmentTest, SagivYannakakis) {
   EXPECT_FALSE(UCQContainedIn(u2, u1));
 }
 
+TEST(HomomorphismTest, BudgetedSearchDistinguishesExhaustionFromAbsence) {
+  // q has no match in db: unbounded search proves it, a 1-step budget
+  // cannot — the tri-state result must say kExhausted, not kNotFound.
+  Database db = Db("R(a,b). P(z).");
+  ConjunctiveQuery q = Q("Q() :- R(X,Y), P(Y)");
+  EXPECT_EQ(SearchHomomorphism(q.body, db), HomSearchOutcome::kNotFound);
+  HomomorphismOptions tiny;
+  tiny.max_steps = 1;
+  EXPECT_EQ(SearchHomomorphism(q.body, db, Substitution(), tiny),
+            HomSearchOutcome::kExhausted);
+  // A match found within the budget is still kFound.
+  Database matching = Db("R(a,b). P(b).");
+  HomomorphismOptions enough;
+  enough.max_steps = 100;
+  EXPECT_EQ(SearchHomomorphism(q.body, matching, Substitution(), enough),
+            HomSearchOutcome::kFound);
+}
+
+TEST(HomomorphismTest, CountersTallySearchWork) {
+  Database db = Db("R(a,b). R(b,c). P(c).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), P(Y)");
+  HomCounters counters;
+  HomomorphismOptions options;
+  options.counters = &counters;
+  EXPECT_EQ(SearchHomomorphism(q.body, db, Substitution(), options),
+            HomSearchOutcome::kFound);
+  EXPECT_EQ(counters.searches, 1u);
+  EXPECT_GT(counters.steps, 0u);
+  EXPECT_GT(counters.candidates_scanned, 0u);
+  EXPECT_EQ(counters.budget_exhaustions, 0u);
+
+  options.max_steps = 1;
+  ConjunctiveQuery none = Q("Q() :- R(X,Y), P(X)");
+  EXPECT_EQ(SearchHomomorphism(none.body, db, Substitution(), options),
+            HomSearchOutcome::kExhausted);
+  EXPECT_EQ(counters.searches, 2u);
+  EXPECT_EQ(counters.budget_exhaustions, 1u);
+}
+
+TEST(HomomorphismTest, CandidatesUseMostSelectiveIndex) {
+  // Atom R(a,c): position 0 indexes 101 atoms, position 1 only one. The
+  // candidate scan must use the smaller list (regression: the old code
+  // took the first bound position and scanned all 101).
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    db.Add(Atom::Make("R", {Term::Constant("a"),
+                            Term::Constant("b" + std::to_string(i))}));
+  }
+  db.Add(Atom::Make("R", {Term::Constant("a"), Term::Constant("c")}));
+  ConjunctiveQuery q = Q("Q() :- R(a,c)");
+  HomCounters counters;
+  HomomorphismOptions options;
+  options.counters = &counters;
+  EXPECT_EQ(SearchHomomorphism(q.body, db, Substitution(), options),
+            HomSearchOutcome::kFound);
+  EXPECT_EQ(counters.candidates_scanned, 1u);
+}
+
+TEST(TupleInAnswerTest, BudgetedTriState) {
+  Database db = Db("R(a,b). R(b,c).");
+  ConjunctiveQuery q = Q("Q(X) :- R(X,Y), R(Y,Z)");
+  EXPECT_EQ(TupleInAnswerBudgeted(q, db, {Term::Constant("a")}),
+            HomSearchOutcome::kFound);
+  EXPECT_EQ(TupleInAnswerBudgeted(q, db, {Term::Constant("b")}),
+            HomSearchOutcome::kNotFound);
+  HomomorphismOptions tiny;
+  tiny.max_steps = 1;
+  EXPECT_EQ(TupleInAnswerBudgeted(q, db, {Term::Constant("b")}, tiny),
+            HomSearchOutcome::kExhausted);
+  // Arity mismatch is a definite miss, not an exhaustion.
+  EXPECT_EQ(TupleInAnswerBudgeted(q, db, {}, tiny),
+            HomSearchOutcome::kNotFound);
+}
+
 TEST(HomomorphismTest, LargerJoinUsesIndexes) {
   // A modest butterfly join to exercise the most-constrained-first order.
   Database db;

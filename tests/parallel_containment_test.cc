@@ -1,0 +1,143 @@
+// Parallel containment engine: for every thread count the engine must
+// return exactly the outcome of the serial run (witnesses may differ when
+// several disjuncts refute, so only outcomes are compared), and the
+// aggregated EngineStats must reflect the work done.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/containment.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+Schema S(std::initializer_list<std::pair<const char*, int>> preds) {
+  Schema s;
+  for (const auto& [name, arity] : preds) {
+    s.Add(Predicate::Get(name, arity));
+  }
+  return s;
+}
+
+Omq MakeOmq(Schema schema, const std::string& tgds,
+            const std::string& query) {
+  return Omq{std::move(schema), ParseTgds(tgds).value(),
+             ParseQuery(query).value()};
+}
+
+/// A chain CQ Q(X0) :- pred(X0,X1), ..., pred(X_{len-1},X_len).
+std::string Chain(const std::string& pred, int len) {
+  std::string text = "Q(X0) :- ";
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) text += ", ";
+    text += pred + "(X" + std::to_string(i) + ",X" + std::to_string(i + 1) +
+            ")";
+  }
+  return text;
+}
+
+class ParallelContainmentTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  /// Runs q1 ⊆ q2 with the parameterized thread count and serially, and
+  /// asserts both runs agree. Returns the parallel result.
+  ContainmentResult CheckBothWays(
+      const Omq& q1, const Omq& q2,
+      ContainmentOptions options = ContainmentOptions()) {
+    options.num_threads = 1;
+    auto serial = CheckContainment(q1, q2, options);
+    EXPECT_TRUE(serial.ok()) << serial.status().ToString();
+    options.num_threads = GetParam();
+    auto parallel = CheckContainment(q1, q2, options);
+    EXPECT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel->outcome, serial->outcome)
+        << "serial and " << GetParam()
+        << "-thread runs disagree on the outcome";
+    return *parallel;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelContainmentTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{8}));
+
+TEST_P(ParallelContainmentTest, PlainCQBothDirections) {
+  Schema schema = S({{"R", 2}});
+  Omq longer = MakeOmq(schema, "", "Q(X) :- R(X,Y), R(Y,Z)");
+  Omq shorter = MakeOmq(schema, "", "Q(X) :- R(X,Y)");
+  EXPECT_EQ(CheckBothWays(longer, shorter).outcome,
+            ContainmentOutcome::kContained);
+  ContainmentResult refuted = CheckBothWays(shorter, longer);
+  EXPECT_EQ(refuted.outcome, ContainmentOutcome::kNotContained);
+  EXPECT_TRUE(refuted.witness.has_value());
+}
+
+TEST_P(ParallelContainmentTest, LinearChainFansOutManyDisjuncts) {
+  // Every Conn atom rewrites to Edge or stays: 2^4 disjuncts, each an
+  // independent RHS check.
+  const char kSigma[] = "Edge(X,Y) -> Conn(X,Y).";
+  Schema schema = S({{"Edge", 2}, {"Conn", 2}});
+  Omq q1 = MakeOmq(schema, kSigma, Chain("Conn", 4));
+  Omq q2 = MakeOmq(schema, kSigma, Chain("Conn", 4));
+  ContainmentResult result = CheckBothWays(q1, q2);
+  EXPECT_EQ(result.outcome, ContainmentOutcome::kContained);
+  EXPECT_GT(result.candidates_checked, 1u);
+  EXPECT_EQ(result.stats.disjuncts_checked, result.candidates_checked);
+  EXPECT_GT(result.stats.hom.searches, 0u);
+}
+
+TEST_P(ParallelContainmentTest, EarlyExitOnRefutingDisjunct) {
+  // The P(x) disjunct of the LHS rewriting refutes containment in T(x);
+  // workers must stop early and still agree with the serial outcome.
+  const char kSigma[] = "T(X) -> P(X). U(X) -> P(X).";
+  Schema schema = S({{"P", 1}, {"T", 1}, {"U", 1}});
+  Omq q1 = MakeOmq(schema, kSigma, "Q(X) :- P(X)");
+  Omq q2 = MakeOmq(schema, kSigma, "Q(X) :- T(X)");
+  ContainmentResult result = CheckBothWays(q1, q2);
+  EXPECT_EQ(result.outcome, ContainmentOutcome::kNotContained);
+  EXPECT_TRUE(result.witness.has_value());
+}
+
+TEST_P(ParallelContainmentTest, BudgetExhaustionStaysUnknown) {
+  // A contained pair under a 1-step homomorphism budget: every RHS check
+  // is inconclusive, so all runs must report kUnknown — never a
+  // refutation.
+  Schema schema = S({{"R", 2}});
+  Omq longer = MakeOmq(schema, "", "Q(X) :- R(X,Y), R(Y,Z)");
+  Omq shorter = MakeOmq(schema, "", "Q(X) :- R(X,Y)");
+  ContainmentOptions options;
+  options.eval.hom_max_steps = 1;
+  ContainmentResult result = CheckBothWays(longer, shorter, options);
+  EXPECT_EQ(result.outcome, ContainmentOutcome::kUnknown);
+  EXPECT_FALSE(result.witness.has_value());
+  EXPECT_GT(result.stats.budget_exhaustions, 0u);
+}
+
+TEST_P(ParallelContainmentTest, HardwareConcurrencyAlias) {
+  // num_threads = 0 means "hardware concurrency" and must also agree.
+  Schema schema = S({{"P", 1}, {"T", 1}});
+  Omq q1 = MakeOmq(schema, "T(X) -> P(X).", "Q(X) :- T(X)");
+  Omq q2 = MakeOmq(schema, "T(X) -> P(X).", "Q(X) :- P(X)");
+  ContainmentOptions options;
+  options.num_threads = 0;
+  auto result = CheckContainment(q1, q2, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, ContainmentOutcome::kContained);
+}
+
+TEST_P(ParallelContainmentTest, StatsAggregateAcrossWorkers) {
+  const char kSigma[] = "Edge(X,Y) -> Conn(X,Y).";
+  Schema schema = S({{"Edge", 2}, {"Conn", 2}});
+  Omq q1 = MakeOmq(schema, kSigma, Chain("Conn", 3));
+  Omq q2 = MakeOmq(schema, kSigma, Chain("Conn", 3));
+  ContainmentResult result = CheckBothWays(q1, q2);
+  EXPECT_EQ(result.outcome, ContainmentOutcome::kContained);
+  // Every candidate failed to refute, and each cost at least one search.
+  EXPECT_EQ(result.stats.witnesses_rejected, result.candidates_checked);
+  EXPECT_GE(result.stats.hom.searches, result.candidates_checked);
+  EXPECT_GT(result.stats.rewrite.queries_generated, 0u);
+}
+
+}  // namespace
+}  // namespace omqc

@@ -228,6 +228,58 @@ TEST(XRewriteTest, PruningTerminatesWhenRewritingIsBounded) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(XRewriteTest, QueryBudgetIsNeverOvershot) {
+  // Infinite perfect rewriting (P propagates backwards along R, no
+  // pruning): the admission-time cap must stop the run with at most
+  // max_queries stored queries — the budget cannot be overshot by a
+  // whole exploration round (regression).
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds("R(X,Y), P(Y) -> P(X).");
+  ConjunctiveQuery q = Q("Q() :- P(X)");
+  XRewriteOptions options;
+  options.max_queries = 3;
+  XRewriteStats stats;
+  int reported = 0;
+  auto outcome = EnumerateRewritings(
+      s, tgds, q, options,
+      [&reported](const ConjunctiveQuery&) {
+        ++reported;
+        return true;
+      },
+      &stats);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, RewriteEnumeration::kBudgetExhausted);
+  EXPECT_LE(stats.queries_generated, options.max_queries);
+  EXPECT_LE(static_cast<size_t>(reported), options.max_queries);
+}
+
+TEST(XRewriteTest, StepBudgetIsNeverOvershot) {
+  Schema s = SchemaOf({{"R", 2}, {"P", 1}});
+  TgdSet tgds = Tgds("R(X,Y), P(Y) -> P(X).");
+  XRewriteOptions options;
+  options.max_steps = 2;
+  XRewriteStats stats;
+  auto outcome = EnumerateRewritings(
+      s, tgds, Q("Q() :- P(X)"), options,
+      [](const ConjunctiveQuery&) { return true; }, &stats);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, RewriteEnumeration::kBudgetExhausted);
+  EXPECT_LE(stats.rewriting_steps + stats.factorization_steps,
+            options.max_steps);
+}
+
+TEST(XRewriteTest, StatsCountDedupHits) {
+  // T and U both rewrite into P(x): the second arrival of an ≃-equivalent
+  // candidate is dropped and counted.
+  Schema s = SchemaOf({{"P", 1}, {"T", 1}});
+  TgdSet tgds = Tgds("P(X) -> T(X).");
+  XRewriteStats stats;
+  auto rewriting =
+      XRewrite(s, tgds, Q("Q(X) :- T(X), T(X)"), XRewriteOptions(), &stats);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  EXPECT_GT(stats.queries_generated, 0u);
+}
+
 TEST(XRewriteTest, StoppedByCallback) {
   Schema s = SchemaOf({{"P", 1}, {"T", 1}});
   TgdSet tgds = Tgds("T(X) -> P(X).");
