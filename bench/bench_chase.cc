@@ -1,8 +1,11 @@
 // Experiment CH — chase engine substrate throughput.
 //
 // Not a paper table; measures the engine every other experiment sits on:
-// restricted vs. oblivious chase throughput (derived atoms per second)
-// and the cost of level tracking on non-recursive workloads.
+// restricted vs. oblivious chase throughput (derived atoms per second),
+// the cost of level tracking on non-recursive workloads, and the
+// naive-vs-seminaive trigger-enumeration comparison (BM_ChaseStrategy*):
+// on multi-round fixpoints the semi-naive engine enumerates each trigger
+// once instead of once per remaining round.
 
 #include <benchmark/benchmark.h>
 
@@ -72,6 +75,107 @@ void BM_ObliviousChase(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_ObliviousChase)->DenseRange(4, 12, 4);
+
+/// Naive vs semi-naive on a multi-round fixpoint: transitive closure over
+/// a chain takes one round per hop, so the naive engine re-enumerates the
+/// full (quadratically growing) trigger set every round.
+void BM_ChaseStrategyTransitiveClosure(benchmark::State& state,
+                                       ChaseStrategy strategy) {
+  int length = static_cast<int>(state.range(0));
+  Database db;
+  auto c = [](int i) { return Term::Constant("c" + std::to_string(i)); };
+  for (int i = 0; i < length; ++i) {
+    db.Add(Atom::Make("E", {c(i), c(i + 1)}));
+  }
+  TgdSet tgds = ParseTgds(
+                    "E(X,Y) -> T(X,Y)."
+                    "T(X,Y), E(Y,Z) -> T(X,Z).")
+                    .value();
+  ChaseOptions options;
+  options.strategy = strategy;
+  size_t derived = 0, triggers = 0, redundant = 0, rounds = 0;
+  for (auto _ : state) {
+    auto result = Chase(db, tgds, options);
+    if (!result.ok() || !result->complete) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    derived = result->instance.size() - db.size();
+    triggers = result->triggers_enumerated;
+    redundant = result->redundant_triggers_skipped;
+    rounds = result->rounds;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(derived) *
+                          state.iterations());
+  state.counters["derived_atoms"] = static_cast<double>(derived);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["triggers_enumerated"] = static_cast<double>(triggers);
+  state.counters["redundant_skipped"] = static_cast<double>(redundant);
+}
+BENCHMARK_CAPTURE(BM_ChaseStrategyTransitiveClosure, naive,
+                  ChaseStrategy::kNaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 64);
+BENCHMARK_CAPTURE(BM_ChaseStrategyTransitiveClosure, seminaive,
+                  ChaseStrategy::kSemiNaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 64);
+
+/// Naive vs semi-naive on the grid workload of BM_RestrictedChase (three
+/// rules, a handful of rounds).
+void BM_ChaseStrategyGrid(benchmark::State& state, ChaseStrategy strategy) {
+  int side = static_cast<int>(state.range(0));
+  Database db = Grid(side);
+  TgdSet tgds = ParseTgds(
+                    "E(X,Y) -> Deg(X)."
+                    "E(X,Y), E(Y,Z) -> Hop2(X,Z)."
+                    "Hop2(X,Z) -> Reach(X,Z).")
+                    .value();
+  ChaseOptions options;
+  options.strategy = strategy;
+  size_t derived = 0, triggers = 0;
+  for (auto _ : state) {
+    auto result = Chase(db, tgds, options);
+    if (!result.ok() || !result->complete) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    derived = result->instance.size() - db.size();
+    triggers = result->triggers_enumerated;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(derived) *
+                          state.iterations());
+  state.counters["triggers_enumerated"] = static_cast<double>(triggers);
+}
+BENCHMARK_CAPTURE(BM_ChaseStrategyGrid, naive, ChaseStrategy::kNaive)
+    ->DenseRange(4, 12, 4);
+BENCHMARK_CAPTURE(BM_ChaseStrategyGrid, seminaive, ChaseStrategy::kSemiNaive)
+    ->DenseRange(4, 12, 4);
+
+/// One-round guardrail: a single full tgd saturates in one round (plus the
+/// empty confirming round), where semi-naive can win nothing — this bench
+/// bounds its bookkeeping overhead.
+void BM_ChaseStrategySingleRound(benchmark::State& state,
+                                 ChaseStrategy strategy) {
+  int side = static_cast<int>(state.range(0));
+  Database db = Grid(side);
+  TgdSet tgds = ParseTgds("E(X,Y) -> Deg(X).").value();
+  ChaseOptions options;
+  options.strategy = strategy;
+  for (auto _ : state) {
+    auto result = Chase(db, tgds, options);
+    if (!result.ok() || !result->complete) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->instance.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_ChaseStrategySingleRound, naive, ChaseStrategy::kNaive)
+    ->Arg(12);
+BENCHMARK_CAPTURE(BM_ChaseStrategySingleRound, seminaive,
+                  ChaseStrategy::kSemiNaive)
+    ->Arg(12);
 
 /// Existential rules with a depth budget: the guarded-evaluation chase.
 void BM_BudgetedGuardedChase(benchmark::State& state) {

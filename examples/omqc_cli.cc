@@ -9,8 +9,12 @@
 //   omqc_cli explain <program-file> <query-name> [answer constants...]
 //
 // Flags (anywhere on the command line):
-//   --threads=N   worker threads for `contain` (0 = hardware concurrency)
-//   --stats       print per-layer EngineStats after `eval` / `contain`
+//   --threads=N              worker threads for `contain` (0 = hardware
+//                            concurrency)
+//   --stats                  print per-layer EngineStats after `eval` /
+//                            `contain`
+//   --chase=naive|seminaive  chase trigger-enumeration strategy for `eval`
+//                            and `contain` (default: seminaive)
 //
 // The program file holds tgds, named queries and facts in the DLGP-style
 // format (see README). The data schema is taken to be the set of
@@ -45,6 +49,7 @@ int Fail(const std::string& message) {
 struct CliFlags {
   size_t threads = 1;  ///< --threads=N (0 = hardware concurrency)
   bool stats = false;  ///< --stats
+  ChaseStrategy chase = ChaseStrategy::kSemiNaive;  ///< --chase=...
 };
 
 Result<Program> LoadProgram(const char* path) {
@@ -98,7 +103,9 @@ int Eval(const Program& program, const Schema& schema,
   auto omq = QueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   EngineStats stats;
-  auto answers = EvalAll(*omq, program.facts, EvalOptions(), &stats);
+  EvalOptions eval_options;
+  eval_options.chase_strategy = flags.chase;
+  auto answers = EvalAll(*omq, program.facts, eval_options, &stats);
   if (!answers.ok()) return Fail(answers.status().ToString());
   std::printf("%zu answer(s):\n", answers->size());
   for (const auto& tuple : *answers) {
@@ -135,6 +142,7 @@ int Contain(const Program& program, const Schema& schema,
   if (!q2.ok()) return Fail(q2.status().ToString());
   ContainmentOptions options;
   options.num_threads = flags.threads;
+  options.eval.chase_strategy = flags.chase;
   auto result = CheckContainment(*q1, *q2, options);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("%s ⊆ %s: %s\n", lhs.c_str(), rhs.c_str(),
@@ -195,6 +203,18 @@ int main(int argc, char** argv) {
       flags.stats = true;
       continue;
     }
+    if (arg.rfind("--chase=", 0) == 0) {
+      std::string strategy = arg.substr(8);
+      if (strategy == "naive") {
+        flags.chase = ChaseStrategy::kNaive;
+      } else if (strategy == "seminaive") {
+        flags.chase = ChaseStrategy::kSemiNaive;
+      } else {
+        std::fprintf(stderr, "--chase expects 'naive' or 'seminaive'\n");
+        return 2;
+      }
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -205,7 +225,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s classify|eval|rewrite|contain|distribute|"
                  "explain <program-file> [query names / constants...] "
-                 "[--threads=N] [--stats]\n",
+                 "[--threads=N] [--stats] [--chase=naive|seminaive]\n",
                  argv[0]);
     return 2;
   }

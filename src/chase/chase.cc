@@ -39,22 +39,34 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
   result.atoms_per_level.assign(1, database.size());
   for (const Atom& a : database.atoms()) result.level_of[a] = 0;
 
+  const bool semi_naive = options.strategy == ChaseStrategy::kSemiNaive;
   std::unordered_set<TriggerKey, TriggerKeyHash> processed;
   // Body variable orders, precomputed per tgd.
   std::vector<std::vector<Term>> body_vars(tgds.size());
   for (size_t i = 0; i < tgds.size(); ++i) {
     body_vars[i] = tgds.tgds[i].BodyVariables();
   }
+  // Semi-naive bookkeeping: per tgd, whether its first (full) enumeration
+  // ran, the instance size snapshotted at its previous turn (its delta is
+  // the atom range [seen_upto, turn start)), and the previous turn's
+  // trigger count (reservation hint for the snapshot vector).
+  std::vector<bool> turn_done(tgds.size(), false);
+  std::vector<size_t> seen_upto(tgds.size(), 0);
+  std::vector<size_t> prev_trigger_count(tgds.size(), 0);
 
   bool truncated = false;
   bool budget_hit = false;
   bool changed = true;
   while (changed && !budget_hit) {
     changed = false;
+    ++result.rounds;
     for (size_t i = 0; i < tgds.size() && !budget_hit; ++i) {
       const Tgd& tgd = tgds.tgds[i];
-      // Snapshot the triggers of this round before mutating the instance.
+      // Snapshot the triggers of this turn before mutating the instance.
+      // Atoms derived during the turn (by this tgd's own triggers) are
+      // picked up at its next turn, under either strategy.
       std::vector<Substitution> triggers;
+      triggers.reserve(prev_trigger_count[i]);
       std::function<bool(const Substitution&)> collect =
           [&](const Substitution& sub) {
             triggers.push_back(sub);
@@ -62,11 +74,40 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
           };
       HomomorphismOptions hom_options;
       hom_options.counters = options.hom_counters;
-      ForEachHomomorphism(tgd.body, result.instance, Substitution(),
-                          collect, hom_options);
-      for (const Substitution& trigger : triggers) {
+      const size_t turn_start = result.instance.size();
+      if (!semi_naive || !turn_done[i]) {
+        // First turn (or naive strategy): the delta is the whole instance.
+        ForEachHomomorphism(tgd.body, result.instance, Substitution(),
+                            collect, hom_options);
+      } else if (seen_upto[i] < turn_start) {
+        // Delta decomposition: for each body position k, enumerate the
+        // homomorphisms whose atom k matches inside the delta while the
+        // other atoms range over the full instance. Every trigger that
+        // uses at least one delta atom is found (at least) once; triggers
+        // found via several positions are deduped by the processed set.
+        const std::vector<Atom>& all = result.instance.atoms();
+        std::unordered_map<int32_t, std::vector<Atom>> delta_by_pred;
+        for (size_t a = seen_upto[i]; a < turn_start; ++a) {
+          delta_by_pred[all[a].predicate.id()].push_back(all[a]);
+        }
+        for (size_t k = 0; k < tgd.body.size(); ++k) {
+          auto it = delta_by_pred.find(tgd.body[k].predicate.id());
+          if (it == delta_by_pred.end()) continue;
+          ForEachHomomorphismPinned(tgd.body, k, it->second,
+                                    result.instance, Substitution(),
+                                    collect, hom_options);
+        }
+      }  // else: no new atoms since this tgd's last turn — no new triggers.
+      turn_done[i] = true;
+      seen_upto[i] = turn_start;
+      prev_trigger_count[i] = triggers.size();
+      result.triggers_enumerated += triggers.size();
+      for (Substitution& trigger : triggers) {
         TriggerKey key{i, trigger.Apply(body_vars[i])};
-        if (processed.count(key) > 0) continue;
+        if (processed.count(key) > 0) {
+          ++result.redundant_triggers_skipped;
+          continue;
+        }
 
         // Derivation level of the would-be head atoms.
         int level = 1;
@@ -83,31 +124,32 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
         }
 
         if (options.variant == ChaseVariant::kRestricted) {
-          // Applicable only if no extension satisfies the head already.
-          Substitution seed;
-          for (const auto& [from, to] : trigger.bindings()) {
-            seed.Bind(from, to);
-          }
-          if (FindHomomorphism(tgd.head, result.instance, seed, hom_options)
+          // Applicable only if no extension satisfies the head already —
+          // checked against the FULL instance under both strategies.
+          if (FindHomomorphism(tgd.head, result.instance, trigger,
+                               hom_options)
                   .has_value()) {
             processed.insert(std::move(key));
             continue;
           }
         }
 
-        // Apply the trigger: fresh nulls for existential variables.
-        Substitution extended = trigger;
+        // Apply the trigger: fresh nulls for existential variables. The
+        // premises are snapshotted first, then the binding is extended in
+        // place (the trigger is dead after this iteration — no copy).
+        std::vector<Atom> premises;
+        if (options.track_provenance) premises = trigger.Apply(tgd.body);
         for (const Term& z : tgd.ExistentialVariables()) {
-          extended.Bind(z, Term::FreshNull());
+          trigger.Bind(z, Term::FreshNull());
         }
         for (const Atom& h : tgd.head) {
-          Atom derived = extended.Apply(h);
+          Atom derived = trigger.Apply(h);
           if (result.instance.Add(derived)) {
             result.level_of[derived] = level;
             if (options.track_provenance) {
               ChaseResult::Provenance why;
               why.tgd_index = i;
-              why.premises = trigger.Apply(tgd.body);
+              why.premises = premises;
               result.provenance.emplace(derived, std::move(why));
             }
             if (static_cast<size_t>(level) >=

@@ -5,6 +5,22 @@
 // and resource budgets. The restricted chase applies a trigger only when
 // the head is not already satisfied; the oblivious chase applies every
 // trigger once.
+//
+// Two trigger-enumeration strategies share the identical application loop:
+//
+//   * kNaive     — every tgd turn re-enumerates ALL homomorphisms of the
+//                  body over the whole instance and discards already-
+//                  processed triggers (the reference implementation);
+//   * kSemiNaive — delta-driven (the Datalog semi-naive optimization):
+//                  each tgd turn enumerates only homomorphisms whose
+//                  designated body atom matches an atom derived since the
+//                  tgd's previous turn, via ForEachHomomorphismPinned.
+//                  Restricted-chase applicability is still checked against
+//                  the FULL instance; only trigger discovery is restricted.
+//
+// Both strategies visit the same trigger set at every turn, so certain
+// answers, atoms_per_level, steps and `complete` agree (see DESIGN.md,
+// "Semi-naive delta decomposition").
 
 #ifndef OMQC_CHASE_CHASE_H_
 #define OMQC_CHASE_CHASE_H_
@@ -24,11 +40,20 @@ enum class ChaseVariant {
   kOblivious,   ///< apply every trigger exactly once
 };
 
+enum class ChaseStrategy {
+  kNaive,      ///< re-enumerate every trigger each round (reference)
+  kSemiNaive,  ///< enumerate only triggers touching newly derived atoms
+};
+
 /// Budgets for a chase run. A zero/negative value means "unlimited".
 /// The chase under NR (and any weakly-acyclic) sets always terminates; for
 /// other classes callers should set a budget.
 struct ChaseOptions {
   ChaseVariant variant = ChaseVariant::kRestricted;
+  /// Trigger-enumeration strategy. kSemiNaive is observably equivalent and
+  /// asymptotically cheaper on multi-round fixpoints; kNaive is kept as
+  /// the reference oracle for the equivalence tests.
+  ChaseStrategy strategy = ChaseStrategy::kSemiNaive;
   /// Record, for every derived atom, which tgd fired and which atoms the
   /// trigger matched (enables derivation trees / explanations).
   bool track_provenance = false;
@@ -53,6 +78,15 @@ struct ChaseResult {
   bool complete = false;
   /// Number of trigger applications performed.
   size_t steps = 0;
+  /// Number of fixpoint rounds (full passes over the tgd set).
+  size_t rounds = 0;
+  /// Triggers enumerated across all tgd turns (before the processed-set
+  /// filter). The semi-naive strategy exists to shrink this number.
+  size_t triggers_enumerated = 0;
+  /// Enumerated triggers skipped because they were already processed (for
+  /// kNaive: all re-discovered old triggers; for kSemiNaive: only triggers
+  /// matched by several delta decompositions).
+  size_t redundant_triggers_skipped = 0;
   /// Highest derivation level among produced atoms.
   int max_level_reached = 0;
   /// Number of atoms first derived at each level (index = level).

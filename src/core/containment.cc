@@ -298,31 +298,40 @@ Result<ContainmentResult> CheckUcqOmqContainment(
     const UcqOmq& q1, const UcqOmq& q2, const ContainmentOptions& options) {
   ContainmentResult merged;
   merged.outcome = ContainmentOutcome::kContained;
-  for (const ConjunctiveQuery& disjunct : q1.query.disjuncts) {
-    Omq lhs{q1.data_schema, q1.tgds, disjunct};
-    // RHS keeps its UCQ: check lhs against each RHS disjunct-OMQ via the
-    // engine with a UCQ-aware contains callback.
-    OMQC_RETURN_IF_ERROR(ValidateOmq(lhs));
-    ContainmentOptions opts = options;
-    const UcqOmq& rhs = q2;
-    OMQC_ASSIGN_OR_RETURN(
-        ContainmentResult partial,
-        [&]() -> Result<ContainmentResult> {
-          return RunEngine(
-              lhs, opts,
-              [&rhs, &opts](const Database& db,
+  // RHS keeps its UCQ: build one evaluator per RHS disjunct-OMQ up front
+  // (validating each, and precomputing its rewriting where applicable)
+  // instead of re-assembling an Omq and re-deciding chase-vs-rewrite for
+  // every candidate of every LHS disjunct. The Omq vector must not
+  // reallocate once evaluators hold references into it.
+  std::vector<Omq> rhs_omqs;
+  rhs_omqs.reserve(q2.query.disjuncts.size());
+  for (const ConjunctiveQuery& d : q2.query.disjuncts) {
+    rhs_omqs.push_back(Omq{q2.data_schema, q2.tgds, d});
+    OMQC_RETURN_IF_ERROR(ValidateOmq(rhs_omqs.back()));
+  }
+  std::vector<RhsEvaluator> rhs_evaluators;
+  rhs_evaluators.reserve(rhs_omqs.size());
+  for (const Omq& rhs_omq : rhs_omqs) {
+    OMQC_ASSIGN_OR_RETURN(RhsEvaluator evaluator,
+                          RhsEvaluator::Make(rhs_omq, options));
+    rhs_evaluators.push_back(std::move(evaluator));
+    merged.stats.rewrite.Merge(rhs_evaluators.back().setup_stats());
+  }
+  const auto contains = [&rhs_evaluators](
+                            const Database& db,
                             const std::vector<Term>& tuple,
                             EngineStats* stats) -> Result<bool> {
-                for (const ConjunctiveQuery& d : rhs.query.disjuncts) {
-                  Omq rhs_omq{rhs.data_schema, rhs.tgds, d};
-                  OMQC_ASSIGN_OR_RETURN(bool in,
-                                        EvalTuple(rhs_omq, db, tuple,
-                                                  opts.eval, stats));
-                  if (in) return true;
-                }
-                return false;
-              });
-        }());
+    for (const RhsEvaluator& evaluator : rhs_evaluators) {
+      OMQC_ASSIGN_OR_RETURN(bool in, evaluator.Contains(db, tuple, stats));
+      if (in) return true;
+    }
+    return false;
+  };
+  for (const ConjunctiveQuery& disjunct : q1.query.disjuncts) {
+    Omq lhs{q1.data_schema, q1.tgds, disjunct};
+    OMQC_RETURN_IF_ERROR(ValidateOmq(lhs));
+    OMQC_ASSIGN_OR_RETURN(ContainmentResult partial,
+                          RunEngine(lhs, options, contains));
     merged.candidates_checked += partial.candidates_checked;
     merged.max_witness_size =
         std::max(merged.max_witness_size, partial.max_witness_size);

@@ -12,6 +12,9 @@ void EngineStats::Merge(const EngineStats& other) {
   chase_steps += other.chase_steps;
   chase_atoms_derived += other.chase_atoms_derived;
   chase_max_level = std::max(chase_max_level, other.chase_max_level);
+  chase_delta_rounds += other.chase_delta_rounds;
+  chase_triggers_enumerated += other.chase_triggers_enumerated;
+  chase_redundant_triggers_skipped += other.chase_redundant_triggers_skipped;
   disjuncts_checked += other.disjuncts_checked;
   witnesses_rejected += other.witnesses_rejected;
   budget_exhaustions += other.budget_exhaustions;
@@ -33,7 +36,10 @@ std::string EngineStats::ToString() const {
       " budget_exhaustions=", hom.budget_exhaustions, "\n",
       "  chase:       steps=", chase_steps,
       " atoms_derived=", chase_atoms_derived,
-      " max_level=", chase_max_level);
+      " max_level=", chase_max_level,
+      " delta_rounds=", chase_delta_rounds,
+      " triggers_enumerated=", chase_triggers_enumerated,
+      " redundant_triggers_skipped=", chase_redundant_triggers_skipped);
 }
 
 }  // namespace omqc

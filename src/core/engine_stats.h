@@ -29,6 +29,13 @@ struct EngineStats {
   size_t chase_steps = 0;          ///< trigger applications
   size_t chase_atoms_derived = 0;  ///< atoms beyond the input database
   int chase_max_level = 0;         ///< deepest derivation level reached
+  size_t chase_delta_rounds = 0;   ///< fixpoint rounds across chase runs
+  /// Triggers enumerated before the processed-set filter; the semi-naive
+  /// strategy's whole job is to shrink this relative to kNaive.
+  size_t chase_triggers_enumerated = 0;
+  /// Enumerated triggers dropped as already processed (naive: re-found old
+  /// triggers; semi-naive: multi-decomposition duplicates only).
+  size_t chase_redundant_triggers_skipped = 0;
 
   /// Containment layer.
   size_t disjuncts_checked = 0;    ///< candidate witnesses examined

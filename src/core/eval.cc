@@ -56,6 +56,7 @@ Path ChoosePath(const Omq& omq, const EvalOptions& options) {
 ChaseOptions ChaseOptionsFor(const Omq& omq, const EvalOptions& options) {
   ChaseOptions chase;
   chase.variant = ChaseVariant::kRestricted;
+  chase.strategy = options.chase_strategy;
   chase.max_atoms = options.chase_max_atoms;
   if (omq.OntologyClass() != TgdClass::kEmpty &&
       !ChaseTerminatesFor(omq.tgds)) {
@@ -72,6 +73,10 @@ void RecordChase(const ChaseResult& chased, size_t database_size,
   stats->chase_atoms_derived += chased.instance.size() - database_size;
   stats->chase_max_level =
       std::max(stats->chase_max_level, chased.max_level_reached);
+  stats->chase_delta_rounds += chased.rounds;
+  stats->chase_triggers_enumerated += chased.triggers_enumerated;
+  stats->chase_redundant_triggers_skipped +=
+      chased.redundant_triggers_skipped;
 }
 
 }  // namespace

@@ -45,6 +45,29 @@ struct SearchState {
   bool exhausted = false;     // max_steps budget hit
 };
 
+/// Extends `sub` so that `atom` maps onto `candidate`; records the freshly
+/// bound variables in `newly_bound`. Returns false (leaving the fresh
+/// bindings for the caller to undo) when the match is infeasible.
+bool TryMatch(const Atom& atom, const Atom& candidate, Substitution& sub,
+              std::vector<Term>& newly_bound) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& from = atom.args[i];
+    const Term& to = candidate.args[i];
+    if (!from.IsVariable()) {
+      if (from != to) return false;
+      continue;
+    }
+    auto existing = sub.Lookup(from);
+    if (existing.has_value()) {
+      if (*existing != to) return false;
+      continue;
+    }
+    sub.Bind(from, to);
+    newly_bound.push_back(from);
+  }
+  return true;
+}
+
 /// Recursive most-constrained-first backtracking search. `remaining` holds
 /// indices of body atoms not yet matched.
 bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
@@ -77,29 +100,7 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
   for (const Atom& candidate : Candidates(atom, sub, state.target)) {
     ++state.candidates_scanned;
     std::vector<Term> newly_bound;
-    bool feasible = true;
-    for (size_t i = 0; i < atom.args.size(); ++i) {
-      const Term& from = atom.args[i];
-      const Term& to = candidate.args[i];
-      if (!from.IsVariable()) {
-        if (from != to) {
-          feasible = false;
-          break;
-        }
-        continue;
-      }
-      auto existing = sub.Lookup(from);
-      if (existing.has_value()) {
-        if (*existing != to) {
-          feasible = false;
-          break;
-        }
-        continue;
-      }
-      sub.Bind(from, to);
-      newly_bound.push_back(from);
-    }
-    if (feasible) {
+    if (TryMatch(atom, candidate, sub, newly_bound)) {
       if (Search(atoms, remaining, sub, state)) found = true;
     }
     for (const Term& v : newly_bound) sub.Unbind(v);
@@ -170,6 +171,37 @@ void ForEachHomomorphism(
   HomomorphismOptions unbounded = options;
   unbounded.max_steps = 0;  // enumeration is always exhaustive
   RunSearch(atoms, target, seed, visitor, unbounded, nullptr);
+}
+
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const std::vector<Atom>& pinned_candidates, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options) {
+  const Atom& pinned = atoms[pinned_index];
+  Substitution sub = seed;
+  std::vector<size_t> remaining;
+  remaining.reserve(atoms.size() - 1);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i != pinned_index) remaining.push_back(i);
+  }
+  SearchState state{target, visitor, /*max_steps=*/0};
+  for (const Atom& candidate : pinned_candidates) {
+    if (candidate.predicate != pinned.predicate) continue;
+    ++state.candidates_scanned;
+    std::vector<Term> newly_bound;
+    if (TryMatch(pinned, candidate, sub, newly_bound)) {
+      Search(atoms, remaining, sub, state);
+    }
+    for (const Term& v : newly_bound) sub.Unbind(v);
+    if (state.visitor_stop) break;
+  }
+  if (options.counters != nullptr) {
+    ++options.counters->searches;
+    options.counters->steps += state.steps;
+    options.counters->candidates_scanned += state.candidates_scanned;
+  }
 }
 
 std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,

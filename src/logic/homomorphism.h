@@ -93,6 +93,22 @@ void ForEachHomomorphism(
     const std::function<bool(const Substitution&)>& visitor,
     const HomomorphismOptions& options = HomomorphismOptions());
 
+/// Like ForEachHomomorphism, but the designated atom `atoms[pinned_index]`
+/// draws its candidate matches from `pinned_candidates` instead of the
+/// target's index, while every other atom still matches inside `target`.
+/// This is the delta-decomposition primitive of the semi-naive chase: with
+/// `pinned_candidates` the atoms derived in the previous round, only
+/// homomorphisms whose designated atom uses a new atom are enumerated.
+/// Candidates with a different predicate are skipped; a homomorphism
+/// matched by several pinned positions is reported once per position
+/// (callers dedupe, e.g. by trigger key).
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const std::vector<Atom>& pinned_candidates, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options = HomomorphismOptions());
+
 /// Evaluates q over I: the set of answer tuples h(x̄) for homomorphisms h
 /// from the body into I with h(x̄) consisting of constants only
 /// (paper Sec. 2: the evaluation q(I) collects constant tuples).

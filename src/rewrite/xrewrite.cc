@@ -70,7 +70,6 @@ size_t QuerySignature(const ConjunctiveQuery& q) {
 struct Entry {
   ConjunctiveQuery query;
   bool from_rewriting;
-  bool explored = false;
   bool reported = false;
 };
 
@@ -92,12 +91,14 @@ class XRewriteRun {
     start.body = DedupAtoms(start.body);
     AddQuery(std::move(start), /*from_rewriting=*/true);
     RewriteEnumeration outcome = RewriteEnumeration::kSaturated;
-    while (!stopped_ && !budget_exhausted_) {
-      int index = NextUnexplored();
-      if (index < 0) break;
-      entries_[static_cast<size_t>(index)].explored = true;
+    // Entries are append-only and explored strictly in admission order, so
+    // a monotone frontier cursor suffices (the previous per-iteration
+    // rescan made exploration O(n²) in the number of generated queries).
+    while (!stopped_ && !budget_exhausted_ &&
+           next_unexplored_ < entries_.size()) {
       // Copy: AddQuery may reallocate entries_.
-      ConjunctiveQuery q = entries_[static_cast<size_t>(index)].query;
+      ConjunctiveQuery q = entries_[next_unexplored_].query;
+      ++next_unexplored_;
       OMQC_RETURN_IF_ERROR(Explore(q));
     }
     if (budget_exhausted_) outcome = RewriteEnumeration::kBudgetExhausted;
@@ -124,13 +125,6 @@ class XRewriteRun {
       if (!data_schema_.Contains(a.predicate)) return false;
     }
     return true;
-  }
-
-  int NextUnexplored() const {
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      if (!entries_[i].explored) return static_cast<int>(i);
-    }
-    return -1;
   }
 
   void MaybeReport(size_t index) {
@@ -187,7 +181,7 @@ class XRewriteRun {
       return;
     }
     buckets_[signature].push_back(entries_.size());
-    entries_.push_back(Entry{std::move(q), from_rewriting, false, false});
+    entries_.push_back(Entry{std::move(q), from_rewriting, false});
     MaybeReport(entries_.size() - 1);
   }
 
@@ -347,6 +341,8 @@ class XRewriteRun {
   const std::function<bool(const ConjunctiveQuery&)>* callback_;
   std::vector<Entry> entries_;
   std::unordered_map<size_t, std::vector<size_t>> buckets_;
+  /// Frontier cursor: entries_[0, next_unexplored_) have been explored.
+  size_t next_unexplored_ = 0;
   size_t steps_ = 0;
   bool stopped_ = false;
   bool budget_exhausted_ = false;

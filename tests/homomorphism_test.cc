@@ -52,6 +52,61 @@ TEST(HomomorphismTest, SeedConstrainsSearch) {
   EXPECT_EQ(hom->Apply(Term::Variable("Y")), Term::Constant("d"));
 }
 
+TEST(HomomorphismTest, PinnedAtomDrawsFromSuppliedList) {
+  Database db = Db("R(a,b). R(b,c). R(c,d). P(b). P(c). P(d).");
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y), P(Y)");
+  // Pin the R atom to a single candidate: only homomorphisms mapping
+  // R(X,Y) onto R(b,c) are enumerated; P(Y) still matches in the full
+  // instance.
+  std::vector<Atom> delta = {
+      Atom::Make("R", {Term::Constant("b"), Term::Constant("c")})};
+  std::vector<Substitution> found;
+  ForEachHomomorphismPinned(q.body, /*pinned_index=*/0, delta, db,
+                            Substitution(), [&](const Substitution& sub) {
+                              found.push_back(sub);
+                              return true;
+                            });
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].Apply(Term::Variable("X")), Term::Constant("b"));
+  EXPECT_EQ(found[0].Apply(Term::Variable("Y")), Term::Constant("c"));
+}
+
+TEST(HomomorphismTest, PinnedAtomSkipsOtherPredicates) {
+  Database db = Db("R(a,b). P(b).");
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y)");
+  // Candidates with a different predicate are filtered, not mismatched.
+  std::vector<Atom> delta = {Atom::Make("P", {Term::Constant("b")}),
+                             Atom::Make("R", {Term::Constant("a"),
+                                              Term::Constant("b")})};
+  int count = 0;
+  ForEachHomomorphismPinned(q.body, 0, delta, db, Substitution(),
+                            [&](const Substitution&) {
+                              ++count;
+                              return true;
+                            });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(HomomorphismTest, PinnedEnumerationMatchesFullEnumerationOnWholeList) {
+  Database db = Db("R(a,b). R(b,c). R(a,c). P(b). P(c).");
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y), P(Y)");
+  int full = 0;
+  ForEachHomomorphism(q.body, db, Substitution(),
+                      [&](const Substitution&) {
+                        ++full;
+                        return true;
+                      });
+  // Pinning atom 0 to ALL R atoms is the identity decomposition.
+  int pinned = 0;
+  ForEachHomomorphismPinned(q.body, 0, db.AtomsWith(Predicate::Get("R", 2)),
+                            db, Substitution(), [&](const Substitution&) {
+                              ++pinned;
+                              return true;
+                            });
+  EXPECT_EQ(full, pinned);
+  EXPECT_EQ(full, 3);  // (a,b), (b,c), (a,c) all satisfy P(Y)
+}
+
 TEST(HomomorphismTest, EnumeratesAllHomomorphisms) {
   Database db = Db("R(a,b). R(a,c). R(d,e).");
   ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Y)");
