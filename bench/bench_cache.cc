@@ -1,0 +1,220 @@
+// Experiment CACHE — the compilation cache (src/cache).
+//
+// Three questions:
+//   1. How expensive is canonicalization itself (fingerprint cost per
+//      query, scaling in query size)?
+//   2. Warm vs cold compilation: how much does a populated cache save on
+//      the rewriting path of evaluation and on repeated containment
+//      checks? (EXPERIMENTS.md records the warm/cold ratio; the design
+//      target is >= 5x on rewriting-dominated workloads.)
+//   3. What does cache bookkeeping cost when every lookup misses
+//      (fingerprint + shard lock on top of the compilation)?
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "cache/canonical.h"
+#include "cache/omq_cache.h"
+#include "core/containment.h"
+#include "generators/families.h"
+
+namespace omqc {
+namespace {
+
+/// A depth-k hierarchy of binary predicates E0 < E1 < ... < Ek and a
+/// length-m chain query over Ek. The chain is a core (minimization keeps
+/// every atom), so the UCQ rewriting has (k+1)^m distinct disjuncts and
+/// compilation — generation plus per-query minimization — dominates.
+Omq HierarchyOmq(int depth, int query_atoms) {
+  std::string tgds;
+  Schema schema;
+  for (int i = 0; i < depth; ++i) {
+    tgds += "E" + std::to_string(i) + "(X,Y) -> E" + std::to_string(i + 1) +
+            "(X,Y). ";
+  }
+  for (int i = 0; i <= depth; ++i) {
+    schema.Add(Predicate::Get("E" + std::to_string(i), 2));
+  }
+  std::string query = "Q(X0) :- ";
+  for (int j = 0; j < query_atoms; ++j) {
+    if (j > 0) query += ", ";
+    query += "E" + std::to_string(depth) + "(X" + std::to_string(j) + ",X" +
+             std::to_string(j + 1) + ")";
+  }
+  return Omq{schema, ParseTgds(tgds).value(), ParseQuery(query).value()};
+}
+
+/// Facts only at the bottom of the hierarchy: every disjunct mentioning a
+/// higher predicate fails on an empty relation, so UCQ *evaluation* is
+/// cheap and the cold/warm gap isolates the compilation cost.
+Database HierarchyDb(int facts) {
+  Database db;
+  for (int i = 0; i < facts; ++i) {
+    db.Add(Atom::Make("E0", {Term::Constant("c" + std::to_string(i)),
+                             Term::Constant("c" + std::to_string(i + 1))}));
+  }
+  return db;
+}
+
+void BM_FingerprintCQ(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = bench::ChainQuery("R", len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FingerprintCQ(q));
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_FingerprintCQ)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_FingerprintTgdSet(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  TgdSet tgds = MakeEliChainOntology(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FingerprintTgdSet(tgds));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_FingerprintTgdSet)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+/// Cold: no cache — every iteration recompiles the (k+1)^m-disjunct
+/// rewriting.
+void BM_EvalRewriteColdCache(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Omq omq = HierarchyOmq(depth, 3);
+  Database db = HierarchyDb(4);
+  EvalOptions options;
+  options.strategy = EvalOptions::Strategy::kRewrite;
+  for (auto _ : state) {
+    auto answers = EvalAll(omq, db, options);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_EvalRewriteColdCache)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+/// Warm: a shared cache, populated on the first iteration — steady state
+/// fetches the rewriting by fingerprint and only evaluates the UCQ.
+void BM_EvalRewriteWarmCache(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Omq omq = HierarchyOmq(depth, 3);
+  Database db = HierarchyDb(4);
+  OmqCache cache;
+  EvalOptions options;
+  options.strategy = EvalOptions::Strategy::kRewrite;
+  options.cache = &cache;
+  // Populate outside the timed region.
+  if (!EvalAll(omq, db, options).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  EngineStats stats;
+  for (auto _ : state) {
+    auto answers = EvalAll(omq, db, options, &stats);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.counters["cache_hits"] = static_cast<double>(stats.cache.hits);
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_EvalRewriteWarmCache)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+/// Containment Q ⊆ Q over the hierarchy: cold re-enumerates the LHS
+/// rewriting per call; warm replays it from the cache (the per-candidate
+/// RHS chases run either way — caching never skips semantic work).
+void BM_ContainmentColdCache(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Omq q = HierarchyOmq(depth, 2);
+  ContainmentOptions options;
+  for (auto _ : state) {
+    auto result = CheckContainment(q, q, options);
+    if (!result.ok() ||
+        result->outcome != ContainmentOutcome::kContained) {
+      state.SkipWithError("containment failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->candidates_checked);
+  }
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_ContainmentColdCache)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_ContainmentWarmCache(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Omq q = HierarchyOmq(depth, 2);
+  OmqCache cache;
+  ContainmentOptions options;
+  options.cache = &cache;
+  if (!CheckContainment(q, q, options).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  EngineStats stats;
+  for (auto _ : state) {
+    auto result = CheckContainment(q, q, options);
+    if (!result.ok() ||
+        result->outcome != ContainmentOutcome::kContained) {
+      state.SkipWithError("containment failed");
+      return;
+    }
+    stats = result->stats;
+    benchmark::DoNotOptimize(result->candidates_checked);
+  }
+  state.counters["cache_hits"] = static_cast<double>(stats.cache.hits);
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_ContainmentWarmCache)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+/// All-miss overhead: distinct queries so every lookup misses and inserts
+/// — measures fingerprint + shard-lock + insertion on top of compilation.
+void BM_CacheAllMissOverhead(benchmark::State& state) {
+  OmqCache cache;
+  EvalOptions cached;
+  cached.strategy = EvalOptions::Strategy::kRewrite;
+  cached.cache = &cache;
+  EvalOptions plain = cached;
+  plain.cache = nullptr;
+  bool use_cache = state.range(0) != 0;
+  Database db = HierarchyDb(4);
+  Omq base = HierarchyOmq(2, 2);
+  int i = 0;
+  for (auto _ : state) {
+    // A fresh constant per iteration keeps every fingerprint distinct.
+    Omq omq = base;
+    omq.query.body.push_back(
+        Atom::Make("E0", {Term::Variable("X0"),
+                          Term::Constant("m" + std::to_string(i++))}));
+    auto answers = EvalAll(omq, db, use_cache ? cached : plain);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(answers->size());
+  }
+}
+BENCHMARK(BM_CacheAllMissOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace omqc
+
+BENCHMARK_MAIN();

@@ -15,6 +15,11 @@
 //                            `contain`
 //   --chase=naive|seminaive  chase trigger-enumeration strategy for `eval`
 //                            and `contain` (default: seminaive)
+//   --cache=on|off           compilation cache (classification, UCQ
+//                            rewritings, prepared RHS evaluators) for
+//                            `eval` and `contain` (default: on)
+//   --cache-capacity=N       total cache entries across shards
+//                            (default: 1024)
 //
 // The program file holds tgds, named queries and facts in the DLGP-style
 // format (see README). The data schema is taken to be the set of
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "base/string_util.h"
+#include "cache/omq_cache.h"
 #include "core/applications.h"
 #include "core/containment.h"
 #include "core/eval.h"
@@ -50,6 +56,8 @@ struct CliFlags {
   size_t threads = 1;  ///< --threads=N (0 = hardware concurrency)
   bool stats = false;  ///< --stats
   ChaseStrategy chase = ChaseStrategy::kSemiNaive;  ///< --chase=...
+  bool cache = true;             ///< --cache=on|off
+  size_t cache_capacity = 1024;  ///< --cache-capacity=N
 };
 
 Result<Program> LoadProgram(const char* path) {
@@ -98,6 +106,14 @@ int Classify(const Program& program) {
   return 0;
 }
 
+/// The process-wide compilation cache (null when --cache=off).
+OmqCache* SharedCache(const CliFlags& flags) {
+  static OmqCache* cache =
+      flags.cache ? new OmqCache(OmqCacheConfig{flags.cache_capacity, 8})
+                  : nullptr;
+  return cache;
+}
+
 int Eval(const Program& program, const Schema& schema,
          const std::string& name, const CliFlags& flags) {
   auto omq = QueryNamed(program, schema, name);
@@ -105,6 +121,7 @@ int Eval(const Program& program, const Schema& schema,
   EngineStats stats;
   EvalOptions eval_options;
   eval_options.chase_strategy = flags.chase;
+  eval_options.cache = SharedCache(flags);
   auto answers = EvalAll(*omq, program.facts, eval_options, &stats);
   if (!answers.ok()) return Fail(answers.status().ToString());
   std::printf("%zu answer(s):\n", answers->size());
@@ -143,6 +160,7 @@ int Contain(const Program& program, const Schema& schema,
   ContainmentOptions options;
   options.num_threads = flags.threads;
   options.eval.chase_strategy = flags.chase;
+  options.cache = SharedCache(flags);
   auto result = CheckContainment(*q1, *q2, options);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("%s ⊆ %s: %s\n", lhs.c_str(), rhs.c_str(),
@@ -215,6 +233,27 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg.rfind("--cache=", 0) == 0) {
+      std::string mode = arg.substr(8);
+      if (mode == "on") {
+        flags.cache = true;
+      } else if (mode == "off") {
+        flags.cache = false;
+      } else {
+        std::fprintf(stderr, "--cache expects 'on' or 'off'\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--cache-capacity=", 0) == 0) {
+      flags.cache_capacity =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 17, nullptr, 10));
+      if (flags.cache_capacity == 0) {
+        std::fprintf(stderr, "--cache-capacity expects a positive integer\n");
+        return 2;
+      }
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -225,7 +264,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s classify|eval|rewrite|contain|distribute|"
                  "explain <program-file> [query names / constants...] "
-                 "[--threads=N] [--stats] [--chase=naive|seminaive]\n",
+                 "[--threads=N] [--stats] [--chase=naive|seminaive] "
+                 "[--cache=on|off] [--cache-capacity=N]\n",
                  argv[0]);
     return 2;
   }

@@ -1,0 +1,150 @@
+#include "cache/cached_ops.h"
+
+#include <utility>
+#include <vector>
+
+namespace omqc {
+namespace {
+
+uint64_t DigestCombine(uint64_t h, uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2))) *
+         0x00000100000001b3ULL;
+}
+
+TgdProfile ComputeProfile(const TgdSet& tgds) {
+  TgdProfile p;
+  if (tgds.empty()) {
+    p.primary = TgdClass::kEmpty;
+    p.full = true;
+    p.non_recursive = true;
+    return p;
+  }
+  p.linear = IsLinear(tgds);
+  p.guarded = IsGuarded(tgds);
+  p.full = IsFull(tgds);
+  p.non_recursive = IsNonRecursive(tgds);
+  p.sticky = IsSticky(tgds);
+  // Same preference order as PrimaryClass (UCQ-rewritable and cheaper
+  // first): L > NR > S > G > F.
+  if (p.linear) {
+    p.primary = TgdClass::kLinear;
+  } else if (p.non_recursive) {
+    p.primary = TgdClass::kNonRecursive;
+  } else if (p.sticky) {
+    p.primary = TgdClass::kSticky;
+  } else if (p.guarded) {
+    p.primary = TgdClass::kGuarded;
+  } else if (p.full) {
+    p.primary = TgdClass::kFull;
+  } else {
+    p.primary = TgdClass::kGeneral;
+  }
+  return p;
+}
+
+size_t ApproxBytes(const ConjunctiveQuery& q) {
+  size_t bytes = sizeof(ConjunctiveQuery);
+  bytes += q.answer_vars.size() * sizeof(Term);
+  for (const Atom& a : q.body) {
+    bytes += sizeof(Atom) + a.args.size() * sizeof(Term);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+TgdProfile GetTgdProfile(OmqCache* cache, const TgdSet& tgds,
+                         CacheCounters* counters) {
+  if (cache == nullptr) return ComputeProfile(tgds);
+  CacheKey key{FingerprintTgdSet(tgds), 0, ArtifactKind::kClassification};
+  if (auto hit = cache->Get<TgdProfile>(key, counters)) return *hit;
+  auto profile = std::make_shared<TgdProfile>(ComputeProfile(tgds));
+  TgdProfile result = *profile;
+  cache->Put(key, std::shared_ptr<const TgdProfile>(std::move(profile)),
+             sizeof(TgdProfile), counters);
+  return result;
+}
+
+uint64_t XRewriteOptionsDigest(const XRewriteOptions& options) {
+  uint64_t h = 0xa0761d6478bd642fULL;
+  h = DigestCombine(h, options.max_queries);
+  h = DigestCombine(h, options.max_steps);
+  h = DigestCombine(h, options.max_group_size);
+  h = DigestCombine(h, options.minimize_disjuncts ? 1 : 0);
+  h = DigestCombine(h, options.prune_subsumed ? 1 : 0);
+  return h;
+}
+
+CacheKey RewritingCacheKey(const Schema& data_schema, const TgdSet& tgds,
+                           const ConjunctiveQuery& q,
+                           const XRewriteOptions& options) {
+  return CacheKey{FingerprintOmqParts(data_schema, tgds, q),
+                  XRewriteOptionsDigest(options), ArtifactKind::kRewriting};
+}
+
+size_t ApproxBytes(const UnionOfCQs& ucq) {
+  size_t bytes = sizeof(UnionOfCQs);
+  for (const ConjunctiveQuery& d : ucq.disjuncts) bytes += ApproxBytes(d);
+  return bytes;
+}
+
+Result<std::shared_ptr<const UnionOfCQs>> CachedXRewrite(
+    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    const ConjunctiveQuery& q, const XRewriteOptions& options,
+    XRewriteStats* stats, CacheCounters* counters) {
+  if (cache == nullptr) {
+    OMQC_ASSIGN_OR_RETURN(UnionOfCQs rewriting,
+                          XRewrite(data_schema, tgds, q, options, stats));
+    return std::make_shared<const UnionOfCQs>(std::move(rewriting));
+  }
+  CacheKey key = RewritingCacheKey(data_schema, tgds, q, options);
+  if (auto hit = cache->Get<CachedRewriting>(key, counters)) {
+    // No rewriting work was performed, so `stats` stays untouched (the
+    // hit itself shows up in `counters`).
+    // Aliasing constructor: share ownership of the entry, expose the UCQ.
+    return std::shared_ptr<const UnionOfCQs>(hit, &hit->ucq);
+  }
+  auto computed = std::make_shared<CachedRewriting>();
+  OMQC_ASSIGN_OR_RETURN(
+      computed->ucq,
+      XRewrite(data_schema, tgds, q, options, &computed->compute_stats));
+  if (stats != nullptr) stats->Merge(computed->compute_stats);
+  std::shared_ptr<const CachedRewriting> entry = std::move(computed);
+  cache->Put(key, entry, ApproxBytes(entry->ucq), counters);
+  return std::shared_ptr<const UnionOfCQs>(entry, &entry->ucq);
+}
+
+Result<RewriteEnumeration> CachedEnumerateRewritings(
+    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    const ConjunctiveQuery& q, const XRewriteOptions& options,
+    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct,
+    XRewriteStats* stats, CacheCounters* counters) {
+  if (cache == nullptr) {
+    return EnumerateRewritings(data_schema, tgds, q, options, on_disjunct,
+                               stats);
+  }
+  CacheKey key = RewritingCacheKey(data_schema, tgds, q, options);
+  if (auto hit = cache->Get<CachedRewriting>(key, counters)) {
+    for (const ConjunctiveQuery& d : hit->ucq.disjuncts) {
+      if (!on_disjunct(d)) return RewriteEnumeration::kStopped;
+    }
+    return RewriteEnumeration::kSaturated;
+  }
+  auto collected = std::make_shared<CachedRewriting>();
+  auto wrapped = [&collected, &on_disjunct](const ConjunctiveQuery& d) {
+    collected->ucq.disjuncts.push_back(d);
+    return on_disjunct(d);
+  };
+  OMQC_ASSIGN_OR_RETURN(
+      RewriteEnumeration outcome,
+      EnumerateRewritings(data_schema, tgds, q, options, wrapped,
+                          &collected->compute_stats));
+  if (stats != nullptr) stats->Merge(collected->compute_stats);
+  if (outcome == RewriteEnumeration::kSaturated) {
+    size_t bytes = ApproxBytes(collected->ucq);
+    cache->Put<CachedRewriting>(key, std::move(collected), bytes, counters);
+  }
+  return outcome;
+}
+
+}  // namespace omqc

@@ -1,0 +1,80 @@
+// Cache-aware wrappers around the compilation steps of the engine:
+// ontology classification (src/tgd/classify) and UCQ rewriting
+// (src/rewrite/xrewrite). Every function degrades to a plain computation
+// when `cache` is null, so callers thread one optional pointer through and
+// never branch on caching themselves. All wrappers are safe to call
+// concurrently with a shared cache (per-run tallies go to the caller's
+// CacheCounters, which must not be shared across threads).
+
+#ifndef OMQC_CACHE_CACHED_OPS_H_
+#define OMQC_CACHE_CACHED_OPS_H_
+
+#include <memory>
+
+#include "cache/omq_cache.h"
+#include "rewrite/xrewrite.h"
+#include "tgd/classify.h"
+
+namespace omqc {
+
+/// The classification facts the evaluation/containment dispatchers need,
+/// precomputed once per distinct (modulo renaming) ontology.
+struct TgdProfile {
+  TgdClass primary = TgdClass::kEmpty;
+  bool linear = false;
+  bool guarded = false;
+  bool full = false;
+  bool non_recursive = false;
+  bool sticky = false;
+
+  /// True when the restricted chase provably reaches a fixpoint.
+  bool ChaseTerminates() const { return full || non_recursive; }
+};
+
+/// Classifies `tgds`, consulting/filling `cache` (keyed by the tgd set's
+/// canonical fingerprint) when non-null.
+TgdProfile GetTgdProfile(OmqCache* cache, const TgdSet& tgds,
+                         CacheCounters* counters = nullptr);
+
+/// A cached (complete) UCQ rewriting together with the stats of the run
+/// that produced it.
+struct CachedRewriting {
+  UnionOfCQs ucq;
+  XRewriteStats compute_stats;
+};
+
+/// Digest of every XRewriteOptions field that can change the rewriting.
+uint64_t XRewriteOptionsDigest(const XRewriteOptions& options);
+
+/// Cache key for the rewriting of (data_schema, tgds, q) under `options`.
+CacheKey RewritingCacheKey(const Schema& data_schema, const TgdSet& tgds,
+                           const ConjunctiveQuery& q,
+                           const XRewriteOptions& options);
+
+/// Rough byte footprint of a UCQ (for cache accounting only).
+size_t ApproxBytes(const UnionOfCQs& ucq);
+
+/// XRewrite with caching: returns a shared complete rewriting, computing
+/// and inserting it on miss. Budget exhaustion propagates as
+/// ResourceExhausted and is never cached. On a hit, `stats` is untouched
+/// (EngineStats counters mean work performed; the saved compilation shows
+/// up as a hit in `counters` instead).
+Result<std::shared_ptr<const UnionOfCQs>> CachedXRewrite(
+    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    const ConjunctiveQuery& q, const XRewriteOptions& options,
+    XRewriteStats* stats = nullptr, CacheCounters* counters = nullptr);
+
+/// EnumerateRewritings with caching: replays a cached saturated rewriting
+/// through `on_disjunct` (outcome kSaturated, or kStopped if the callback
+/// stops), or enumerates live and caches the disjunct list when the
+/// enumeration saturates. Budget-exhausted and stopped enumerations are
+/// not cached (they are incomplete).
+Result<RewriteEnumeration> CachedEnumerateRewritings(
+    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    const ConjunctiveQuery& q, const XRewriteOptions& options,
+    const std::function<bool(const ConjunctiveQuery&)>& on_disjunct,
+    XRewriteStats* stats = nullptr, CacheCounters* counters = nullptr);
+
+}  // namespace omqc
+
+#endif  // OMQC_CACHE_CACHED_OPS_H_

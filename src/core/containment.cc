@@ -8,6 +8,7 @@
 
 #include "base/string_util.h"
 #include "base/thread_pool.h"
+#include "cache/cached_ops.h"
 #include "logic/homomorphism.h"
 
 namespace omqc {
@@ -36,36 +37,63 @@ using ContainsFn = std::function<Result<bool>(
 
 /// Evaluates "tuple ∈ Q2(D)" for the candidate-witness databases produced
 /// during enumeration. Precomputes a UCQ rewriting for linear/sticky RHS
-/// ontologies so repeated candidates do not re-run XRewrite. Contains() is
-/// const and touches no mutable state, so the parallel engine may call it
-/// from any number of workers.
+/// ontologies so repeated candidates do not re-run XRewrite. The evaluator
+/// owns copies of everything it needs, so it is cacheable under
+/// ArtifactKind::kRhsEvaluator and may be shared across containment calls
+/// whose RHS is the same OMQ up to variable renaming. Contains() is const
+/// and touches no mutable state, so the parallel engine may call it from
+/// any number of workers.
 class RhsEvaluator {
  public:
-  static Result<RhsEvaluator> Make(const Omq& q2,
-                                   const ContainmentOptions& options) {
-    RhsEvaluator evaluator(q2, options);
-    TgdClass cls = q2.OntologyClass();
+  /// Builds (or fetches from options.cache) the evaluator for `q2`. On a
+  /// fresh build the one-time setup work is merged into `stats->rewrite`;
+  /// on a hit only `stats->cache` is touched — the setup was paid by an
+  /// earlier call.
+  static Result<std::shared_ptr<const RhsEvaluator>> Make(
+      const Omq& q2, const ContainmentOptions& options,
+      EngineStats* stats = nullptr) {
+    OmqCache* cache = options.cache;
+    CacheCounters* counters = stats != nullptr ? &stats->cache : nullptr;
+    CacheKey key;
+    if (cache != nullptr) {
+      key = CacheKey{FingerprintOmqParts(q2.data_schema, q2.tgds, q2.query),
+                     EvalOptionsDigest(options.eval),
+                     ArtifactKind::kRhsEvaluator};
+      if (auto hit = cache->Get<RhsEvaluator>(key, counters)) return hit;
+    }
+    std::shared_ptr<RhsEvaluator> evaluator(
+        new RhsEvaluator(q2, options.eval));
+    TgdProfile profile = GetTgdProfile(cache, q2.tgds, counters);
     // Precompute the RHS rewriting only when the chase does not terminate
     // (for terminating sets, per-candidate chasing is cheaper than a
     // potentially large rewriting).
-    if ((cls == TgdClass::kLinear || cls == TgdClass::kSticky) &&
-        !IsNonRecursive(q2.tgds) && !IsFull(q2.tgds)) {
+    if ((profile.primary == TgdClass::kLinear ||
+         profile.primary == TgdClass::kSticky) &&
+        !profile.non_recursive && !profile.full) {
+      XRewriteStats setup;
       OMQC_ASSIGN_OR_RETURN(
-          UnionOfCQs rewriting,
-          XRewrite(q2.data_schema, q2.tgds, q2.query, options.eval.rewrite,
-                   &evaluator.setup_stats_));
-      evaluator.rewriting_ = std::move(rewriting);
+          evaluator->rewriting_,
+          CachedXRewrite(cache, q2.data_schema, q2.tgds, q2.query,
+                         options.eval.rewrite, &setup, counters));
+      if (stats != nullptr) stats->rewrite.Merge(setup);
     }
-    return evaluator;
+    if (cache != nullptr) {
+      size_t bytes = sizeof(RhsEvaluator);
+      if (evaluator->rewriting_ != nullptr) {
+        bytes += ApproxBytes(*evaluator->rewriting_);
+      }
+      cache->Put<RhsEvaluator>(key, evaluator, bytes, counters);
+    }
+    return std::shared_ptr<const RhsEvaluator>(std::move(evaluator));
   }
 
   /// Exact answer or ResourceExhausted (budgeted guarded/general RHS, or a
   /// homomorphism step budget).
   Result<bool> Contains(const Database& db, const std::vector<Term>& tuple,
                         EngineStats* stats) const {
-    if (rewriting_.has_value()) {
+    if (rewriting_ != nullptr) {
       HomomorphismOptions hom;
-      hom.max_steps = options_.eval.hom_max_steps;
+      hom.max_steps = eval_.hom_max_steps;
       hom.counters = stats != nullptr ? &stats->hom : nullptr;
       bool exhausted = false;
       for (const ConjunctiveQuery& disjunct : rewriting_->disjuncts) {
@@ -81,26 +109,22 @@ class RhsEvaluator {
       }
       if (exhausted) {
         return Status::ResourceExhausted(
-            StrCat("homomorphism step budget (", options_.eval.hom_max_steps,
+            StrCat("homomorphism step budget (", eval_.hom_max_steps,
                    ") exhausted on a RHS rewriting disjunct; cannot certify "
                    "a negative answer"));
       }
       return false;
     }
-    return EvalTuple(q2_, db, tuple, options_.eval, stats);
+    return EvalTuple(q2_, db, tuple, eval_, stats);
   }
 
-  /// Stats of the one-time rewriting precomputation (not per-candidate).
-  const XRewriteStats& setup_stats() const { return setup_stats_; }
-
  private:
-  RhsEvaluator(const Omq& q2, const ContainmentOptions& options)
-      : q2_(q2), options_(options) {}
+  RhsEvaluator(const Omq& q2, const EvalOptions& eval)
+      : q2_(q2), eval_(eval) {}
 
-  const Omq& q2_;
-  const ContainmentOptions& options_;
-  std::optional<UnionOfCQs> rewriting_;
-  XRewriteStats setup_stats_;
+  Omq q2_;
+  EvalOptions eval_;
+  std::shared_ptr<const UnionOfCQs> rewriting_;
 };
 
 /// The shared engine: enumerate LHS rewriting disjuncts, freeze each, test
@@ -124,6 +148,7 @@ Result<ContainmentResult> RunEngine(const Omq& q1,
   bool inconclusive_rhs = false;
   std::string rhs_detail;
   XRewriteStats lhs_stats;   // written by the enumeration (caller thread)
+  CacheCounters lhs_cache;   // cache traffic of the enumeration itself
   EngineStats check_stats;   // merged RHS-check work, guarded by mu if pooled
   std::mutex mu;
   std::atomic<bool> stop{false};
@@ -185,12 +210,14 @@ Result<ContainmentResult> RunEngine(const Omq& q1,
 
   OMQC_ASSIGN_OR_RETURN(
       RewriteEnumeration outcome,
-      EnumerateRewritings(q1.data_schema, q1.tgds, q1.query, options.rewrite,
-                          on_disjunct, &lhs_stats));
+      CachedEnumerateRewritings(options.cache, q1.data_schema, q1.tgds,
+                                q1.query, options.rewrite, on_disjunct,
+                                &lhs_stats, &lhs_cache));
   if (pool.has_value()) pool->Wait();
 
   result.stats.Merge(check_stats);
   result.stats.rewrite.Merge(lhs_stats);
+  result.stats.cache.Merge(lhs_cache);
   result.stats.disjuncts_checked += result.candidates_checked;
 
   if (refuted) {
@@ -238,25 +265,39 @@ Status CheckCompatible(const Omq& q1, const Omq& q2) {
   return Status::OK();
 }
 
+/// Propagates the containment-level cache into the RHS evaluation options
+/// (and vice versa) so one `--cache` switch covers every layer; an
+/// explicitly set eval cache wins.
+ContainmentOptions EffectiveOptions(const ContainmentOptions& options) {
+  ContainmentOptions local = options;
+  if (local.eval.cache == nullptr) local.eval.cache = local.cache;
+  if (local.cache == nullptr) local.cache = local.eval.cache;
+  return local;
+}
+
 }  // namespace
 
 Result<ContainmentResult> CheckContainment(const Omq& q1, const Omq& q2,
-                                           const ContainmentOptions& options) {
+                                           const ContainmentOptions& opts) {
+  ContainmentOptions options = EffectiveOptions(opts);
   OMQC_RETURN_IF_ERROR(CheckCompatible(q1, q2));
-  OMQC_ASSIGN_OR_RETURN(RhsEvaluator rhs, RhsEvaluator::Make(q2, options));
+  EngineStats setup_stats;
+  OMQC_ASSIGN_OR_RETURN(std::shared_ptr<const RhsEvaluator> rhs,
+                        RhsEvaluator::Make(q2, options, &setup_stats));
   OMQC_ASSIGN_OR_RETURN(
       ContainmentResult result,
       RunEngine(q1, options,
                 [&rhs](const Database& db, const std::vector<Term>& tuple,
                        EngineStats* stats) {
-                  return rhs.Contains(db, tuple, stats);
+                  return rhs->Contains(db, tuple, stats);
                 }));
-  result.stats.rewrite.Merge(rhs.setup_stats());
+  result.stats.Merge(setup_stats);
   return result;
 }
 
 Result<ContainmentResult> CheckContainmentInUcq(
-    const Omq& q1, const UnionOfCQs& ucq, const ContainmentOptions& options) {
+    const Omq& q1, const UnionOfCQs& ucq, const ContainmentOptions& opts) {
+  ContainmentOptions options = EffectiveOptions(opts);
   OMQC_RETURN_IF_ERROR(ValidateOmq(q1));
   for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
     OMQC_RETURN_IF_ERROR(ValidateCQ(disjunct));
@@ -295,34 +336,29 @@ Result<ContainmentResult> CheckContainmentInUcq(
 }
 
 Result<ContainmentResult> CheckUcqOmqContainment(
-    const UcqOmq& q1, const UcqOmq& q2, const ContainmentOptions& options) {
+    const UcqOmq& q1, const UcqOmq& q2, const ContainmentOptions& opts) {
+  ContainmentOptions options = EffectiveOptions(opts);
   ContainmentResult merged;
   merged.outcome = ContainmentOutcome::kContained;
   // RHS keeps its UCQ: build one evaluator per RHS disjunct-OMQ up front
   // (validating each, and precomputing its rewriting where applicable)
   // instead of re-assembling an Omq and re-deciding chase-vs-rewrite for
-  // every candidate of every LHS disjunct. The Omq vector must not
-  // reallocate once evaluators hold references into it.
-  std::vector<Omq> rhs_omqs;
-  rhs_omqs.reserve(q2.query.disjuncts.size());
+  // every candidate of every LHS disjunct.
+  std::vector<std::shared_ptr<const RhsEvaluator>> rhs_evaluators;
+  rhs_evaluators.reserve(q2.query.disjuncts.size());
   for (const ConjunctiveQuery& d : q2.query.disjuncts) {
-    rhs_omqs.push_back(Omq{q2.data_schema, q2.tgds, d});
-    OMQC_RETURN_IF_ERROR(ValidateOmq(rhs_omqs.back()));
-  }
-  std::vector<RhsEvaluator> rhs_evaluators;
-  rhs_evaluators.reserve(rhs_omqs.size());
-  for (const Omq& rhs_omq : rhs_omqs) {
-    OMQC_ASSIGN_OR_RETURN(RhsEvaluator evaluator,
-                          RhsEvaluator::Make(rhs_omq, options));
+    Omq rhs_omq{q2.data_schema, q2.tgds, d};
+    OMQC_RETURN_IF_ERROR(ValidateOmq(rhs_omq));
+    OMQC_ASSIGN_OR_RETURN(std::shared_ptr<const RhsEvaluator> evaluator,
+                          RhsEvaluator::Make(rhs_omq, options, &merged.stats));
     rhs_evaluators.push_back(std::move(evaluator));
-    merged.stats.rewrite.Merge(rhs_evaluators.back().setup_stats());
   }
   const auto contains = [&rhs_evaluators](
                             const Database& db,
                             const std::vector<Term>& tuple,
                             EngineStats* stats) -> Result<bool> {
-    for (const RhsEvaluator& evaluator : rhs_evaluators) {
-      OMQC_ASSIGN_OR_RETURN(bool in, evaluator.Contains(db, tuple, stats));
+    for (const auto& evaluator : rhs_evaluators) {
+      OMQC_ASSIGN_OR_RETURN(bool in, evaluator->Contains(db, tuple, stats));
       if (in) return true;
     }
     return false;

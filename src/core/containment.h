@@ -80,6 +80,12 @@ struct ContainmentOptions {
   /// is identical for every thread count (only the reported witness may
   /// differ when several disjuncts refute).
   size_t num_threads = 1;
+  /// Optional compilation cache (null = no caching). Consulted for the LHS
+  /// rewriting enumeration, the RHS ontology classification/rewriting and
+  /// the prepared RHS evaluator; also propagated into `eval.cache` when
+  /// that is null. Shared safely across threads and calls; outcomes are
+  /// identical with and without it (only compilation work is reused).
+  OmqCache* cache = nullptr;
 
   ContainmentOptions() {
     rewrite.prune_subsumed = true;

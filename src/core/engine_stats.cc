@@ -18,6 +18,7 @@ void EngineStats::Merge(const EngineStats& other) {
   disjuncts_checked += other.disjuncts_checked;
   witnesses_rejected += other.witnesses_rejected;
   budget_exhaustions += other.budget_exhaustions;
+  cache.Merge(other.cache);
 }
 
 std::string EngineStats::ToString() const {
@@ -39,7 +40,8 @@ std::string EngineStats::ToString() const {
       " max_level=", chase_max_level,
       " delta_rounds=", chase_delta_rounds,
       " triggers_enumerated=", chase_triggers_enumerated,
-      " redundant_triggers_skipped=", chase_redundant_triggers_skipped);
+      " redundant_triggers_skipped=", chase_redundant_triggers_skipped, "\n",
+      "  cache:       ", cache.ToString());
 }
 
 }  // namespace omqc

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "cache/omq_cache.h"
 #include "logic/homomorphism.h"
 #include "rewrite/xrewrite.h"
 
@@ -41,6 +42,9 @@ struct EngineStats {
   size_t disjuncts_checked = 0;    ///< candidate witnesses examined
   size_t witnesses_rejected = 0;   ///< candidates that failed to refute
   size_t budget_exhaustions = 0;   ///< RHS checks that hit some budget
+
+  /// Compilation-cache traffic attributable to this run (src/cache).
+  CacheCounters cache;
 
   void Merge(const EngineStats& other);
 

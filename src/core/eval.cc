@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/string_util.h"
+#include "cache/cached_ops.h"
 #include "logic/homomorphism.h"
 
 namespace omqc {
@@ -25,13 +26,7 @@ Status CheckDatabaseSchema(const Omq& omq, const Database& database) {
 
 enum class Path { kChase, kRewrite };
 
-/// True when the restricted chase is guaranteed to reach a fixpoint: full
-/// tgds (finite domain, no nulls) or a non-recursive set.
-bool ChaseTerminatesFor(const TgdSet& tgds) {
-  return IsFull(tgds) || IsNonRecursive(tgds);
-}
-
-Path ChoosePath(const Omq& omq, const EvalOptions& options) {
+Path ChoosePath(const TgdProfile& profile, const EvalOptions& options) {
   switch (options.strategy) {
     case EvalOptions::Strategy::kChase:
       return Path::kChase;
@@ -40,26 +35,26 @@ Path ChoosePath(const Omq& omq, const EvalOptions& options) {
     case EvalOptions::Strategy::kAuto:
       break;
   }
-  switch (omq.OntologyClass()) {
+  switch (profile.primary) {
     case TgdClass::kLinear:
     case TgdClass::kSticky:
       // The chase is usually much cheaper when it provably terminates
       // (the rewriting of sticky sets can be exponential, Prop. 17);
       // fall back to rewriting only for genuinely recursive,
       // null-inventing sets.
-      return ChaseTerminatesFor(omq.tgds) ? Path::kChase : Path::kRewrite;
+      return profile.ChaseTerminates() ? Path::kChase : Path::kRewrite;
     default:
       return Path::kChase;
   }
 }
 
-ChaseOptions ChaseOptionsFor(const Omq& omq, const EvalOptions& options) {
+ChaseOptions ChaseOptionsFor(const TgdProfile& profile,
+                             const EvalOptions& options) {
   ChaseOptions chase;
   chase.variant = ChaseVariant::kRestricted;
   chase.strategy = options.chase_strategy;
   chase.max_atoms = options.chase_max_atoms;
-  if (omq.OntologyClass() != TgdClass::kEmpty &&
-      !ChaseTerminatesFor(omq.tgds)) {
+  if (profile.primary != TgdClass::kEmpty && !profile.ChaseTerminates()) {
     chase.max_level = options.chase_max_level;
   }
   return chase;
@@ -79,7 +74,23 @@ void RecordChase(const ChaseResult& chased, size_t database_size,
       chased.redundant_triggers_skipped;
 }
 
+uint64_t Fold(uint64_t h, uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2))) *
+         0x00000100000001b3ULL;
+}
+
 }  // namespace
+
+uint64_t EvalOptionsDigest(const EvalOptions& options) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  h = Fold(h, static_cast<uint64_t>(options.strategy));
+  h = Fold(h, static_cast<uint64_t>(options.chase_strategy));
+  h = Fold(h, options.chase_max_atoms);
+  h = Fold(h, static_cast<uint64_t>(options.chase_max_level));
+  h = Fold(h, options.hom_max_steps);
+  h = Fold(h, XRewriteOptionsDigest(options.rewrite));
+  return h;
+}
 
 Result<bool> EvalTuple(const Omq& omq, const Database& database,
                        const std::vector<Term>& tuple,
@@ -92,13 +103,17 @@ Result<bool> EvalTuple(const Omq& omq, const Database& database,
   HomomorphismOptions hom_options;
   hom_options.max_steps = options.hom_max_steps;
   hom_options.counters = stats != nullptr ? &stats->hom : nullptr;
-  if (ChoosePath(omq, options) == Path::kRewrite) {
+  CacheCounters* cache_counters = stats != nullptr ? &stats->cache : nullptr;
+  TgdProfile profile = GetTgdProfile(options.cache, omq.tgds, cache_counters);
+  if (ChoosePath(profile, options) == Path::kRewrite) {
     OMQC_ASSIGN_OR_RETURN(
-        UnionOfCQs rewriting,
-        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite,
-                 stats != nullptr ? &stats->rewrite : nullptr));
+        std::shared_ptr<const UnionOfCQs> rewriting,
+        CachedXRewrite(options.cache, omq.data_schema, omq.tgds, omq.query,
+                       options.rewrite,
+                       stats != nullptr ? &stats->rewrite : nullptr,
+                       cache_counters));
     bool exhausted = false;
-    for (const ConjunctiveQuery& disjunct : rewriting.disjuncts) {
+    for (const ConjunctiveQuery& disjunct : rewriting->disjuncts) {
       switch (TupleInAnswerBudgeted(disjunct, database, tuple, hom_options)) {
         case HomSearchOutcome::kFound:
           return true;
@@ -117,7 +132,7 @@ Result<bool> EvalTuple(const Omq& omq, const Database& database,
     }
     return false;
   }
-  ChaseOptions chase_options = ChaseOptionsFor(omq, options);
+  ChaseOptions chase_options = ChaseOptionsFor(profile, options);
   chase_options.hom_counters = hom_options.counters;
   OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
                         Chase(database, omq.tgds, chase_options));
@@ -149,14 +164,18 @@ Result<std::vector<std::vector<Term>>> EvalAll(const Omq& omq,
                                                EngineStats* stats) {
   OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
   OMQC_RETURN_IF_ERROR(CheckDatabaseSchema(omq, database));
-  if (ChoosePath(omq, options) == Path::kRewrite) {
+  CacheCounters* cache_counters = stats != nullptr ? &stats->cache : nullptr;
+  TgdProfile profile = GetTgdProfile(options.cache, omq.tgds, cache_counters);
+  if (ChoosePath(profile, options) == Path::kRewrite) {
     OMQC_ASSIGN_OR_RETURN(
-        UnionOfCQs rewriting,
-        XRewrite(omq.data_schema, omq.tgds, omq.query, options.rewrite,
-                 stats != nullptr ? &stats->rewrite : nullptr));
-    return EvaluateUCQ(rewriting, database);
+        std::shared_ptr<const UnionOfCQs> rewriting,
+        CachedXRewrite(options.cache, omq.data_schema, omq.tgds, omq.query,
+                       options.rewrite,
+                       stats != nullptr ? &stats->rewrite : nullptr,
+                       cache_counters));
+    return EvaluateUCQ(*rewriting, database);
   }
-  ChaseOptions chase_options = ChaseOptionsFor(omq, options);
+  ChaseOptions chase_options = ChaseOptionsFor(profile, options);
   chase_options.hom_counters = stats != nullptr ? &stats->hom : nullptr;
   OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
                         Chase(database, omq.tgds, chase_options));

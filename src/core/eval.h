@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "cache/omq_cache.h"
 #include "chase/chase.h"
 #include "core/engine_stats.h"
 #include "core/omq.h"
@@ -48,7 +49,17 @@ struct EvalOptions {
   size_t hom_max_steps = 0;
   /// Rewriting budgets for the rewriting path.
   XRewriteOptions rewrite;
+  /// Optional compilation cache consulted for ontology classification and
+  /// UCQ rewritings (null = no caching). Not owned; must outlive the call.
+  /// Sharing one cache across threads and calls is safe and is the point.
+  OmqCache* cache = nullptr;
 };
+
+/// Digest of every EvalOptions field that can change an evaluation result
+/// (the cache pointer itself is excluded: caching never changes results).
+/// Part of cache keys so artifacts compiled under different budgets never
+/// alias.
+uint64_t EvalOptionsDigest(const EvalOptions& options);
 
 /// Is `tuple` a certain answer of Q over `database`? Exact for all
 /// decidable classes; ResourceExhausted when a budget prevented an exact

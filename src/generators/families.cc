@@ -193,8 +193,12 @@ Omq MakeRandomOmq(const RandomOmqConfig& config) {
         std::vector<Term> body_vars = body.Variables();
         std::vector<Term> head_args = body_vars;
         head_args.push_back(V(StrCat("E", i)));  // one existential
+        // The arity is part of the name (as in the sticky case): body
+        // arities vary, and a name used at two arities cannot be printed
+        // and parsed back.
         Atom head = Atom::Make(
-            StrCat("L", pick(config.num_predicates), "_s", config.seed),
+            StrCat("L", pick(config.num_predicates), "_a", head_args.size(),
+                   "_s", config.seed),
             head_args);
         tgds.tgds.emplace_back(std::vector<Atom>{body},
                                std::vector<Atom>{head});

@@ -6,8 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "base/hash_util.h"
 #include "base/string_util.h"
+#include "cache/canonical.h"
 #include "logic/homomorphism.h"
 #include "rewrite/unify.h"
 
@@ -52,19 +52,6 @@ std::vector<Atom> DedupAtoms(const std::vector<Atom>& atoms) {
     if (seen.insert(a).second) out.push_back(a);
   }
   return out;
-}
-
-/// Cheap structural signature for bucketing ≃-candidates.
-size_t QuerySignature(const ConjunctiveQuery& q) {
-  std::vector<int32_t> preds;
-  preds.reserve(q.body.size());
-  for (const Atom& a : q.body) preds.push_back(a.predicate.id());
-  std::sort(preds.begin(), preds.end());
-  size_t seed = q.answer_vars.size();
-  HashCombine(seed, q.body.size());
-  for (int32_t p : preds) HashCombine(seed, static_cast<size_t>(p));
-  HashCombine(seed, q.Variables().size());
-  return seed;
 }
 
 struct Entry {
@@ -148,18 +135,22 @@ class XRewriteRun {
   void AddQuery(ConjunctiveQuery q, bool from_rewriting) {
     if (budget_exhausted_) return;
     if (options_.minimize_disjuncts) q = MinimizeCQ(q);
-    size_t signature = QuerySignature(q);
+    // Canonical fingerprints are isomorphism-invariant, so every
+    // ≃-duplicate of q lands in its bucket; IsomorphicCQs then confirms
+    // (fingerprint collisions between non-isomorphic queries are possible
+    // in principle, never assumed away).
+    Fingerprint signature = FingerprintCQ(q);
     auto it = buckets_.find(signature);
     if (it != buckets_.end()) {
       for (size_t idx : it->second) {
-        const Entry& e = entries_[idx];
-        if (from_rewriting && !e.from_rewriting) continue;
+        Entry& e = entries_[idx];
         if (IsomorphicCQs(q, e.query)) {
           if (stats_ != nullptr) ++stats_->dedup_hits;
           // A rewriting duplicate of a factorization query upgrades the
-          // label so it reaches the final rewriting.
-          if (from_rewriting && !entries_[idx].from_rewriting) {
-            entries_[idx].from_rewriting = true;
+          // label so it reaches the final rewriting, instead of being
+          // admitted as a renamed copy that would be explored twice.
+          if (from_rewriting && !e.from_rewriting) {
+            e.from_rewriting = true;
             MaybeReport(idx);
           }
           return;
@@ -340,7 +331,8 @@ class XRewriteRun {
   XRewriteStats* stats_;
   const std::function<bool(const ConjunctiveQuery&)>* callback_;
   std::vector<Entry> entries_;
-  std::unordered_map<size_t, std::vector<size_t>> buckets_;
+  std::unordered_map<Fingerprint, std::vector<size_t>, FingerprintHash>
+      buckets_;
   /// Frontier cursor: entries_[0, next_unexplored_) have been explored.
   size_t next_unexplored_ = 0;
   size_t steps_ = 0;

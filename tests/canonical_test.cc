@@ -1,0 +1,202 @@
+// Property tests for the canonicalizer (src/cache/canonical.h): queries
+// and tgd sets that are equal up to variable renaming / atom reordering
+// must fingerprint identically, and distinct fingerprints must imply
+// non-isomorphism (checked exhaustively over the generated population).
+
+#include "cache/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "generators/families.h"
+#include "gtest/gtest.h"
+#include "logic/cq.h"
+#include "logic/substitution.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+/// Consistently renames every variable of `q` with a fresh prefix.
+ConjunctiveQuery RenameCQ(const ConjunctiveQuery& q,
+                          const std::string& prefix) {
+  Substitution rename;
+  for (const Term& v : q.Variables()) {
+    rename.Bind(v, Term::Variable(prefix + v.ToString()));
+  }
+  return ConjunctiveQuery(rename.Apply(q.answer_vars),
+                          rename.Apply(q.body));
+}
+
+/// Reverses the body atom order (fingerprints must not care).
+ConjunctiveQuery ReverseBody(const ConjunctiveQuery& q) {
+  ConjunctiveQuery out = q;
+  std::reverse(out.body.begin(), out.body.end());
+  return out;
+}
+
+Tgd RenameTgd(const Tgd& tgd, const std::string& prefix) {
+  Substitution rename;
+  for (const Atom& a : tgd.body) {
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) rename.Bind(t, Term::Variable(prefix + t.ToString()));
+    }
+  }
+  for (const Atom& a : tgd.head) {
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) rename.Bind(t, Term::Variable(prefix + t.ToString()));
+    }
+  }
+  Tgd out;
+  out.body = rename.Apply(tgd.body);
+  out.head = rename.Apply(tgd.head);
+  return out;
+}
+
+TgdSet RenameAndShuffleTgds(const TgdSet& tgds, const std::string& prefix) {
+  TgdSet out;
+  for (const Tgd& tgd : tgds.tgds) out.tgds.push_back(RenameTgd(tgd, prefix));
+  std::reverse(out.tgds.begin(), out.tgds.end());
+  return out;
+}
+
+std::vector<Omq> GeneratePopulation() {
+  const TgdClass classes[] = {TgdClass::kLinear, TgdClass::kNonRecursive,
+                              TgdClass::kSticky, TgdClass::kGuarded,
+                              TgdClass::kFull};
+  std::vector<Omq> population;
+  for (TgdClass target : classes) {
+    for (uint32_t seed = 0; seed < 100; ++seed) {
+      RandomOmqConfig config;
+      config.target = target;
+      config.seed = seed;
+      config.num_predicates = 3 + static_cast<int>(seed % 3);
+      config.query_atoms = 2 + static_cast<int>(seed % 4);
+      config.num_variables = 3 + static_cast<int>(seed % 3);
+      population.push_back(MakeRandomOmq(config));
+    }
+  }
+  return population;
+}
+
+TEST(CanonicalTest, RenamedAndPermutedOmqsFingerprintIdentically) {
+  std::vector<Omq> population = GeneratePopulation();
+  ASSERT_GE(population.size(), 100u);
+  size_t variant = 0;
+  for (const Omq& omq : population) {
+    const std::string prefix = "RN" + std::to_string(variant++) + "_";
+    ConjunctiveQuery renamed = ReverseBody(RenameCQ(omq.query, prefix));
+    EXPECT_EQ(FingerprintCQ(omq.query), FingerprintCQ(renamed))
+        << "query: " << omq.query.ToString();
+    TgdSet shuffled = RenameAndShuffleTgds(omq.tgds, prefix);
+    EXPECT_EQ(FingerprintTgdSet(omq.tgds), FingerprintTgdSet(shuffled));
+    EXPECT_EQ(FingerprintOmqParts(omq.data_schema, omq.tgds, omq.query),
+              FingerprintOmqParts(omq.data_schema, shuffled, renamed));
+  }
+}
+
+TEST(CanonicalTest, EqualFingerprintsImplyIsomorphism) {
+  std::vector<Omq> population = GeneratePopulation();
+  std::map<Fingerprint, ConjunctiveQuery> seen;
+  size_t coincidences = 0;
+  for (const Omq& omq : population) {
+    Fingerprint fp = FingerprintCQ(omq.query);
+    auto [it, inserted] = seen.emplace(fp, omq.query);
+    if (!inserted) {
+      ++coincidences;
+      EXPECT_TRUE(IsomorphicCQs(omq.query, it->second))
+          << "fingerprint collision between non-isomorphic queries:\n  "
+          << omq.query.ToString() << "\n  " << it->second.ToString();
+    }
+  }
+  // The sweep must actually exercise distinct structures.
+  EXPECT_GE(seen.size(), 50u);
+  (void)coincidences;
+}
+
+TEST(CanonicalTest, NonIsomorphicQueriesGetDistinctFingerprints) {
+  std::vector<Omq> population = GeneratePopulation();
+  std::vector<Fingerprint> fps;
+  fps.reserve(population.size());
+  for (const Omq& omq : population) fps.push_back(FingerprintCQ(omq.query));
+  for (size_t i = 0; i < population.size(); ++i) {
+    for (size_t j = i + 1; j < population.size(); ++j) {
+      const ConjunctiveQuery& a = population[i].query;
+      const ConjunctiveQuery& b = population[j].query;
+      if (fps[i] == fps[j]) {
+        EXPECT_TRUE(IsomorphicCQs(a, b))
+            << a.ToString() << " vs " << b.ToString();
+      } else {
+        EXPECT_FALSE(IsomorphicCQs(a, b))
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+/// C6 vs C3 + C3: six binary atoms over six variables each, identical
+/// degree sequences, indistinguishable by plain color refinement — the
+/// individualization step must separate them.
+TEST(CanonicalTest, DistinguishesCycleSixFromTwoTriangles) {
+  auto c6 = ParseQuery(
+      "Q() :- R(X1,X2), R(X2,X3), R(X3,X4), R(X4,X5), R(X5,X6), R(X6,X1)");
+  auto triangles = ParseQuery(
+      "Q() :- R(X1,X2), R(X2,X3), R(X3,X1), R(Y1,Y2), R(Y2,Y3), R(Y3,Y1)");
+  ASSERT_TRUE(c6.ok());
+  ASSERT_TRUE(triangles.ok());
+  ASSERT_FALSE(IsomorphicCQs(*c6, *triangles));
+  EXPECT_NE(FingerprintCQ(*c6), FingerprintCQ(*triangles));
+}
+
+TEST(CanonicalTest, CanonicalFormIsARenamingFixpoint) {
+  std::vector<Omq> population = GeneratePopulation();
+  size_t variant = 0;
+  for (const Omq& omq : population) {
+    CanonicalCQ canon = CanonicalizeCQ(omq.query);
+    EXPECT_TRUE(IsomorphicCQs(canon.query, omq.query));
+    EXPECT_EQ(canon.fingerprint, FingerprintCQ(omq.query));
+    // Idempotence: canonicalizing the canonical form changes nothing.
+    CanonicalCQ again = CanonicalizeCQ(canon.query);
+    EXPECT_EQ(again.query.ToString(), canon.query.ToString());
+    EXPECT_EQ(again.fingerprint, canon.fingerprint);
+    // A renamed variant canonicalizes to the very same text.
+    const std::string prefix = "CF" + std::to_string(variant++) + "_";
+    CanonicalCQ from_renamed = CanonicalizeCQ(RenameCQ(omq.query, prefix));
+    EXPECT_EQ(from_renamed.query.ToString(), canon.query.ToString());
+  }
+}
+
+TEST(CanonicalTest, ConstantsAreDistinguishedByName) {
+  auto a = ParseQuery("Q(X) :- R(X, c1)");
+  auto b = ParseQuery("Q(X) :- R(X, c2)");
+  auto a2 = ParseQuery("Q(Y) :- R(Y, c1)");
+  ASSERT_TRUE(a.ok() && b.ok() && a2.ok());
+  EXPECT_NE(FingerprintCQ(*a), FingerprintCQ(*b));
+  EXPECT_EQ(FingerprintCQ(*a), FingerprintCQ(*a2));
+}
+
+TEST(CanonicalTest, AnswerVariableOrderMatters) {
+  auto ab = ParseQuery("Q(X,Y) :- R(X,Y)");
+  auto ba = ParseQuery("Q(Y,X) :- R(X,Y)");
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  // R(X,Y) with answer (X,Y) is not a renaming of R(X,Y) with (Y,X).
+  EXPECT_NE(FingerprintCQ(*ab), FingerprintCQ(*ba));
+}
+
+TEST(CanonicalTest, SchemaFingerprintIsOrderInsensitive) {
+  Schema s1;
+  s1.Add(Predicate::Get("R", 2));
+  s1.Add(Predicate::Get("P", 1));
+  Schema s2;
+  s2.Add(Predicate::Get("P", 1));
+  s2.Add(Predicate::Get("R", 2));
+  EXPECT_EQ(FingerprintSchema(s1), FingerprintSchema(s2));
+  Schema s3 = s1;
+  s3.Add(Predicate::Get("T", 3));
+  EXPECT_NE(FingerprintSchema(s1), FingerprintSchema(s3));
+}
+
+}  // namespace
+}  // namespace omqc

@@ -290,6 +290,59 @@ TEST(XRewriteTest, StoppedByCallback) {
   EXPECT_EQ(*outcome, RewriteEnumeration::kStopped);
 }
 
+TEST(XRewriteTest, RenamedDuplicateTgdsCollapseToOneDisjunct) {
+  // Three α-equivalent copies of the same tgd: every copy produces the
+  // same rewriting disjunct up to variable renaming, and the canonical
+  // dedup must collapse them — 2 disjuncts (T and P), not 4.
+  Schema s = SchemaOf({{"P", 1}, {"T", 1}});
+  TgdSet tgds = Tgds("P(X) -> T(X). P(U) -> T(U). P(A0) -> T(A0).");
+  XRewriteStats stats;
+  auto rewriting =
+      XRewrite(s, tgds, Q("Q(X) :- T(X)"), XRewriteOptions(), &stats);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  EXPECT_EQ(rewriting->size(), 2u);
+  EXPECT_GE(stats.dedup_hits, 2u);
+  // No two output disjuncts may be renamings of each other.
+  for (size_t i = 0; i < rewriting->disjuncts.size(); ++i) {
+    for (size_t j = i + 1; j < rewriting->disjuncts.size(); ++j) {
+      EXPECT_FALSE(
+          IsomorphicCQs(rewriting->disjuncts[i], rewriting->disjuncts[j]));
+    }
+  }
+}
+
+TEST(XRewriteTest, RewritingDuplicateUpgradesFactorizationEntry) {
+  // q0 = Q() :- R(A,C), R(B,C) factorizes to Q() :- R(A,C) (label f),
+  // which rewrites to Q() :- P(A), which rewrites back to an isomorphic
+  // copy of the factorization query — now labeled r. That copy must
+  // upgrade the existing entry instead of being admitted (and explored)
+  // as a renamed duplicate.
+  Schema s = SchemaOf({{"P", 1}, {"R", 2}});
+  TgdSet tgds = Tgds("P(X) -> R(X,Z). R(X,Y) -> P(X).");
+  XRewriteOptions options;
+  options.minimize_disjuncts = false;  // keep q0 as the 2-atom query
+  XRewriteStats stats;
+  auto rewriting =
+      XRewrite(s, tgds, Q("Q() :- R(A,C), R(B,C)"), options, &stats);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  // q0, the (upgraded) factorization query and the P-query.
+  EXPECT_EQ(rewriting->size(), 3u);
+  // Exactly three entries were admitted: the isomorphic rewriting copy
+  // was deduplicated into the factorization entry, not appended.
+  EXPECT_EQ(stats.queries_generated, 3u);
+  EXPECT_GE(stats.dedup_hits, 1u);
+  bool has_single_r_disjunct = false;
+  for (const ConjunctiveQuery& d : rewriting->disjuncts) {
+    if (d.body.size() == 1 &&
+        d.body.front().predicate == Predicate::Get("R", 2)) {
+      has_single_r_disjunct = true;
+    }
+  }
+  EXPECT_TRUE(has_single_r_disjunct)
+      << "upgraded factorization query missing from the final rewriting:\n"
+      << rewriting->ToString();
+}
+
 TEST(MinimizeUCQTest, DropsSubsumedDisjuncts) {
   UnionOfCQs ucq =
       ParseUCQ("Q(X) :- R(X,Y). Q(X) :- R(X,Y), R(Y,Z). Q(X) :- P(X).")
