@@ -185,6 +185,34 @@ BENCHMARK(BM_ContainmentWarmCache)
     ->Range(2, 16)
     ->Complexity();
 
+/// Governor overhead on the containment engine: the identical Q ⊆ Q check
+/// run bare (arg 0) and under an attached-but-never-tripping request
+/// governor (arg 1) — LHS enumeration, freezing and every RHS check then
+/// pay the child-governor Check()/ChargeBytes sites for real.
+/// EXPERIMENTS.md records the ratio; the design target is < 2% overhead.
+void BM_ContainmentGovernorOverhead(benchmark::State& state) {
+  bool governed = state.range(0) != 0;
+  Omq q = HierarchyOmq(8, 2);
+  for (auto _ : state) {
+    ResourceGovernor governor;
+    ContainmentOptions options;
+    if (governed) {
+      governor.set_deadline_after(std::chrono::hours(1));
+      governor.set_memory_budget(size_t{1} << 40);
+      options.governor = &governor;
+    }
+    auto result = CheckContainment(q, q, options);
+    if (!result.ok() ||
+        result->outcome != ContainmentOutcome::kContained) {
+      state.SkipWithError("containment failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->candidates_checked);
+  }
+  state.SetLabel(governed ? "governed" : "bare");
+}
+BENCHMARK(BM_ContainmentGovernorOverhead)->Arg(0)->Arg(1);
+
 /// All-miss overhead: distinct queries so every lookup misses and inserts
 /// — measures fingerprint + shard-lock + insertion on top of compilation.
 void BM_CacheAllMissOverhead(benchmark::State& state) {

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "base/governor.h"
 #include "bench_util.h"
 #include "chase/chase.h"
 #include "generators/families.h"
@@ -198,6 +201,38 @@ void BM_BudgetedGuardedChase(benchmark::State& state) {
   state.counters["atoms_at_depth"] = static_cast<double>(atoms);
 }
 BENCHMARK(BM_BudgetedGuardedChase)->RangeMultiplier(2)->Range(4, 64);
+
+/// Governor overhead on the chase hot path: the identical grid fixpoint
+/// run bare (arg 0) and under an attached-but-never-tripping governor
+/// with a far deadline and a huge memory budget (arg 1), so every
+/// per-trigger/per-turn Check() and per-atom ChargeBytes runs for real.
+/// EXPERIMENTS.md records the ratio; the design target is < 2% overhead.
+void BM_ChaseGovernorOverhead(benchmark::State& state) {
+  bool governed = state.range(0) != 0;
+  Database db = Grid(10);
+  TgdSet tgds = ParseTgds(
+                    "E(X,Y) -> Deg(X)."
+                    "E(X,Y), E(Y,Z) -> Hop2(X,Z)."
+                    "Hop2(X,Z) -> Reach(X,Z).")
+                    .value();
+  for (auto _ : state) {
+    ResourceGovernor governor;
+    ChaseOptions options;
+    if (governed) {
+      governor.set_deadline_after(std::chrono::hours(1));
+      governor.set_memory_budget(size_t{1} << 40);
+      options.governor = &governor;
+    }
+    auto result = Chase(db, tgds, options);
+    if (!result.ok() || !result->complete) {
+      state.SkipWithError("chase failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->instance.size());
+  }
+  state.SetLabel(governed ? "governed" : "bare");
+}
+BENCHMARK(BM_ChaseGovernorOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace omqc

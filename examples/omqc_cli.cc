@@ -20,12 +20,23 @@
 //                            `eval` and `contain` (default: on)
 //   --cache-capacity=N       total cache entries across shards
 //                            (default: 1024)
+//   --deadline-ms=N          wall-clock deadline for `eval` / `contain`
+//                            (0 = none, default). A tripped deadline
+//                            reports the partial result and exits 3.
+//   --max-memory-mb=N        memory budget for governed intermediate
+//                            results (chase atoms, rewriting disjuncts) in
+//                            `eval` / `contain` (0 = none, default);
+//                            tripping it also exits 3.
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 resource governor tripped
+// (deadline or memory budget) before a definite answer.
 //
 // The program file holds tgds, named queries and facts in the DLGP-style
 // format (see README). The data schema is taken to be the set of
 // predicates occurring in the facts plus any query-body predicates that
 // no tgd derives.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/string_util.h"
 #include "cache/omq_cache.h"
 #include "core/applications.h"
@@ -58,7 +70,34 @@ struct CliFlags {
   ChaseStrategy chase = ChaseStrategy::kSemiNaive;  ///< --chase=...
   bool cache = true;             ///< --cache=on|off
   size_t cache_capacity = 1024;  ///< --cache-capacity=N
+  uint64_t deadline_ms = 0;      ///< --deadline-ms=N (0 = none)
+  size_t max_memory_mb = 0;      ///< --max-memory-mb=N (0 = none)
 };
+
+/// Exit code for a tripped resource governor — distinct from 1 (error) and
+/// 2 (usage) so scripts can tell "ran out of budget" from "went wrong".
+constexpr int kGovernorTripExit = 3;
+
+/// Applies the CLI deadline/memory flags to `governor`.
+void ConfigureGovernor(const CliFlags& flags, ResourceGovernor* governor) {
+  if (flags.deadline_ms > 0) {
+    governor->set_deadline_after(std::chrono::milliseconds(flags.deadline_ms));
+  }
+  if (flags.max_memory_mb > 0) {
+    governor->set_memory_budget(flags.max_memory_mb * size_t{1024} * 1024);
+  }
+}
+
+/// Shared tail for governed commands: a trip overrides the command's own
+/// exit code (the partial output has already been printed).
+int GovernedExit(const ResourceGovernor& governor, int code) {
+  if (governor.tripped()) {
+    std::fprintf(stderr, "governor: %s\n",
+                 governor.TripStatus().ToString().c_str());
+    return kGovernorTripExit;
+  }
+  return code;
+}
 
 Result<Program> LoadProgram(const char* path) {
   std::ifstream in(path);
@@ -122,8 +161,13 @@ int Eval(const Program& program, const Schema& schema,
   EvalOptions eval_options;
   eval_options.chase_strategy = flags.chase;
   eval_options.cache = SharedCache(flags);
+  ResourceGovernor governor;
+  ConfigureGovernor(flags, &governor);
+  eval_options.governor = &governor;
   auto answers = EvalAll(*omq, program.facts, eval_options, &stats);
-  if (!answers.ok()) return Fail(answers.status().ToString());
+  if (!answers.ok()) {
+    return GovernedExit(governor, Fail(answers.status().ToString()));
+  }
   std::printf("%zu answer(s):\n", answers->size());
   for (const auto& tuple : *answers) {
     std::printf("  (%s)\n",
@@ -132,7 +176,7 @@ int Eval(const Program& program, const Schema& schema,
                     .c_str());
   }
   if (flags.stats) std::printf("%s\n", stats.ToString().c_str());
-  return 0;
+  return GovernedExit(governor, 0);
 }
 
 int Rewrite(const Program& program, const Schema& schema,
@@ -161,8 +205,13 @@ int Contain(const Program& program, const Schema& schema,
   options.num_threads = flags.threads;
   options.eval.chase_strategy = flags.chase;
   options.cache = SharedCache(flags);
+  ResourceGovernor governor;
+  ConfigureGovernor(flags, &governor);
+  options.governor = &governor;
   auto result = CheckContainment(*q1, *q2, options);
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) {
+    return GovernedExit(governor, Fail(result.status().ToString()));
+  }
   std::printf("%s ⊆ %s: %s\n", lhs.c_str(), rhs.c_str(),
               ContainmentOutcomeToString(result->outcome));
   if (!result->detail.empty()) {
@@ -177,7 +226,7 @@ int Contain(const Program& program, const Schema& schema,
   std::printf("candidates checked: %zu (largest: %zu atoms)\n",
               result->candidates_checked, result->max_witness_size);
   if (flags.stats) std::printf("%s\n", result->stats.ToString().c_str());
-  return 0;
+  return GovernedExit(governor, 0);
 }
 
 int Explain(const Program& program, const Schema& schema,
@@ -254,6 +303,16 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      flags.deadline_ms =
+          static_cast<uint64_t>(std::strtoull(arg.c_str() + 14, nullptr, 10));
+      continue;
+    }
+    if (arg.rfind("--max-memory-mb=", 0) == 0) {
+      flags.max_memory_mb =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 16, nullptr, 10));
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -265,7 +324,10 @@ int main(int argc, char** argv) {
                  "usage: %s classify|eval|rewrite|contain|distribute|"
                  "explain <program-file> [query names / constants...] "
                  "[--threads=N] [--stats] [--chase=naive|seminaive] "
-                 "[--cache=on|off] [--cache-capacity=N]\n",
+                 "[--cache=on|off] [--cache-capacity=N] [--deadline-ms=N] "
+                 "[--max-memory-mb=N]\n"
+                 "exit codes: 0 ok, 1 error, 2 usage, 3 governor tripped "
+                 "(deadline/memory)\n",
                  argv[0]);
     return 2;
   }

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Configure, build and run the concurrency-sensitive tests under
+# ThreadSanitizer (-Werror stays on). By default runs the suites that
+# exercise the thread pool, parallel containment and governor cancellation
+# propagation; pass explicit ctest args to override the filter.
+# Usage: scripts/tsan.sh [extra ctest args...]
+set -eu
+cd "$(dirname "$0")/.."
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+if [ "$#" -eq 0 ]; then
+  set -- -R 'base_test|governor_test|fault_injection_test|parallel_containment_test|cache_integration_test|omq_cache_test'
+fi
+ctest --preset tsan -j"$(nproc)" "$@"

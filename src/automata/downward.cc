@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "base/governor.h"
 #include "base/string_util.h"
 
 namespace omqc {
@@ -96,6 +97,9 @@ Result<Nta> DownwardToNta(const Twapa& automaton,
   nta.initial_state = intern({automaton.initial_state});
 
   for (size_t next = 0; next < worklist.size(); ++next) {
+    if (options.governor != nullptr) {
+      OMQC_RETURN_IF_ERROR(options.governor->Check());
+    }
     if (state_id.size() > options.max_states) {
       return Status::ResourceExhausted(
           StrCat("more than ", options.max_states, " obligation sets"));
@@ -104,6 +108,9 @@ Result<Nta> DownwardToNta(const Twapa& automaton,
     StateSet obligations = worklist[next];
     int from = state_id.at(obligations);
     for (int label = 0; label < automaton.num_labels; ++label) {
+      if (options.governor != nullptr) {
+        OMQC_RETURN_IF_ERROR(options.governor->Check());
+      }
       // Conjoin the transition formulas of all obligations.
       Formula conj = Formula::True();
       for (int q : obligations) {

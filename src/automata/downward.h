@@ -23,6 +23,8 @@
 
 namespace omqc {
 
+class ResourceGovernor;
+
 /// Budgets for the subset construction.
 struct DownwardOptions {
   /// Maximum number of reachable obligation sets (NTA states).
@@ -33,6 +35,11 @@ struct DownwardOptions {
   /// beyond this are rejected as InvalidArgument — the paper's Lemma 53
   /// bounds branching by the state count, so pass at least that).
   int max_branching = 16;
+  /// Optional shared request governor (base/governor.h), checked once per
+  /// worklist item and per label expansion; a trip surfaces as its trip
+  /// status (kDeadlineExceeded / kCancelled / kResourceExhausted) from
+  /// DownwardToNta/DownwardIsEmpty. Not owned.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Converts a downward finite-runs 2WAPA into an NTA with

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "base/governor.h"
 #include "base/string_util.h"
 
 namespace omqc {
@@ -188,8 +189,8 @@ Result<Twapa> Intersect(const Twapa& a, const Twapa& b) {
 }
 
 std::optional<LabeledTree> FindAcceptedTree(const Twapa& automaton,
-                                            int max_nodes,
-                                            int max_branching) {
+                                            int max_nodes, int max_branching,
+                                            ResourceGovernor* governor) {
   // Breadth-first tree growing with canonical-form deduplication.
   std::vector<LabeledTree> frontier;
   std::set<std::string> seen;
@@ -202,6 +203,9 @@ std::optional<LabeledTree> FindAcceptedTree(const Twapa& automaton,
   while (!frontier.empty()) {
     std::vector<LabeledTree> next;
     for (const LabeledTree& tree : frontier) {
+      if (governor != nullptr && !governor->Check().ok()) {
+        return std::nullopt;  // cut short; caller checks tripped()
+      }
       if (static_cast<int>(tree.nodes.size()) >= max_nodes) continue;
       for (size_t node = 0; node < tree.nodes.size(); ++node) {
         if (static_cast<int>(tree.nodes[node].children.size()) >=

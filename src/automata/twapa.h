@@ -25,6 +25,8 @@
 
 namespace omqc {
 
+class ResourceGovernor;
+
 /// A finite, ordered, Γ-labeled tree with integer labels.
 struct LabeledTree {
   struct Node {
@@ -81,9 +83,14 @@ Result<Twapa> Intersect(const Twapa& a, const Twapa& b);
 /// `max_nodes` nodes and branching at most `max_branching`, enumerating
 /// trees over the automaton's alphabet. Returns a witness if found,
 /// nullopt if no accepted tree exists within the bound. Exponential; for
-/// test-scale automata only.
+/// test-scale automata only. A non-null `governor` (base/governor.h) is
+/// checked per candidate tree; a trip shrinks the explored bound — the
+/// search returns nullopt early, and callers that must distinguish "no
+/// witness within the bound" from "cut short" check governor->tripped().
 std::optional<LabeledTree> FindAcceptedTree(const Twapa& automaton,
-                                            int max_nodes, int max_branching);
+                                            int max_nodes, int max_branching,
+                                            ResourceGovernor* governor =
+                                                nullptr);
 
 /// A one-way nondeterministic top-down tree automaton over finite ordered
 /// trees of branching factor <= arity of the chosen rule. A rule

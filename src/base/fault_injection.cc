@@ -1,0 +1,17 @@
+#include "base/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace omqc {
+
+void FaultInjector::OnWorkerTask(size_t worker_index) {
+  if (plan_.stall_worker < 0 ||
+      worker_index != static_cast<size_t>(plan_.stall_worker)) {
+    return;
+  }
+  MarkFired();
+  std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_millis));
+}
+
+}  // namespace omqc

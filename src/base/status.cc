@@ -10,6 +10,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
     case StatusCode::kUnsupported:
       return "UNSUPPORTED";
     case StatusCode::kInternal:

@@ -20,8 +20,15 @@ enum class StatusCode {
   /// Malformed input (parse error, ill-formed tgd, arity mismatch...).
   kInvalidArgument,
   /// A resource budget (chase depth, rewriting size, automaton states,
-  /// witness search) was exhausted before an exact answer was reached.
+  /// witness search, governor memory budget) was exhausted before an exact
+  /// answer was reached.
   kResourceExhausted,
+  /// The request's wall-clock deadline passed before completion
+  /// (ResourceGovernor; see base/governor.h).
+  kDeadlineExceeded,
+  /// The request was cancelled through its CancellationToken before
+  /// completion (base/governor.h).
+  kCancelled,
   /// The requested combination is not supported (e.g. asking for a UCQ
   /// rewriting of a non-UCQ-rewritable OMQ language).
   kUnsupported,
@@ -50,6 +57,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));

@@ -66,6 +66,10 @@ TgdProfile GetTgdProfile(OmqCache* cache, const TgdSet& tgds,
 }
 
 uint64_t XRewriteOptionsDigest(const XRewriteOptions& options) {
+  // Deliberately excludes options.governor: the rewriting a saturated run
+  // produces is independent of how the run was governed, and keying on a
+  // per-request pointer would defeat cross-request sharing (and tempt the
+  // cache into holding a dangling pointer).
   uint64_t h = 0xa0761d6478bd642fULL;
   h = DigestCombine(h, options.max_queries);
   h = DigestCombine(h, options.max_steps);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/fault_injection.h"
 #include "base/string_util.h"
 
 namespace omqc {
@@ -49,6 +50,11 @@ std::shared_ptr<const void> OmqCache::GetErased(const CacheKey& key,
 
 void OmqCache::PutErased(const CacheKey& key, std::shared_ptr<const void> value,
                          size_t bytes, CacheCounters* counters) {
+  if (FaultInjector* fi = fault_injector_.load(std::memory_order_acquire)) {
+    // A dropped insert is indistinguishable from an immediate eviction:
+    // the caller keeps its freshly computed value, only reuse is lost.
+    if (fi->OnCacheInsert()) return;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);

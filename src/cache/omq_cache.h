@@ -20,6 +20,7 @@
 #ifndef OMQC_CACHE_OMQ_CACHE_H_
 #define OMQC_CACHE_OMQ_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -32,6 +33,8 @@
 #include "cache/canonical.h"
 
 namespace omqc {
+
+class FaultInjector;
 
 /// What a cache entry holds. Part of the key: the same fingerprint may
 /// cache several artifact kinds side by side.
@@ -142,6 +145,14 @@ class OmqCache {
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
 
+  /// Test-only: installs a fault injector whose OnCacheInsert hook may
+  /// drop inserts (PutErased becomes a no-op for the designated insert —
+  /// indistinguishable from an immediate eviction, which callers must
+  /// already tolerate). Pass nullptr to detach.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   struct Entry {
     CacheKey key;
@@ -165,6 +176,7 @@ class OmqCache {
   size_t capacity_;
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 }  // namespace omqc

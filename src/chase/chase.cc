@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/governor.h"
 #include "base/hash_util.h"
 #include "base/string_util.h"
 
@@ -27,6 +28,26 @@ struct TriggerKeyHash {
     return seed;
   }
 };
+
+/// Rough memory footprint of a derived atom, charged against the
+/// governor's byte budget. Deliberately an estimate: the budget bounds
+/// blowup order-of-magnitude, not allocator-exact bytes.
+size_t ApproxAtomBytes(const Atom& atom) {
+  return sizeof(Atom) + atom.args.size() * sizeof(Term);
+}
+
+/// Derived-atom bytes are accumulated locally and charged in batches of
+/// this size (plus a flush at every tgd turn boundary), so the governor's
+/// atomics are not touched once per atom. The budget may therefore be
+/// overshot by up to one batch — irrelevant at the order-of-magnitude
+/// granularity the budget promises.
+constexpr size_t kChargeBatchBytes = 4096;
+
+/// Governor probe stride inside the trigger-application loop. Each turn
+/// starts with an unconditional Check(), so a trip is observed within one
+/// stride of cheap trigger applications (the hom searches nested in a
+/// trigger carry their own stride).
+constexpr size_t kTriggerCheckStride = 16;
 
 }  // namespace
 
@@ -54,13 +75,38 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
   std::vector<size_t> seen_upto(tgds.size(), 0);
   std::vector<size_t> prev_trigger_count(tgds.size(), 0);
 
+  ResourceGovernor* governor = options.governor;
   bool truncated = false;
   bool budget_hit = false;
+  // Records a governor trip: truncate like a local budget and remember the
+  // trip status (first one wins) for ChaseResult::interrupt.
+  auto governor_trip = [&](const Status& st) {
+    truncated = true;
+    budget_hit = true;
+    if (result.interrupt.ok()) result.interrupt = st;
+  };
+  size_t pending_bytes = 0;
+  // Flushes the batched derived-atom bytes. The atoms stay either way
+  // (already-derived consequences are sound); a failed charge just stops
+  // further growth.
+  auto charge_pending = [&]() {
+    if (governor == nullptr || pending_bytes == 0) return;
+    Status st = governor->ChargeBytes(pending_bytes);
+    pending_bytes = 0;
+    if (!st.ok()) governor_trip(st);
+  };
   bool changed = true;
   while (changed && !budget_hit) {
     changed = false;
     ++result.rounds;
     for (size_t i = 0; i < tgds.size() && !budget_hit; ++i) {
+      if (governor != nullptr) {
+        Status st = governor->Check();
+        if (!st.ok()) {
+          governor_trip(st);
+          break;
+        }
+      }
       const Tgd& tgd = tgds.tgds[i];
       // Snapshot the triggers of this turn before mutating the instance.
       // Atoms derived during the turn (by this tgd's own triggers) are
@@ -74,6 +120,7 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
           };
       HomomorphismOptions hom_options;
       hom_options.counters = options.hom_counters;
+      hom_options.governor = governor;
       const size_t turn_start = result.instance.size();
       if (!semi_naive || !turn_done[i]) {
         // First turn (or naive strategy): the delta is the whole instance.
@@ -102,7 +149,16 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
       seen_upto[i] = turn_start;
       prev_trigger_count[i] = triggers.size();
       result.triggers_enumerated += triggers.size();
+      size_t trigger_tick = 0;
       for (Substitution& trigger : triggers) {
+        if (governor != nullptr &&
+            ++trigger_tick % kTriggerCheckStride == 0) {
+          Status st = governor->Check();
+          if (!st.ok()) {
+            governor_trip(st);
+            break;
+          }
+        }
         TriggerKey key{i, trigger.Apply(body_vars[i])};
         if (processed.count(key) > 0) {
           ++result.redundant_triggers_skipped;
@@ -145,6 +201,9 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
         for (const Atom& h : tgd.head) {
           Atom derived = trigger.Apply(h);
           if (result.instance.Add(derived)) {
+            if (governor != nullptr) {
+              pending_bytes += ApproxAtomBytes(derived);
+            }
             result.level_of[derived] = level;
             if (options.track_provenance) {
               ChaseResult::Provenance why;
@@ -166,6 +225,8 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
         processed.insert(std::move(key));
         changed = true;
 
+        if (pending_bytes >= kChargeBatchBytes) charge_pending();
+        if (budget_hit) break;  // governor tripped on a byte charge
         if ((options.max_steps != 0 && result.steps >= options.max_steps) ||
             (options.max_atoms != 0 &&
              result.instance.size() >= options.max_atoms)) {
@@ -174,9 +235,18 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
           break;
         }
       }
+      charge_pending();  // turn boundary: settle the batch
     }
   }
+  charge_pending();
 
+  // A trip observed only inside trigger enumeration (the hom search bails
+  // with a silently shortened trigger list) must still mark the run
+  // incomplete: the "fixpoint" may be an artifact of the cut-off.
+  if (governor != nullptr && governor->tripped() && result.interrupt.ok()) {
+    truncated = true;
+    result.interrupt = governor->TripStatus();
+  }
   result.complete = !truncated;
   return result;
 }
@@ -187,11 +257,21 @@ Result<std::vector<std::vector<Term>>> CertainAnswersViaChase(
   OMQC_RETURN_IF_ERROR(ValidateCQ(q));
   OMQC_ASSIGN_OR_RETURN(ChaseResult chased, Chase(database, tgds, options));
   if (!chased.complete) {
+    if (!chased.interrupt.ok()) return chased.interrupt;
     return Status::ResourceExhausted(
         StrCat("chase budget exhausted after ", chased.steps,
                " steps (", chased.instance.size(), " atoms)"));
   }
-  return EvaluateCQ(q, chased.instance);
+  HomomorphismOptions hom_options;
+  hom_options.counters = options.hom_counters;
+  hom_options.governor = options.governor;
+  auto answers = EvaluateCQ(q, chased.instance, hom_options);
+  // Certain answers must be the COMPLETE set; a trip during evaluation
+  // means answers may be missing, so degrade to the trip status.
+  if (options.governor != nullptr && options.governor->tripped()) {
+    return options.governor->TripStatus();
+  }
+  return answers;
 }
 
 }  // namespace omqc

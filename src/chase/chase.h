@@ -67,6 +67,12 @@ struct ChaseOptions {
   /// Optional tally of the homomorphism searches performed internally
   /// (trigger collection and restricted-chase head checks). Not owned.
   HomCounters* hom_counters = nullptr;
+  /// Optional shared request governor (base/governor.h), checked once per
+  /// enumerated trigger and once per tgd turn; derived atoms are charged
+  /// against its memory budget. A trip truncates the chase exactly like a
+  /// local budget (complete=false) and is reported in
+  /// ChaseResult::interrupt. Not owned.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// The outcome of a chase run.
@@ -101,6 +107,11 @@ struct ChaseResult {
     std::vector<Atom> premises;
   };
   std::unordered_map<Atom, Provenance, AtomHash> provenance;
+  /// OK unless the run was cut short by the request governor, in which
+  /// case this holds the trip status (kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted) and `complete` is false. The atoms present are
+  /// still sound consequences — a governor trip truncates, never corrupts.
+  Status interrupt;
 };
 
 /// Runs the chase of `database` under `tgds`. Returns a (possibly

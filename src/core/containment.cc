@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "base/governor.h"
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "cache/cached_ops.h"
@@ -28,12 +29,16 @@ const char* ContainmentOutcomeToString(ContainmentOutcome outcome) {
 namespace {
 
 /// The RHS check callback: "tuple ∈ Q2(D)?" for a frozen candidate. Exact
-/// true/false, or an error Status (typically ResourceExhausted) when a
-/// budget prevented an exact answer. Per-call work is tallied into `stats`
-/// (never null inside RunEngine); implementations must be safe to invoke
-/// concurrently from several worker threads with distinct stats objects.
+/// true/false, or an error Status (typically ResourceExhausted, or a
+/// governor trip) when a budget prevented an exact answer. Per-call work
+/// is tallied into `stats` (never null inside RunEngine); implementations
+/// must be safe to invoke concurrently from several worker threads with
+/// distinct stats objects. The governor is passed PER CALL — evaluators
+/// may be cached across requests (ArtifactKind::kRhsEvaluator) and must
+/// never store a request's governor pointer.
 using ContainsFn = std::function<Result<bool>(
-    const Database&, const std::vector<Term>&, EngineStats*)>;
+    const Database&, const std::vector<Term>&, EngineStats*,
+    ResourceGovernor*)>;
 
 /// Evaluates "tuple ∈ Q2(D)" for the candidate-witness databases produced
 /// during enumeration. Precomputes a UCQ rewriting for linear/sticky RHS
@@ -66,15 +71,19 @@ class RhsEvaluator {
     TgdProfile profile = GetTgdProfile(cache, q2.tgds, counters);
     // Precompute the RHS rewriting only when the chase does not terminate
     // (for terminating sets, per-candidate chasing is cheaper than a
-    // potentially large rewriting).
+    // potentially large rewriting). The setup runs under the REQUEST
+    // governor (attached per call, never stored: the cache digest ignores
+    // it, and the cached artifact must not dangle into this request).
     if ((profile.primary == TgdClass::kLinear ||
          profile.primary == TgdClass::kSticky) &&
         !profile.non_recursive && !profile.full) {
       XRewriteStats setup;
+      XRewriteOptions setup_rewrite = options.eval.rewrite;
+      setup_rewrite.governor = options.governor;
       OMQC_ASSIGN_OR_RETURN(
           evaluator->rewriting_,
           CachedXRewrite(cache, q2.data_schema, q2.tgds, q2.query,
-                         options.eval.rewrite, &setup, counters));
+                         setup_rewrite, &setup, counters));
       if (stats != nullptr) stats->rewrite.Merge(setup);
     }
     if (cache != nullptr) {
@@ -87,14 +96,18 @@ class RhsEvaluator {
     return std::shared_ptr<const RhsEvaluator>(std::move(evaluator));
   }
 
-  /// Exact answer or ResourceExhausted (budgeted guarded/general RHS, or a
-  /// homomorphism step budget).
+  /// Exact answer or ResourceExhausted / governor trip (budgeted
+  /// guarded/general RHS, a homomorphism step budget, or a tripped
+  /// `governor`). The governor is a per-call overlay — this object may
+  /// outlive the request that passed it (see ContainsFn).
   Result<bool> Contains(const Database& db, const std::vector<Term>& tuple,
-                        EngineStats* stats) const {
+                        EngineStats* stats,
+                        ResourceGovernor* governor = nullptr) const {
     if (rewriting_ != nullptr) {
       HomomorphismOptions hom;
       hom.max_steps = eval_.hom_max_steps;
       hom.counters = stats != nullptr ? &stats->hom : nullptr;
+      hom.governor = governor;
       bool exhausted = false;
       for (const ConjunctiveQuery& disjunct : rewriting_->disjuncts) {
         switch (TupleInAnswerBudgeted(disjunct, db, tuple, hom)) {
@@ -106,6 +119,10 @@ class RhsEvaluator {
           case HomSearchOutcome::kNotFound:
             break;
         }
+        if (governor != nullptr && governor->tripped()) break;
+      }
+      if (governor != nullptr && governor->tripped()) {
+        return governor->TripStatus();
       }
       if (exhausted) {
         return Status::ResourceExhausted(
@@ -115,12 +132,21 @@ class RhsEvaluator {
       }
       return false;
     }
-    return EvalTuple(q2_, db, tuple, eval_, stats);
+    if (governor == nullptr) return EvalTuple(q2_, db, tuple, eval_, stats);
+    EvalOptions governed = eval_;
+    governed.governor = governor;
+    return EvalTuple(q2_, db, tuple, governed, stats);
   }
 
  private:
   RhsEvaluator(const Omq& q2, const EvalOptions& eval)
-      : q2_(q2), eval_(eval) {}
+      : q2_(q2), eval_(eval) {
+    // Cached across requests: never retain a request's governor (the
+    // options digest ignores it, so a stored pointer would dangle into
+    // whichever request happened to build the entry).
+    eval_.governor = nullptr;
+    eval_.rewrite.governor = nullptr;
+  }
 
   Omq q2_;
   EvalOptions eval_;
@@ -140,6 +166,16 @@ class RhsEvaluator {
 /// per-candidate logic inline; outcomes are the same either way, because
 /// a refutation wins regardless of which worker finds it and kContained /
 /// kUnknown are decided only after every check has finished.
+///
+/// Governance: the run executes under a CHILD of options.governor (also
+/// created when the caller passed none, where it simply never trips). The
+/// child shares the caller's deadline/token/budget through the parent
+/// chain, but owns its own token: a refutation cancels the child, which
+/// yanks every in-flight worker out of its search within one check stride
+/// — real cancellation propagation, not just queue draining — without
+/// cancelling the caller's request, which may have sibling runs left.
+/// Only a trip of the USER's governor degrades the outcome; a child-only
+/// cancellation is the engine's own early exit and stays invisible.
 Result<ContainmentResult> RunEngine(const Omq& q1,
                                     const ContainmentOptions& options,
                                     const ContainsFn& contains) {
@@ -152,12 +188,21 @@ Result<ContainmentResult> RunEngine(const Omq& q1,
   EngineStats check_stats;   // merged RHS-check work, guarded by mu if pooled
   std::mutex mu;
   std::atomic<bool> stop{false};
+  ResourceGovernor run_governor(options.governor);
 
   size_t num_threads = options.num_threads != 0
                            ? options.num_threads
                            : ThreadPool::DefaultConcurrency();
   std::optional<ThreadPool> pool;
   if (num_threads > 1) pool.emplace(num_threads);
+
+  // Snapshot the child's counters into the result on every return path
+  // (including error returns from the enumeration).
+  struct CountersScope {
+    ResourceGovernor* governor;
+    ContainmentResult* result;
+    ~CountersScope() { result->stats.governor.Merge(governor->counters()); }
+  } counters_scope{&run_governor, &result};
 
   // Folds one finished RHS check into the shared state. Caller holds `mu`
   // when pooled; runs inline otherwise.
@@ -181,6 +226,7 @@ Result<ContainmentResult> RunEngine(const Omq& q1,
                                           std::move(frozen.answer_tuple)};
     }
     stop.store(true, std::memory_order_relaxed);
+    run_governor.Cancel();  // yank sibling workers out of their searches
   };
 
   std::function<bool(const ConjunctiveQuery&)> on_disjunct =
@@ -191,27 +237,31 @@ Result<ContainmentResult> RunEngine(const Omq& q1,
         FrozenQuery frozen = Freeze(p);
         if (!pool.has_value()) {
           EngineStats local;
-          Result<bool> r =
-              contains(frozen.database, frozen.answer_tuple, &local);
+          Result<bool> r = contains(frozen.database, frozen.answer_tuple,
+                                    &local, &run_governor);
           record(std::move(r), std::move(frozen), std::move(local));
           return !stop.load(std::memory_order_relaxed);
         }
-        pool->Submit([&contains, &record, &mu, &stop,
+        pool->Submit([&contains, &record, &mu, &stop, &run_governor,
                       frozen = std::move(frozen)]() mutable {
           if (stop.load(std::memory_order_relaxed)) return;
           EngineStats local;
-          Result<bool> r =
-              contains(frozen.database, frozen.answer_tuple, &local);
+          Result<bool> r = contains(frozen.database, frozen.answer_tuple,
+                                    &local, &run_governor);
           std::lock_guard<std::mutex> lock(mu);
           record(std::move(r), std::move(frozen), std::move(local));
         });
         return true;
       };
 
+  // The enumeration runs under the child too, so a refuting worker (or
+  // the user's deadline) also stops LHS rewriting between disjuncts.
+  XRewriteOptions lhs_options = options.rewrite;
+  lhs_options.governor = &run_governor;
   OMQC_ASSIGN_OR_RETURN(
       RewriteEnumeration outcome,
       CachedEnumerateRewritings(options.cache, q1.data_schema, q1.tgds,
-                                q1.query, options.rewrite, on_disjunct,
+                                q1.query, lhs_options, on_disjunct,
                                 &lhs_stats, &lhs_cache));
   if (pool.has_value()) pool->Wait();
 
@@ -220,16 +270,30 @@ Result<ContainmentResult> RunEngine(const Omq& q1,
   result.stats.cache.Merge(lhs_cache);
   result.stats.disjuncts_checked += result.candidates_checked;
 
+  // A definite answer is never flipped by a trip: a refutation found
+  // before (or racing) the trip stands, and kContained requires a
+  // saturated enumeration with every RHS check conclusive — impossible
+  // once the user governor tripped, because tripped checks come back
+  // inconclusive.
   if (refuted) {
     result.outcome = ContainmentOutcome::kNotContained;
     return result;
   }
-  if (outcome == RewriteEnumeration::kSaturated && !inconclusive_rhs) {
+  bool user_tripped =
+      options.governor != nullptr && options.governor->tripped();
+  if (outcome == RewriteEnumeration::kSaturated && !inconclusive_rhs &&
+      !user_tripped) {
     result.outcome = ContainmentOutcome::kContained;
     return result;
   }
   result.outcome = ContainmentOutcome::kUnknown;
-  if (outcome == RewriteEnumeration::kBudgetExhausted) {
+  if (user_tripped) {
+    result.detail = StrCat(
+        "request governor tripped: ",
+        options.governor->TripStatus().ToString(), " after ",
+        result.candidates_checked,
+        " candidates (partial result: no refutation found so far)");
+  } else if (outcome == RewriteEnumeration::kBudgetExhausted) {
     result.detail =
         StrCat("LHS rewriting enumeration hit its budget after ",
                result.candidates_checked,
@@ -267,11 +331,13 @@ Status CheckCompatible(const Omq& q1, const Omq& q2) {
 
 /// Propagates the containment-level cache into the RHS evaluation options
 /// (and vice versa) so one `--cache` switch covers every layer; an
-/// explicitly set eval cache wins.
+/// explicitly set eval cache wins. The governor propagates the same way:
+/// one governor set at either level bounds the whole request.
 ContainmentOptions EffectiveOptions(const ContainmentOptions& options) {
   ContainmentOptions local = options;
   if (local.eval.cache == nullptr) local.eval.cache = local.cache;
   if (local.cache == nullptr) local.cache = local.eval.cache;
+  if (local.governor == nullptr) local.governor = local.eval.governor;
   return local;
 }
 
@@ -288,8 +354,8 @@ Result<ContainmentResult> CheckContainment(const Omq& q1, const Omq& q2,
       ContainmentResult result,
       RunEngine(q1, options,
                 [&rhs](const Database& db, const std::vector<Term>& tuple,
-                       EngineStats* stats) {
-                  return rhs->Contains(db, tuple, stats);
+                       EngineStats* stats, ResourceGovernor* governor) {
+                  return rhs->Contains(db, tuple, stats, governor);
                 }));
   result.stats.Merge(setup_stats);
   return result;
@@ -308,10 +374,12 @@ Result<ContainmentResult> CheckContainmentInUcq(
   return RunEngine(
       q1, options,
       [&ucq, &options](const Database& db, const std::vector<Term>& tuple,
-                       EngineStats* stats) -> Result<bool> {
+                       EngineStats* stats,
+                       ResourceGovernor* governor) -> Result<bool> {
         HomomorphismOptions hom;
         hom.max_steps = options.eval.hom_max_steps;
         hom.counters = stats != nullptr ? &stats->hom : nullptr;
+        hom.governor = governor;
         bool exhausted = false;
         for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
           switch (TupleInAnswerBudgeted(disjunct, db, tuple, hom)) {
@@ -323,6 +391,10 @@ Result<ContainmentResult> CheckContainmentInUcq(
             case HomSearchOutcome::kNotFound:
               break;
           }
+          if (governor != nullptr && governor->tripped()) break;
+        }
+        if (governor != nullptr && governor->tripped()) {
+          return governor->TripStatus();
         }
         if (exhausted) {
           return Status::ResourceExhausted(
@@ -356,14 +428,26 @@ Result<ContainmentResult> CheckUcqOmqContainment(
   const auto contains = [&rhs_evaluators](
                             const Database& db,
                             const std::vector<Term>& tuple,
-                            EngineStats* stats) -> Result<bool> {
+                            EngineStats* stats,
+                            ResourceGovernor* governor) -> Result<bool> {
     for (const auto& evaluator : rhs_evaluators) {
-      OMQC_ASSIGN_OR_RETURN(bool in, evaluator->Contains(db, tuple, stats));
+      OMQC_ASSIGN_OR_RETURN(bool in,
+                            evaluator->Contains(db, tuple, stats, governor));
       if (in) return true;
     }
     return false;
   };
   for (const ConjunctiveQuery& disjunct : q1.query.disjuncts) {
+    // A tripped request governor makes every further run inconclusive;
+    // stop burning the remaining wall clock on runs that cannot certify.
+    if (options.governor != nullptr && options.governor->tripped()) {
+      merged.outcome = ContainmentOutcome::kUnknown;
+      merged.detail =
+          StrCat("request governor tripped: ",
+                 options.governor->TripStatus().ToString(),
+                 "; remaining LHS disjuncts skipped");
+      return merged;
+    }
     Omq lhs{q1.data_schema, q1.tgds, disjunct};
     OMQC_RETURN_IF_ERROR(ValidateOmq(lhs));
     OMQC_ASSIGN_OR_RETURN(ContainmentResult partial,

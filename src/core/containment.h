@@ -86,6 +86,17 @@ struct ContainmentOptions {
   /// that is null. Shared safely across threads and calls; outcomes are
   /// identical with and without it (only compilation work is reused).
   OmqCache* cache = nullptr;
+  /// Optional shared request governor (base/governor.h) bounding the whole
+  /// containment request — LHS enumeration, freezing, and every RHS check,
+  /// serial or pooled — by wall-clock deadline, cooperative cancellation
+  /// and memory budget. Internally the engine layers a child governor on
+  /// top (sharing these limits but owning its own token) so a refuting
+  /// worker can cancel its siblings without cancelling the caller's
+  /// request. A trip degrades the outcome to kUnknown with the trip in
+  /// `detail` — a refutation found before the trip still wins
+  /// (kNotContained), and a definite answer is never flipped. Propagated
+  /// into `eval.governor` when that is null. Not owned.
+  ResourceGovernor* governor = nullptr;
 
   ContainmentOptions() {
     rewrite.prune_subsumed = true;

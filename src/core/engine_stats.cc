@@ -19,6 +19,7 @@ void EngineStats::Merge(const EngineStats& other) {
   witnesses_rejected += other.witnesses_rejected;
   budget_exhaustions += other.budget_exhaustions;
   cache.Merge(other.cache);
+  governor.Merge(other.governor);
 }
 
 std::string EngineStats::ToString() const {
@@ -41,6 +42,10 @@ std::string EngineStats::ToString() const {
       " delta_rounds=", chase_delta_rounds,
       " triggers_enumerated=", chase_triggers_enumerated,
       " redundant_triggers_skipped=", chase_redundant_triggers_skipped, "\n",
+      "  governor:    checks=", governor.checks,
+      " deadline_trips=", governor.deadline_trips,
+      " cancel_trips=", governor.cancel_trips,
+      " memory_trips=", governor.memory_trips, "\n",
       "  cache:       ", cache.ToString());
 }
 

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "base/governor.h"
 #include "cache/omq_cache.h"
 #include "logic/homomorphism.h"
 #include "rewrite/xrewrite.h"
@@ -45,6 +46,13 @@ struct EngineStats {
 
   /// Compilation-cache traffic attributable to this run (src/cache).
   CacheCounters cache;
+
+  /// Request-governor activity (base/governor.h): probe count and trips.
+  /// Snapshotted from the request's governor at the entry points; fields
+  /// are monotone snapshots of ONE shared source, so Merge takes the
+  /// element-wise max rather than summing (several workers reporting the
+  /// same governor must not double-count).
+  GovernorCounters governor;
 
   void Merge(const EngineStats& other);
 

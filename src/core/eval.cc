@@ -54,11 +54,33 @@ ChaseOptions ChaseOptionsFor(const TgdProfile& profile,
   chase.variant = ChaseVariant::kRestricted;
   chase.strategy = options.chase_strategy;
   chase.max_atoms = options.chase_max_atoms;
+  chase.governor = options.governor;
   if (profile.primary != TgdClass::kEmpty && !profile.ChaseTerminates()) {
     chase.max_level = options.chase_max_level;
   }
   return chase;
 }
+
+/// Overlays the request governor onto the rewriting options (the stored
+/// options travel through the cache layer, whose digest ignores the
+/// governor, so per-request attachment is safe).
+XRewriteOptions GovernedRewriteOptions(const EvalOptions& options) {
+  XRewriteOptions rewrite = options.rewrite;
+  rewrite.governor = options.governor;
+  return rewrite;
+}
+
+/// Snapshots the request governor's counters into stats on scope exit, so
+/// every return path of an entry point reports them.
+struct GovernorStatsScope {
+  ResourceGovernor* governor;
+  EngineStats* stats;
+  ~GovernorStatsScope() {
+    if (governor != nullptr && stats != nullptr) {
+      stats->governor.Merge(governor->counters());
+    }
+  }
+};
 
 /// Folds a finished chase run into `stats` (no-op on nullptr).
 void RecordChase(const ChaseResult& chased, size_t database_size,
@@ -100,16 +122,18 @@ Result<bool> EvalTuple(const Omq& omq, const Database& database,
   if (tuple.size() != omq.AnswerArity()) {
     return Status::InvalidArgument("answer tuple arity mismatch");
   }
+  GovernorStatsScope governor_scope{options.governor, stats};
   HomomorphismOptions hom_options;
   hom_options.max_steps = options.hom_max_steps;
   hom_options.counters = stats != nullptr ? &stats->hom : nullptr;
+  hom_options.governor = options.governor;
   CacheCounters* cache_counters = stats != nullptr ? &stats->cache : nullptr;
   TgdProfile profile = GetTgdProfile(options.cache, omq.tgds, cache_counters);
   if (ChoosePath(profile, options) == Path::kRewrite) {
     OMQC_ASSIGN_OR_RETURN(
         std::shared_ptr<const UnionOfCQs> rewriting,
         CachedXRewrite(options.cache, omq.data_schema, omq.tgds, omq.query,
-                       options.rewrite,
+                       GovernedRewriteOptions(options),
                        stats != nullptr ? &stats->rewrite : nullptr,
                        cache_counters));
     bool exhausted = false;
@@ -125,10 +149,12 @@ Result<bool> EvalTuple(const Omq& omq, const Database& database,
       }
     }
     if (exhausted) {
-      return Status::ResourceExhausted(
-          StrCat("homomorphism step budget (", options.hom_max_steps,
-                 ") exhausted on a rewriting disjunct; cannot certify a "
-                 "negative answer"));
+      return TripStatusOr(
+          options.governor,
+          Status::ResourceExhausted(
+              StrCat("homomorphism step budget (", options.hom_max_steps,
+                     ") exhausted on a rewriting disjunct; cannot certify a "
+                     "negative answer")));
     }
     return false;
   }
@@ -142,14 +168,17 @@ Result<bool> EvalTuple(const Omq& omq, const Database& database,
     case HomSearchOutcome::kFound:
       return true;  // sound even on a truncated chase
     case HomSearchOutcome::kExhausted:
-      return Status::ResourceExhausted(
-          StrCat("homomorphism step budget (", options.hom_max_steps,
-                 ") exhausted on the chase instance; cannot certify a "
-                 "negative answer"));
+      return TripStatusOr(
+          options.governor,
+          Status::ResourceExhausted(
+              StrCat("homomorphism step budget (", options.hom_max_steps,
+                     ") exhausted on the chase instance; cannot certify a "
+                     "negative answer")));
     case HomSearchOutcome::kNotFound:
       break;
   }
   if (!chased.complete) {
+    if (!chased.interrupt.ok()) return chased.interrupt;
     return Status::ResourceExhausted(
         StrCat("chase budget exhausted (", chased.instance.size(),
                " atoms, level ", chased.max_level_reached,
@@ -164,28 +193,43 @@ Result<std::vector<std::vector<Term>>> EvalAll(const Omq& omq,
                                                EngineStats* stats) {
   OMQC_RETURN_IF_ERROR(ValidateOmq(omq));
   OMQC_RETURN_IF_ERROR(CheckDatabaseSchema(omq, database));
+  GovernorStatsScope governor_scope{options.governor, stats};
+  HomomorphismOptions hom_options;
+  hom_options.counters = stats != nullptr ? &stats->hom : nullptr;
+  hom_options.governor = options.governor;
   CacheCounters* cache_counters = stats != nullptr ? &stats->cache : nullptr;
   TgdProfile profile = GetTgdProfile(options.cache, omq.tgds, cache_counters);
   if (ChoosePath(profile, options) == Path::kRewrite) {
     OMQC_ASSIGN_OR_RETURN(
         std::shared_ptr<const UnionOfCQs> rewriting,
         CachedXRewrite(options.cache, omq.data_schema, omq.tgds, omq.query,
-                       options.rewrite,
+                       GovernedRewriteOptions(options),
                        stats != nullptr ? &stats->rewrite : nullptr,
                        cache_counters));
-    return EvaluateUCQ(*rewriting, database);
+    auto answers = EvaluateUCQ(*rewriting, database, hom_options);
+    // The full answer set is the contract; a trip mid-enumeration means
+    // answers may be missing, so degrade to the trip status.
+    if (options.governor != nullptr && options.governor->tripped()) {
+      return options.governor->TripStatus();
+    }
+    return answers;
   }
   ChaseOptions chase_options = ChaseOptionsFor(profile, options);
-  chase_options.hom_counters = stats != nullptr ? &stats->hom : nullptr;
+  chase_options.hom_counters = hom_options.counters;
   OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
                         Chase(database, omq.tgds, chase_options));
   RecordChase(chased, database.size(), stats);
   if (!chased.complete) {
+    if (!chased.interrupt.ok()) return chased.interrupt;
     return Status::ResourceExhausted(
         StrCat("chase budget exhausted (", chased.instance.size(),
                " atoms); the answer set may be incomplete"));
   }
-  return EvaluateCQ(omq.query, chased.instance);
+  auto answers = EvaluateCQ(omq.query, chased.instance, hom_options);
+  if (options.governor != nullptr && options.governor->tripped()) {
+    return options.governor->TripStatus();
+  }
+  return answers;
 }
 
 Result<bool> EvalBoolean(const Omq& omq, const Database& database,

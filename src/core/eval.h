@@ -53,10 +53,18 @@ struct EvalOptions {
   /// UCQ rewritings (null = no caching). Not owned; must outlive the call.
   /// Sharing one cache across threads and calls is safe and is the point.
   OmqCache* cache = nullptr;
+  /// Optional shared request governor (base/governor.h), threaded into
+  /// every chase, rewriting and homomorphism search the evaluation runs.
+  /// A trip surfaces as the trip status (kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted); positive answers found before the trip remain
+  /// sound. Not owned; excluded from EvalOptionsDigest.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Digest of every EvalOptions field that can change an evaluation result
-/// (the cache pointer itself is excluded: caching never changes results).
+/// (the cache and governor pointers are excluded: caching never changes
+/// results, and the governor only bounds resources — cached artifacts must
+/// stay reusable across differently-governed requests).
 /// Part of cache keys so artifacts compiled under different budgets never
 /// alias.
 uint64_t EvalOptionsDigest(const EvalOptions& options);

@@ -85,7 +85,7 @@ void AppendTilingRules(int k, int n, int m,
     int64_t half = int64_t{1} << (i - 1);
     int64_t defined = std::min<int64_t>(k, int64_t{1} << i);
     std::vector<Atom> body{Atom::Make(
-        "T" + StrCat(i), {V("X"), V("X1"), V("X2"), V("X3"), V("X4")})};
+        StrCat("T", i), {V("X"), V("X1"), V("X2"), V("X3"), V("X4")})};
     std::vector<Atom> head;
     for (int64_t j = 0; j < defined; ++j) {
       Term y = V(StrCat("Y", j));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "base/governor.h"
+
 namespace omqc {
 namespace {
 
@@ -39,11 +41,17 @@ struct SearchState {
   const Instance& target;
   const std::function<bool(const Substitution&)>& visitor;
   size_t max_steps;
+  ResourceGovernor* governor = nullptr;
   size_t steps = 0;
   size_t candidates_scanned = 0;
   bool visitor_stop = false;  // visitor requested stop
-  bool exhausted = false;     // max_steps budget hit
+  bool exhausted = false;     // max_steps budget or governor trip
 };
+
+/// Stride of governor probes inside the backtracking loop: frequent enough
+/// to bound overrun (~64 cheap steps), rare enough that the relaxed atomic
+/// load stays invisible next to the index lookups (<2% — EXPERIMENTS.md).
+constexpr size_t kGovernorStride = 64;
 
 /// Extends `sub` so that `atom` maps onto `candidate`; records the freshly
 /// bound variables in `newly_bound`. Returns false (leaving the fresh
@@ -74,6 +82,11 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
             Substitution& sub, SearchState& state) {
   ++state.steps;  // counted even without a budget, for observability
   if (state.max_steps != 0 && state.steps > state.max_steps) {
+    state.exhausted = true;
+    return false;
+  }
+  if (state.governor != nullptr && state.steps % kGovernorStride == 0 &&
+      !state.governor->Check().ok()) {
     state.exhausted = true;
     return false;
   }
@@ -121,7 +134,7 @@ HomSearchOutcome RunSearch(
   Substitution sub = seed;
   std::vector<size_t> remaining(atoms.size());
   for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
-  SearchState state{target, visitor, options.max_steps};
+  SearchState state{target, visitor, options.max_steps, options.governor};
   bool found = Search(atoms, remaining, sub, state);
   if (found_any != nullptr) *found_any = found;
   if (options.counters != nullptr) {
@@ -186,26 +199,34 @@ void ForEachHomomorphismPinned(
   for (size_t i = 0; i < atoms.size(); ++i) {
     if (i != pinned_index) remaining.push_back(i);
   }
-  SearchState state{target, visitor, /*max_steps=*/0};
+  SearchState state{target, visitor, /*max_steps=*/0, options.governor};
   for (const Atom& candidate : pinned_candidates) {
     if (candidate.predicate != pinned.predicate) continue;
     ++state.candidates_scanned;
+    if (state.governor != nullptr &&
+        state.candidates_scanned % kGovernorStride == 0 &&
+        !state.governor->Check().ok()) {
+      state.exhausted = true;
+      break;
+    }
     std::vector<Term> newly_bound;
     if (TryMatch(pinned, candidate, sub, newly_bound)) {
       Search(atoms, remaining, sub, state);
     }
     for (const Term& v : newly_bound) sub.Unbind(v);
-    if (state.visitor_stop) break;
+    if (state.visitor_stop || state.exhausted) break;
   }
   if (options.counters != nullptr) {
     ++options.counters->searches;
     options.counters->steps += state.steps;
     options.counters->candidates_scanned += state.candidates_scanned;
+    if (state.exhausted) ++options.counters->budget_exhaustions;
   }
 }
 
 std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
-                                          const Instance& instance) {
+                                          const Instance& instance,
+                                          const HomomorphismOptions& options) {
   std::set<std::vector<Term>> answers;
   std::function<bool(const Substitution&)> collect =
       [&](const Substitution& sub) {
@@ -216,15 +237,17 @@ std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
         answers.insert(std::move(tuple));
         return true;
       };
-  ForEachHomomorphism(q.body, instance, Substitution(), collect);
+  ForEachHomomorphism(q.body, instance, Substitution(), collect, options);
   return std::vector<std::vector<Term>>(answers.begin(), answers.end());
 }
 
 std::vector<std::vector<Term>> EvaluateUCQ(const UnionOfCQs& q,
-                                           const Instance& instance) {
+                                           const Instance& instance,
+                                           const HomomorphismOptions& options) {
   std::set<std::vector<Term>> answers;
   for (const ConjunctiveQuery& disjunct : q.disjuncts) {
-    for (std::vector<Term>& tuple : EvaluateCQ(disjunct, instance)) {
+    if (options.governor != nullptr && options.governor->tripped()) break;
+    for (std::vector<Term>& tuple : EvaluateCQ(disjunct, instance, options)) {
       answers.insert(std::move(tuple));
     }
   }

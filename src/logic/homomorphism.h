@@ -27,6 +27,8 @@
 
 namespace omqc {
 
+class ResourceGovernor;
+
 /// Observability counters for homomorphism searches. Accumulated (never
 /// reset) by every search that is handed a non-null pointer; not
 /// synchronized — use one instance per thread and merge (EngineStats does).
@@ -56,6 +58,10 @@ struct HomomorphismOptions {
   size_t max_steps = 0;
   /// Optional counters to accumulate into (may be null).
   HomCounters* counters = nullptr;
+  /// Optional shared request governor (base/governor.h). Consulted every
+  /// 64th backtracking step; a trip surfaces as kExhausted, exactly like
+  /// hitting max_steps — it removes information, never flips a verdict.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// The three possible verdicts of a budgeted search.
@@ -113,12 +119,20 @@ void ForEachHomomorphismPinned(
 /// from the body into I with h(x̄) consisting of constants only
 /// (paper Sec. 2: the evaluation q(I) collects constant tuples).
 /// For Boolean q the result contains one empty tuple iff I |= q.
-std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,
-                                          const Instance& instance);
+/// `options.max_steps` is ignored (evaluation enumerates exhaustively);
+/// counters and the governor are honored. If the governor trips the
+/// returned answer set may be incomplete — callers that need completeness
+/// check `options.governor->tripped()` afterwards (every answer returned
+/// is still sound).
+std::vector<std::vector<Term>> EvaluateCQ(
+    const ConjunctiveQuery& q, const Instance& instance,
+    const HomomorphismOptions& options = HomomorphismOptions());
 
 /// Evaluates a UCQ: union of the disjunct evaluations, deduplicated.
-std::vector<std::vector<Term>> EvaluateUCQ(const UnionOfCQs& q,
-                                           const Instance& instance);
+/// Same options/governor contract as EvaluateCQ.
+std::vector<std::vector<Term>> EvaluateUCQ(
+    const UnionOfCQs& q, const Instance& instance,
+    const HomomorphismOptions& options = HomomorphismOptions());
 
 /// Budgeted membership test "tuple ∈ q(I)". kExhausted means the search
 /// stopped at options.max_steps without a verdict.

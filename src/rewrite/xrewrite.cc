@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/governor.h"
 #include "base/string_util.h"
 #include "cache/canonical.h"
 #include "logic/homomorphism.h"
@@ -60,6 +61,16 @@ struct Entry {
   bool reported = false;
 };
 
+/// Rough footprint of an admitted query, charged against the governor's
+/// byte budget (an estimate bounding blowup, not allocator-exact bytes).
+size_t ApproxQueryBytes(const ConjunctiveQuery& q) {
+  size_t bytes = sizeof(Entry) + q.answer_vars.size() * sizeof(Term);
+  for (const Atom& a : q.body) {
+    bytes += sizeof(Atom) + a.args.size() * sizeof(Term);
+  }
+  return bytes;
+}
+
 class XRewriteRun {
  public:
   XRewriteRun(const Schema& data_schema, const TgdSet& tgds,
@@ -93,6 +104,10 @@ class XRewriteRun {
     if (stats_ != nullptr) stats_->queries_generated = entries_.size();
     return outcome;
   }
+
+  /// OK unless the run was cut short by the request governor (in which
+  /// case Run() reported kBudgetExhausted and this holds the trip).
+  const Status& trip() const { return trip_; }
 
   /// The final rewriting Qfin: rewriting-labeled queries over the data
   /// schema.
@@ -171,18 +186,35 @@ class XRewriteRun {
       budget_exhausted_ = true;
       return;
     }
+    if (options_.governor != nullptr) {
+      Status st = options_.governor->ChargeBytes(ApproxQueryBytes(q));
+      if (!st.ok()) {
+        budget_exhausted_ = true;
+        if (trip_.ok()) trip_ = std::move(st);
+        return;
+      }
+    }
     buckets_[signature].push_back(entries_.size());
     entries_.push_back(Entry{std::move(q), from_rewriting, false});
     MaybeReport(entries_.size() - 1);
   }
 
   /// Burns one rewriting/factorization step; returns false (and marks the
-  /// run budget-exhausted) when the step budget is spent.
+  /// run budget-exhausted) when the step budget is spent or the request
+  /// governor trips.
   bool TakeStep() {
     ++steps_;
     if (options_.max_steps != 0 && steps_ > options_.max_steps) {
       budget_exhausted_ = true;
       return false;
+    }
+    if (options_.governor != nullptr) {
+      Status st = options_.governor->Check();
+      if (!st.ok()) {
+        budget_exhausted_ = true;
+        if (trip_.ok()) trip_ = std::move(st);
+        return false;
+      }
     }
     return true;
   }
@@ -338,6 +370,7 @@ class XRewriteRun {
   size_t steps_ = 0;
   bool stopped_ = false;
   bool budget_exhausted_ = false;
+  Status trip_;  // first governor trip observed, if any
 };
 
 /// base^exp with saturation.
@@ -364,6 +397,7 @@ Result<UnionOfCQs> XRewrite(const Schema& data_schema, const TgdSet& tgds,
   XRewriteRun run(data_schema, tgds, q, options, stats, nullptr);
   OMQC_ASSIGN_OR_RETURN(RewriteEnumeration outcome, run.Run());
   if (outcome == RewriteEnumeration::kBudgetExhausted) {
+    if (!run.trip().ok()) return run.trip();  // governor cut the run short
     return Status::ResourceExhausted(
         "XRewrite exceeded its budget; the rewriting may be infinite "
         "(is the ontology linear, non-recursive or sticky?)");

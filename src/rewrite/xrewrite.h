@@ -25,6 +25,8 @@
 
 namespace omqc {
 
+class ResourceGovernor;
+
 /// Resource budgets for XRewrite. The rewriting terminates for L, NR and S
 /// ontologies but may be exponentially large (Props. 14, 17); budgets turn
 /// a blow-up into Status::ResourceExhausted instead of an endless run.
@@ -55,6 +57,14 @@ struct XRewriteOptions {
   /// terminate on many guarded ontologies whose unpruned rewriting is
   /// infinite. Off by default to keep XRewrite faithful to Algorithm 1.
   bool prune_subsumed = false;
+  /// Optional shared request governor (base/governor.h), checked once per
+  /// rewriting/factorization step; admitted queries are charged against
+  /// its memory budget. A trip is handled exactly like a local budget:
+  /// EnumerateRewritings reports kBudgetExhausted (already-reported
+  /// disjuncts stay sound), XRewrite returns the trip status. NOT part of
+  /// the option digest (cache/cached_ops.cc) — the cached artifact must
+  /// not depend on, or capture, the requesting governor. Not owned.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Statistics of one XRewrite run.

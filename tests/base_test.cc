@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 
+#include "base/governor.h"
 #include "base/hash_util.h"
 #include "base/status.h"
 #include "base/string_util.h"
@@ -34,9 +38,25 @@ TEST(StatusTest, AllCodesStringify) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kResourceExhausted, StatusCode::kUnsupported,
-        StatusCode::kInternal, StatusCode::kNotFound}) {
+        StatusCode::kInternal, StatusCode::kNotFound,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, GovernorCodesAndFactories) {
+  Status deadline = Status::DeadlineExceeded("out of time");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: out of time");
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "CANCELLED: caller gave up");
+}
+
+TEST(StatusTest, UnknownCodePrintsUnknown) {
+  // An out-of-range code (e.g. from corrupted serialization) must not
+  // crash the stringifier.
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(250)), "UNKNOWN");
 }
 
 TEST(ResultTest, ValueAndError) {
@@ -166,6 +186,77 @@ TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
 
 TEST(ThreadPoolTest, DefaultConcurrencyIsAtLeastOne) {
   EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, StopAbandonsQueuedTasksDeterministically) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  // Block the single worker so the remaining submissions stay queued.
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    ++ran;
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  size_t abandoned = pool.Stop();
+  pool.Wait();  // must not hang on abandoned tasks
+  // The blocked task ran (it had started); of the 10 queued tasks, the
+  // abandoned ones never run — ran + abandoned accounts for all of them.
+  EXPECT_EQ(static_cast<size_t>(ran.load()) + abandoned, 11u);
+  // After Stop(), Submit is a no-op: the count stays put.
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(static_cast<size_t>(ran.load()) + abandoned, 11u);
+}
+
+TEST(ThreadPoolTest, WaitReturnsWhenTasksExitEarlyViaToken) {
+  // A task observing a cancellation token and returning early counts as
+  // finished: Wait() must return promptly rather than require the task's
+  // "full" work.
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<int> early_exits{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] {
+      if (token.cancelled()) {
+        ++early_exits;
+        return;  // cooperative early exit
+      }
+      std::this_thread::sleep_for(std::chrono::seconds(10));
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(early_exits.load(), 50);
+}
+
+void CountingTaskHook(void* ctx, size_t worker_index) {
+  auto* seen = static_cast<std::atomic<size_t>*>(ctx);
+  seen->fetch_add(worker_index + 1, std::memory_order_relaxed);
+}
+
+TEST(ThreadPoolTest, TaskHookSeesEveryTask) {
+  std::atomic<size_t> seen{0};
+  ThreadPool::SetTaskHookForTesting(&CountingTaskHook, &seen);
+  {
+    ThreadPool pool(1);  // single worker: every task reports index 0 (+1)
+    for (int i = 0; i < 7; ++i) {
+      pool.Submit([] {});
+    }
+    pool.Wait();
+  }
+  ThreadPool::SetTaskHookForTesting(nullptr, nullptr);
+  EXPECT_EQ(seen.load(), 7u);
 }
 
 TEST(PrettifyTest, RenamesMachineConstantsOnly) {

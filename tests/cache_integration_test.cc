@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/string_util.h"
 #include "cache/omq_cache.h"
 #include "core/containment.h"
@@ -193,6 +194,62 @@ TEST(CacheEvalTest, EvalAnswersIdenticalWithAndWithoutCache) {
   EXPECT_EQ(Sorted(*base), Sorted(*renamed));
   EXPECT_GT(renamed_stats.cache.hits, 0u);
   EXPECT_EQ(renamed_stats.rewrite.queries_generated, 0u);
+}
+
+TEST(CacheEvalTest, TrippedGovernorRunsAreNotCached) {
+  // A governor-tripped CachedXRewrite must not poison the cache: the next
+  // ungoverned run over the same key must recompute and saturate, and a
+  // warm ungoverned entry must keep serving hits after a later run trips.
+  OmqCache cache;
+  const char kSigma[] = "A(X) -> B(X). B(X) -> Succ(X,Y), A(Y).";
+  Schema schema = S({{"A", 1}, {"B", 1}, {"Succ", 2}});
+  Omq omq = MakeOmq(schema, kSigma, "Q(X) :- B(X)");
+  Database db;
+  db.Add(Atom::Make("A", {Term::Constant("a")}));
+
+  // 1. Tripped run first: the governor is cancelled before we start.
+  ResourceGovernor tripped;
+  tripped.Cancel();
+  EvalOptions governed;
+  governed.cache = &cache;
+  governed.governor = &tripped;
+  auto failed = EvalAll(omq, db, governed);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kCancelled);
+  // The tgd classification may be cached (it completed and is exact); the
+  // truncated rewriting must NOT be. The proof is in step 2: the
+  // ungoverned run still has to generate the rewriting from scratch — a
+  // poisoned entry would make queries_generated 0 — and it saturates.
+  EXPECT_LE(cache.size(), 1u);
+
+  // 2. Ungoverned run over the same key: recomputes, saturates, caches.
+  EvalOptions plain;
+  plain.cache = &cache;
+  EngineStats cold_stats;
+  auto base = EvalAll(omq, db, plain, &cold_stats);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_GT(cold_stats.rewrite.queries_generated, 0u)
+      << "the tripped run poisoned the rewriting cache entry";
+  EXPECT_GT(cold_stats.cache.insertions, 0u);
+
+  // 3. A later tripped run must neither evict nor corrupt the entry...
+  ResourceGovernor tripped_again;
+  tripped_again.Cancel();
+  governed.governor = &tripped_again;
+  auto failed_again = EvalAll(omq, db, governed);
+  // (A warm hit needs no rewriting work, so the run may succeed outright
+  // before any governed check; either way the entry must survive.)
+  if (!failed_again.ok()) {
+    EXPECT_EQ(failed_again.status().code(), StatusCode::kCancelled);
+  }
+
+  // 4. ...and the warm ungoverned run still hits and agrees.
+  EngineStats warm_stats;
+  auto warm = EvalAll(omq, db, plain, &warm_stats);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(Sorted(*base), Sorted(*warm));
+  EXPECT_GT(warm_stats.cache.hits, 0u);
+  EXPECT_EQ(warm_stats.rewrite.queries_generated, 0u);
 }
 
 TEST(CacheEvalTest, DifferentBudgetsNeverAlias) {

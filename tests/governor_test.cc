@@ -1,0 +1,239 @@
+// Unit tests for the ResourceGovernor: deadline/cancellation/memory trips,
+// stickiness, parent-child linkage and counter accounting. The chaos-level
+// tests driving whole engine entry points live in fault_injection_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "base/governor.h"
+
+namespace omqc {
+namespace {
+
+// Calls Check() often enough to guarantee at least one wall-clock sample
+// (the clock is only consulted every kClockStride-th check).
+Status CheckPastClockStride(ResourceGovernor& governor) {
+  Status last = Status::OK();
+  for (uint64_t i = 0; i <= ResourceGovernor::kClockStride; ++i) {
+    last = governor.Check();
+    if (!last.ok()) return last;
+  }
+  return last;
+}
+
+TEST(GovernorTest, UnlimitedGovernorNeverTrips) {
+  ResourceGovernor governor;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(governor.Check().ok());
+  }
+  EXPECT_TRUE(governor.ChargeBytes(size_t{1} << 40).ok());
+  EXPECT_FALSE(governor.tripped());
+  EXPECT_TRUE(governor.TripStatus().ok());
+  EXPECT_EQ(governor.counters().checks, 1000u);
+  EXPECT_FALSE(governor.counters().any_trip());
+}
+
+TEST(GovernorTest, ExpiredDeadlineTripsAndSticks) {
+  ResourceGovernor governor;
+  governor.set_deadline_after(std::chrono::nanoseconds(0));
+  Status st = CheckPastClockStride(governor);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(governor.tripped());
+  // Sticky: every further probe fails identically, without waiting for a
+  // clock-sample stride.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(governor.Check().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(governor.TripStatus().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.counters().deadline_trips, 1u);
+  EXPECT_EQ(governor.counters().cancel_trips, 0u);
+}
+
+TEST(GovernorTest, FutureDeadlineDoesNotTrip) {
+  ResourceGovernor governor;
+  governor.set_deadline_after(std::chrono::hours(1));
+  EXPECT_TRUE(CheckPastClockStride(governor).ok());
+  EXPECT_FALSE(governor.tripped());
+}
+
+TEST(GovernorTest, CancellationTripsOnNextCheck) {
+  ResourceGovernor governor;
+  EXPECT_TRUE(governor.Check().ok());
+  governor.Cancel();
+  EXPECT_TRUE(governor.token().cancelled());
+  Status st = governor.Check();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(governor.counters().cancel_trips, 1u);
+}
+
+TEST(GovernorTest, MemoryBudgetTripsOnOvercharge) {
+  ResourceGovernor governor;
+  governor.set_memory_budget(100);
+  EXPECT_TRUE(governor.ChargeBytes(60).ok());
+  EXPECT_EQ(governor.charged_bytes(), 60u);
+  Status st = governor.ChargeBytes(60);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.counters().memory_trips, 1u);
+  // Sticky: releasing bytes never un-trips.
+  governor.ReleaseBytes(120);
+  EXPECT_EQ(governor.ChargeBytes(1).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, FirstTripWins) {
+  ResourceGovernor governor;
+  governor.set_memory_budget(10);
+  EXPECT_EQ(governor.ChargeBytes(100).code(),
+            StatusCode::kResourceExhausted);
+  governor.Cancel();
+  // The memory trip was latched first; cancellation cannot overwrite it.
+  EXPECT_EQ(governor.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.counters().memory_trips, 1u);
+  EXPECT_EQ(governor.counters().cancel_trips, 0u);
+}
+
+TEST(GovernorTest, ChildObservesParentCancellation) {
+  ResourceGovernor parent;
+  ResourceGovernor child(&parent);
+  EXPECT_TRUE(child.Check().ok());
+  parent.Cancel();
+  EXPECT_EQ(child.Check().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(child.tripped());
+  // The trip is counted once, at the root.
+  EXPECT_EQ(parent.counters().cancel_trips, 1u);
+  EXPECT_EQ(child.counters().cancel_trips, 1u);  // child reports the root
+}
+
+TEST(GovernorTest, ChildCancellationDoesNotTouchParent) {
+  ResourceGovernor parent;
+  ResourceGovernor child(&parent);
+  child.Cancel();
+  EXPECT_EQ(child.Check().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(parent.Check().ok());
+  EXPECT_FALSE(parent.tripped());
+}
+
+TEST(GovernorTest, ChildObservesParentDeadline) {
+  ResourceGovernor parent;
+  parent.set_deadline_after(std::chrono::nanoseconds(0));
+  ResourceGovernor child(&parent);
+  EXPECT_EQ(CheckPastClockStride(child).code(),
+            StatusCode::kDeadlineExceeded);
+  // Deadline trips latch on the parent too: its next check is immediate.
+  EXPECT_EQ(parent.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernorTest, ChildChargesAccumulateAtRoot) {
+  ResourceGovernor parent;
+  parent.set_memory_budget(100);
+  ResourceGovernor child(&parent);
+  EXPECT_TRUE(child.ChargeBytes(80).ok());
+  EXPECT_EQ(parent.charged_bytes(), 80u);
+  // A second child sees the shared budget nearly exhausted.
+  ResourceGovernor sibling(&parent);
+  EXPECT_EQ(sibling.ChargeBytes(40).code(),
+            StatusCode::kResourceExhausted);
+  // The trip latches on the governor whose budget was exceeded — the
+  // parent (the user's request governor) must observe it too, or a
+  // child's overcharge would be invisible to the caller.
+  EXPECT_TRUE(parent.tripped());
+  EXPECT_EQ(parent.TripStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parent.counters().memory_trips, 1u);
+}
+
+TEST(GovernorTest, ConcurrentCheckersObserveOneStickyTrip) {
+  ResourceGovernor governor;
+  std::vector<std::thread> threads;
+  std::atomic<int> trips{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&governor, &trips] {
+      for (int i = 0; i < 2000; ++i) {
+        if (!governor.Check().ok()) {
+          ++trips;
+          return;
+        }
+      }
+    });
+  }
+  governor.Cancel();
+  for (auto& th : threads) th.join();
+  // Under a slow scheduler every worker may finish its 2000 checks before
+  // Cancel() lands; the token is sticky, so one more check must trip.
+  (void)governor.Check();
+  // Not all threads necessarily observe the trip (some may finish their
+  // 2000 checks first), but the trip is counted exactly once.
+  EXPECT_EQ(governor.counters().cancel_trips, 1u);
+  EXPECT_EQ(governor.TripStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernorTest, TripStatusOrPrefersTrip) {
+  Status fallback = Status::ResourceExhausted("step budget");
+  EXPECT_EQ(TripStatusOr(nullptr, fallback), fallback);
+  ResourceGovernor untripped;
+  EXPECT_EQ(TripStatusOr(&untripped, fallback), fallback);
+  ResourceGovernor tripped;
+  tripped.Cancel();
+  (void)tripped.Check();
+  EXPECT_EQ(TripStatusOr(&tripped, fallback).code(), StatusCode::kCancelled);
+}
+
+TEST(GovernorCountersTest, MergeTakesElementwiseMax) {
+  GovernorCounters a;
+  a.checks = 10;
+  a.deadline_trips = 1;
+  GovernorCounters b;
+  b.checks = 7;
+  b.memory_trips = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.checks, 10u);
+  EXPECT_EQ(a.deadline_trips, 1u);
+  EXPECT_EQ(a.memory_trips, 1u);
+  EXPECT_TRUE(a.any_trip());
+}
+
+TEST(GovernorTest, InjectedDeadlineFiresAtExactCheckIndex) {
+  FaultPlan plan;
+  plan.deadline_at_check = 5;
+  FaultInjector injector(plan);
+  ResourceGovernor governor;
+  governor.set_fault_injector(&injector);
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_TRUE(governor.Check().ok()) << "tripped early at check " << i;
+  }
+  EXPECT_EQ(governor.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(governor.counters().deadline_trips, 1u);
+}
+
+TEST(GovernorTest, InjectedMemoryFaultFiresAtExactChargeIndex) {
+  FaultPlan plan;
+  plan.memory_at_charge = 3;
+  FaultInjector injector(plan);
+  ResourceGovernor governor;
+  governor.set_fault_injector(&injector);
+  EXPECT_TRUE(governor.ChargeBytes(8).ok());
+  EXPECT_TRUE(governor.ChargeBytes(8).ok());
+  EXPECT_EQ(governor.ChargeBytes(8).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.counters().memory_trips, 1u);
+}
+
+TEST(GovernorTest, InjectorOnAncestorGovernsChildren) {
+  FaultPlan plan;
+  plan.cancel_at_check = 2;
+  FaultInjector injector(plan);
+  ResourceGovernor parent;
+  parent.set_fault_injector(&injector);
+  ResourceGovernor child(&parent);
+  EXPECT_TRUE(child.Check().ok());
+  EXPECT_EQ(child.Check().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace omqc
