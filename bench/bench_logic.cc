@@ -1,0 +1,207 @@
+// Experiment LG — Instance storage substrate throughput.
+//
+// Not a paper table; measures the atom-storage layer every engine sits on:
+// ingest (Add with dedup + index maintenance), membership probes, and the
+// index scans that back the homomorphism engine's candidate enumeration.
+// These are the microbenches behind the columnar-arena refactor (DESIGN.md
+// "Atom storage layout"); EXPERIMENTS.md records before/after and the
+// bytes-per-atom figure.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "logic/instance.h"
+
+namespace omqc {
+namespace {
+
+/// A deterministic workload of arity-3 atoms over `preds` predicates and
+/// `domain` constants, with ~12% duplicates (dedup is part of ingest).
+std::vector<Atom> MakeWorkload(size_t n, int preds, int domain) {
+  std::vector<Predicate> ps;
+  for (int p = 0; p < preds; ++p) {
+    ps.push_back(Predicate::Get("R" + std::to_string(p), 3));
+  }
+  std::vector<Term> cs;
+  for (int c = 0; c < domain; ++c) {
+    cs.push_back(Term::Constant("c" + std::to_string(c)));
+  }
+  std::vector<Atom> atoms;
+  atoms.reserve(n);
+  uint64_t x = 88172645463325252ull;  // xorshift64
+  auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 8 && next() % 8 == 0) {
+      atoms.push_back(atoms[next() % i]);  // duplicate
+      continue;
+    }
+    Predicate p = ps[next() % ps.size()];
+    std::vector<Term> args = {cs[next() % cs.size()], cs[next() % cs.size()],
+                              cs[next() % cs.size()]};
+    atoms.emplace_back(p, std::move(args));
+  }
+  return atoms;
+}
+
+Instance MakeInstance(const std::vector<Atom>& atoms) {
+  Instance inst;
+  for (const Atom& a : atoms) inst.Add(a);
+  return inst;
+}
+
+/// Ingest: per-atom cost of Add (hash probe, arena append, index posting).
+void BM_InstanceIngest(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, /*preds=*/8, /*domain=*/64);
+  size_t unique = 0;
+  double bytes_per_atom = 0;
+  for (auto _ : state) {
+    Instance inst;
+    for (const Atom& a : atoms) inst.Add(a);
+    unique = inst.size();
+    bytes_per_atom =
+        static_cast<double>(inst.MemoryBytes()) / static_cast<double>(unique);
+    benchmark::DoNotOptimize(inst);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+  state.counters["unique_atoms"] = static_cast<double>(unique);
+  state.counters["bytes_per_atom"] = bytes_per_atom;
+}
+BENCHMARK(BM_InstanceIngest)->RangeMultiplier(8)->Range(1 << 10, 1 << 16);
+
+/// Membership: Contains over an alternating mix of present/absent atoms.
+void BM_InstanceContains(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
+  Instance inst = MakeInstance(atoms);
+  // Absent probes: same predicates over a disjoint domain.
+  std::vector<Atom> absent = MakeWorkload(n, 8, 64);
+  for (Atom& a : absent) a.args[0] = Term::Constant("zz_absent");
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (inst.Contains(atoms[i])) ++hits;
+      if (inst.Contains(absent[i])) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(2 * n) * state.iterations());
+}
+BENCHMARK(BM_InstanceContains)->Arg(1 << 14);
+
+/// Scan: enumerate, per (predicate, position, term) key, every matching
+/// atom and touch all its arguments — the homomorphism engine's candidate
+/// scan, isolated from the backtracking around it.
+void BM_InstanceScanByArg(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
+  Instance inst = MakeInstance(atoms);
+  std::vector<Predicate> ps;
+  for (int p = 0; p < 8; ++p) {
+    ps.push_back(Predicate::Get("R" + std::to_string(p), 3));
+  }
+  std::vector<Term> cs;
+  for (int c = 0; c < 64; ++c) {
+    cs.push_back(Term::Constant("c" + std::to_string(c)));
+  }
+  size_t scanned = 0;
+  for (auto _ : state) {
+    scanned = 0;
+    for (const Predicate& p : ps) {
+      for (int pos = 0; pos < 3; ++pos) {
+        for (const Term& t : cs) {
+          for (AtomId id : inst.IdsWithArg(p, pos, t)) {
+            AtomView a = inst.view(id);
+            for (const Term& arg : a) {
+              benchmark::DoNotOptimize(arg.id());
+            }
+            ++scanned;
+          }
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scanned) *
+                          state.iterations());
+  state.counters["atoms_scanned"] = static_cast<double>(scanned);
+}
+BENCHMARK(BM_InstanceScanByArg)->RangeMultiplier(4)->Range(1 << 12, 1 << 16);
+
+/// The same scan through the materializing compat accessor (AtomsWithArg
+/// copies every matching atom) — the cost cold paths pay, and the before/
+/// after contrast for the arena refactor.
+void BM_InstanceScanByArgMaterialized(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
+  Instance inst = MakeInstance(atoms);
+  std::vector<Predicate> ps;
+  for (int p = 0; p < 8; ++p) {
+    ps.push_back(Predicate::Get("R" + std::to_string(p), 3));
+  }
+  std::vector<Term> cs;
+  for (int c = 0; c < 64; ++c) {
+    cs.push_back(Term::Constant("c" + std::to_string(c)));
+  }
+  size_t scanned = 0;
+  for (auto _ : state) {
+    scanned = 0;
+    for (const Predicate& p : ps) {
+      for (int pos = 0; pos < 3; ++pos) {
+        for (const Term& t : cs) {
+          for (const Atom& a : inst.AtomsWithArg(p, pos, t)) {
+            for (const Term& arg : a.args) {
+              benchmark::DoNotOptimize(arg.id());
+            }
+            ++scanned;
+          }
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scanned) *
+                          state.iterations());
+}
+BENCHMARK(BM_InstanceScanByArgMaterialized)->Arg(1 << 14);
+
+/// Scan: full per-predicate postings sweep (AtomsWith), touching every
+/// argument of every atom — the unindexed-candidate fallback path.
+void BM_InstanceScanByPredicate(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
+  Instance inst = MakeInstance(atoms);
+  std::vector<Predicate> ps;
+  for (int p = 0; p < 8; ++p) {
+    ps.push_back(Predicate::Get("R" + std::to_string(p), 3));
+  }
+  size_t scanned = 0;
+  for (auto _ : state) {
+    scanned = 0;
+    for (const Predicate& p : ps) {
+      for (AtomId id : inst.IdsWith(p)) {
+        AtomView a = inst.view(id);
+        for (const Term& arg : a) {
+          benchmark::DoNotOptimize(arg.id());
+        }
+        ++scanned;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scanned) *
+                          state.iterations());
+}
+BENCHMARK(BM_InstanceScanByPredicate)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 16);
+
+}  // namespace
+}  // namespace omqc
+
+BENCHMARK_MAIN();

@@ -29,19 +29,24 @@ struct TriggerKeyHash {
   }
 };
 
-/// Rough memory footprint of a derived atom, charged against the
-/// governor's byte budget. Deliberately an estimate: the budget bounds
-/// blowup order-of-magnitude, not allocator-exact bytes.
-size_t ApproxAtomBytes(const Atom& atom) {
-  return sizeof(Atom) + atom.args.size() * sizeof(Term);
-}
-
-/// Derived-atom bytes are accumulated locally and charged in batches of
-/// this size (plus a flush at every tgd turn boundary), so the governor's
-/// atomics are not touched once per atom. The budget may therefore be
-/// overshot by up to one batch — irrelevant at the order-of-magnitude
-/// granularity the budget promises.
+/// Arena-byte growth is charged in batches of this size (plus a flush at
+/// every tgd turn boundary), so the governor's atomics are not touched
+/// once per atom. The budget may therefore be overshot by up to one batch
+/// — irrelevant at the granularity the budget promises. The bytes charged
+/// are Instance::MemoryBytes deltas, i.e. real arena + index bytes, not
+/// the per-Atom estimate the pre-columnar engine used.
 constexpr size_t kChargeBatchBytes = 4096;
+
+/// Applies `sub` to the arguments of `pattern` into the reusable buffer
+/// `out` and returns a view of the image atom. The view borrows `out`.
+AtomView ApplyToScratch(const Substitution& sub, const Atom& pattern,
+                        std::vector<Term>& out) {
+  out.clear();
+  for (const Term& t : pattern.args) {
+    out.push_back(t.IsVariable() ? sub.Apply(t) : t);
+  }
+  return AtomView(pattern.predicate, out.data(), out.size());
+}
 
 /// Governor probe stride inside the trigger-application loop. Each turn
 /// starts with an unconditional Check(), so a trip is observed within one
@@ -51,6 +56,19 @@ constexpr size_t kTriggerCheckStride = 16;
 
 }  // namespace
 
+int ChaseResult::LevelOf(const Atom& atom) const {
+  std::optional<AtomId> id = instance.FindId(atom);
+  return id.has_value() ? level_of[*id] : -1;
+}
+
+const ChaseResult::Provenance* ChaseResult::ProvenanceOf(
+    const Atom& atom) const {
+  std::optional<AtomId> id = instance.FindId(atom);
+  if (!id.has_value()) return nullptr;
+  auto it = provenance.find(*id);
+  return it == provenance.end() ? nullptr : &it->second;
+}
+
 Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
                           const ChaseOptions& options) {
   OMQC_RETURN_IF_ERROR(ValidateTgdSet(tgds));
@@ -58,7 +76,9 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
   ChaseResult result;
   result.instance = database;
   result.atoms_per_level.assign(1, database.size());
-  for (const Atom& a : database.atoms()) result.level_of[a] = 0;
+  // level_of is a column parallel to the arena: database atoms are ids
+  // [0, |D|) at level 0; every derived atom appends its level below.
+  result.level_of.assign(result.instance.size(), 0);
 
   const bool semi_naive = options.strategy == ChaseStrategy::kSemiNaive;
   std::unordered_set<TriggerKey, TriggerKeyHash> processed;
@@ -85,16 +105,24 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
     budget_hit = true;
     if (result.interrupt.ok()) result.interrupt = st;
   };
-  size_t pending_bytes = 0;
-  // Flushes the batched derived-atom bytes. The atoms stay either way
-  // (already-derived consequences are sound); a failed charge just stops
-  // further growth.
+  // Memory accounting: the chase charges the governor for the instance's
+  // real arena growth (term pool, records, dedup slots, postings — see
+  // Instance::MemoryBytes) beyond the caller-owned database baseline.
+  // Growth is flushed in kChargeBatchBytes batches. The atoms stay either
+  // way (already-derived consequences are sound); a failed charge just
+  // stops further growth.
+  size_t charged_upto = result.instance.MemoryBytes();
   auto charge_pending = [&]() {
-    if (governor == nullptr || pending_bytes == 0) return;
-    Status st = governor->ChargeBytes(pending_bytes);
-    pending_bytes = 0;
+    if (governor == nullptr) return;
+    size_t now = result.instance.MemoryBytes();
+    if (now <= charged_upto) return;
+    size_t delta = now - charged_upto;
+    charged_upto = now;
+    Status st = governor->ChargeBytes(delta);
     if (!st.ok()) governor_trip(st);
   };
+  // Reusable image buffer for trigger applications (no per-atom allocs).
+  std::vector<Term> scratch;
   bool changed = true;
   while (changed && !budget_hit) {
     changed = false;
@@ -110,12 +138,16 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
       const Tgd& tgd = tgds.tgds[i];
       // Snapshot the triggers of this turn before mutating the instance.
       // Atoms derived during the turn (by this tgd's own triggers) are
-      // picked up at its next turn, under either strategy.
-      std::vector<Substitution> triggers;
+      // picked up at its next turn, under either strategy. Each trigger is
+      // stored as its flat binding projected onto BodyVariables() order —
+      // exactly the TriggerKey payload — instead of a Substitution copy;
+      // the hash-map form is rebuilt only for triggers that survive the
+      // processed-set filter.
+      std::vector<std::vector<Term>> triggers;
       triggers.reserve(prev_trigger_count[i]);
       std::function<bool(const Substitution&)> collect =
           [&](const Substitution& sub) {
-            triggers.push_back(sub);
+            triggers.push_back(sub.Apply(body_vars[i]));
             return true;
           };
       HomomorphismOptions hom_options;
@@ -129,13 +161,17 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
       } else if (seen_upto[i] < turn_start) {
         // Delta decomposition: for each body position k, enumerate the
         // homomorphisms whose atom k matches inside the delta while the
-        // other atoms range over the full instance. Every trigger that
-        // uses at least one delta atom is found (at least) once; triggers
-        // found via several positions are deduped by the processed set.
-        const std::vector<Atom>& all = result.instance.atoms();
-        std::unordered_map<int32_t, std::vector<Atom>> delta_by_pred;
+        // other atoms range over the full instance. The delta is exactly
+        // the contiguous arena-id range [seen_upto, turn_start) — ids are
+        // assigned in insertion order — grouped by predicate into id
+        // postings. Every trigger that uses at least one delta atom is
+        // found (at least) once; triggers found via several positions are
+        // deduped by the processed set.
+        std::unordered_map<int32_t, std::vector<AtomId>> delta_by_pred;
         for (size_t a = seen_upto[i]; a < turn_start; ++a) {
-          delta_by_pred[all[a].predicate.id()].push_back(all[a]);
+          AtomId id = static_cast<AtomId>(a);
+          delta_by_pred[result.instance.view(id).predicate().id()]
+              .push_back(id);
         }
         for (size_t k = 0; k < tgd.body.size(); ++k) {
           auto it = delta_by_pred.find(tgd.body[k].predicate.id());
@@ -150,7 +186,7 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
       prev_trigger_count[i] = triggers.size();
       result.triggers_enumerated += triggers.size();
       size_t trigger_tick = 0;
-      for (Substitution& trigger : triggers) {
+      for (std::vector<Term>& binding : triggers) {
         if (governor != nullptr &&
             ++trigger_tick % kTriggerCheckStride == 0) {
           Status st = governor->Check();
@@ -159,19 +195,32 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
             break;
           }
         }
-        TriggerKey key{i, trigger.Apply(body_vars[i])};
+        TriggerKey key{i, std::move(binding)};
         if (processed.count(key) > 0) {
           ++result.redundant_triggers_skipped;
           continue;
         }
+        // Rebuild the substitution form (needed for head application and
+        // the nested hom searches) from the flat binding.
+        Substitution trigger;
+        for (size_t v = 0; v < body_vars[i].size(); ++v) {
+          trigger.Bind(body_vars[i][v], key.binding[v]);
+        }
 
-        // Derivation level of the would-be head atoms.
+        // Derivation level of the would-be head atoms, and (under
+        // provenance tracking) the premise ids. Body images are existing
+        // instance atoms — the trigger is a homomorphism into it — so one
+        // arena probe per body atom resolves both, with no Atom
+        // materialized.
         int level = 1;
+        std::vector<AtomId> premise_ids;
+        if (options.track_provenance) premise_ids.reserve(tgd.body.size());
         for (const Atom& b : tgd.body) {
-          Atom image = trigger.Apply(b);
-          auto it = result.level_of.find(image);
-          if (it != result.level_of.end()) {
-            level = std::max(level, it->second + 1);
+          std::optional<AtomId> id =
+              result.instance.FindId(ApplyToScratch(trigger, b, scratch));
+          if (id.has_value()) {
+            level = std::max(level, result.level_of[*id] + 1);
+            if (options.track_provenance) premise_ids.push_back(*id);
           }
         }
         if (options.max_level >= 0 && level > options.max_level) {
@@ -190,26 +239,24 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
           }
         }
 
-        // Apply the trigger: fresh nulls for existential variables. The
-        // premises are snapshotted first, then the binding is extended in
-        // place (the trigger is dead after this iteration — no copy).
-        std::vector<Atom> premises;
-        if (options.track_provenance) premises = trigger.Apply(tgd.body);
+        // Apply the trigger: fresh nulls for existential variables (the
+        // premise ids were resolved above, before the binding is extended
+        // in place — the trigger is dead after this iteration, no copy).
         for (const Term& z : tgd.ExistentialVariables()) {
           trigger.Bind(z, Term::FreshNull());
         }
         for (const Atom& h : tgd.head) {
-          Atom derived = trigger.Apply(h);
-          if (result.instance.Add(derived)) {
-            if (governor != nullptr) {
-              pending_bytes += ApproxAtomBytes(derived);
-            }
-            result.level_of[derived] = level;
+          Instance::AddOutcome added = result.instance.AddView(
+              ApplyToScratch(trigger, h, scratch));
+          if (added.inserted) {
+            // Fresh ids are dense: the new atom's level lands at the end
+            // of the parallel level column.
+            result.level_of.push_back(level);
             if (options.track_provenance) {
               ChaseResult::Provenance why;
               why.tgd_index = i;
-              why.premises = premises;
-              result.provenance.emplace(derived, std::move(why));
+              why.premise_ids = premise_ids;
+              result.provenance.emplace(added.id, std::move(why));
             }
             if (static_cast<size_t>(level) >=
                 result.atoms_per_level.size()) {
@@ -225,7 +272,11 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
         processed.insert(std::move(key));
         changed = true;
 
-        if (pending_bytes >= kChargeBatchBytes) charge_pending();
+        if (governor != nullptr &&
+            result.instance.MemoryBytes() - charged_upto >=
+                kChargeBatchBytes) {
+          charge_pending();
+        }
         if (budget_hit) break;  // governor tripped on a byte charge
         if ((options.max_steps != 0 && result.steps >= options.max_steps) ||
             (options.max_atoms != 0 &&

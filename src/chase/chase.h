@@ -97,16 +97,25 @@ struct ChaseResult {
   int max_level_reached = 0;
   /// Number of atoms first derived at each level (index = level).
   std::vector<size_t> atoms_per_level;
-  /// Derivation level of each atom in `instance`.
-  std::unordered_map<Atom, int, AtomHash> level_of;
+  /// Derivation level of each atom, indexed by its AtomId in `instance`
+  /// (a column parallel to the arena: ids are dense and assigned in
+  /// insertion order, so level_of[id] is the level of instance.view(id)).
+  std::vector<int> level_of;
+  /// Level lookup by materialized atom (cold paths / tests); -1 if the
+  /// atom is not in the instance.
+  int LevelOf(const Atom& atom) const;
   /// Why an atom exists (only filled with track_provenance): the index of
-  /// the tgd that produced it and the images of the tgd's body atoms.
-  /// Database atoms have no entry.
+  /// the tgd that produced it and the ids of the images of the tgd's body
+  /// atoms (premises are always atoms of `instance`). Keyed by AtomId;
+  /// database atoms have no entry.
   struct Provenance {
     size_t tgd_index = 0;
-    std::vector<Atom> premises;
+    std::vector<AtomId> premise_ids;
   };
-  std::unordered_map<Atom, Provenance, AtomHash> provenance;
+  std::unordered_map<AtomId, Provenance> provenance;
+  /// Provenance lookup by materialized atom (cold paths / tests); null
+  /// for database atoms and atoms not in the instance.
+  const Provenance* ProvenanceOf(const Atom& atom) const;
   /// OK unless the run was cut short by the request governor, in which
   /// case this holds the trip status (kDeadlineExceeded / kCancelled /
   /// kResourceExhausted) and `complete` is false. The atoms present are

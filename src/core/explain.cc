@@ -41,18 +41,19 @@ void Render(const DerivationNode& node, const TgdSet& tgds, int indent,
   }
 }
 
-/// Unwinds provenance into a derivation tree. Cycles cannot occur: a
-/// premise always has a strictly smaller derivation level.
-DerivationNode Unwind(const Atom& atom, const ChaseResult& chase) {
+/// Unwinds provenance into a derivation tree, walking arena ids; atoms are
+/// materialized once per node for display. Cycles cannot occur: a premise
+/// always has a strictly smaller derivation level.
+DerivationNode Unwind(AtomId id, const ChaseResult& chase) {
   DerivationNode node;
-  node.atom = atom;
-  auto it = chase.provenance.find(atom);
+  node.atom = chase.instance.MaterializeAtom(id);
+  auto it = chase.provenance.find(id);
   if (it == chase.provenance.end()) {
     node.tgd_index = DerivationNode::kDatabaseFact;
     return node;
   }
   node.tgd_index = static_cast<int>(it->second.tgd_index);
-  for (const Atom& premise : it->second.premises) {
+  for (AtomId premise : it->second.premise_ids) {
     node.premises.push_back(
         std::make_unique<DerivationNode>(Unwind(premise, chase)));
   }
@@ -115,7 +116,14 @@ Result<Explanation> ExplainTuple(const Omq& omq, const Database& database,
   Explanation explanation;
   explanation.tuple = tuple;
   for (const Atom& body_atom : omq.query.body) {
-    explanation.roots.push_back(Unwind(hom->Apply(body_atom), chase));
+    // The homomorphism maps the body into the chase instance, so every
+    // image resolves to an arena id.
+    std::optional<AtomId> id =
+        chase.instance.FindId(hom->Apply(body_atom));
+    if (!id.has_value()) {
+      return Status::Internal("witness atom missing from chase instance");
+    }
+    explanation.roots.push_back(Unwind(*id, chase));
   }
   return explanation;
 }

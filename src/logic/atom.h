@@ -73,13 +73,66 @@ struct Atom {
   }
 };
 
+/// Hash of an atom given as predicate + argument span. The single source of
+/// atom hashing: AtomHash and the Instance arena's dedup table both call
+/// this, so a materialized Atom and its in-arena view always agree.
+inline size_t HashAtomTerms(Predicate p, const Term* args, size_t arity) {
+  size_t seed = std::hash<int32_t>{}(p.id());
+  for (size_t i = 0; i < arity; ++i) HashCombine(seed, TermHash{}(args[i]));
+  return seed;
+}
+
 struct AtomHash {
   size_t operator()(const Atom& a) const {
-    size_t seed = std::hash<int32_t>{}(a.predicate.id());
-    for (const Term& t : a.args) HashCombine(seed, TermHash{}(t));
-    return seed;
+    return HashAtomTerms(a.predicate, a.args.data(), a.args.size());
   }
 };
+
+/// A non-owning view of an atom: predicate plus a span of terms, 16 bytes.
+/// This is how hot paths (homomorphism candidate scans, chase triggers)
+/// read atoms out of an Instance's arena without materializing a
+/// heap-allocated Atom. A view is transient: it is invalidated by any
+/// mutation of the storage the span points into (for Instance views, by
+/// the next Add — exactly like a vector iterator).
+class AtomView {
+ public:
+  AtomView(Predicate predicate, const Term* args, size_t arity)
+      : predicate_(predicate), args_(args),
+        arity_(static_cast<uint32_t>(arity)) {}
+
+  Predicate predicate() const { return predicate_; }
+  size_t arity() const { return arity_; }
+  const Term& arg(size_t i) const { return args_[i]; }
+  const Term* begin() const { return args_; }
+  const Term* end() const { return args_ + arity_; }
+
+  /// Deep copy into an owning Atom (cold paths only).
+  Atom Materialize() const {
+    return Atom(predicate_, std::vector<Term>(begin(), end()));
+  }
+
+  size_t hash() const { return HashAtomTerms(predicate_, args_, arity_); }
+
+  /// Structural equality (predicate and argument terms), not span identity.
+  bool operator==(const AtomView& o) const {
+    if (predicate_ != o.predicate_ || arity_ != o.arity_) return false;
+    for (size_t i = 0; i < arity_; ++i) {
+      if (args_[i] != o.args_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const AtomView& o) const { return !(*this == o); }
+
+ private:
+  Predicate predicate_;
+  const Term* args_;
+  uint32_t arity_;
+};
+
+/// A view of a materialized Atom (valid while `a` is alive and unmoved).
+inline AtomView ViewOf(const Atom& a) {
+  return AtomView(a.predicate, a.args.data(), a.args.size());
+}
 
 /// A schema: a finite set of predicates. Thin wrapper over std::set to give
 /// schema-level operations names matching the paper (ar(S), membership...).

@@ -18,23 +18,25 @@ int BoundArgs(const Atom& atom, const Substitution& sub) {
   return bound;
 }
 
-/// The candidate atoms in `target` that may match `atom` under `sub`: the
-/// most selective available index, i.e. the smallest candidate list over
-/// ALL bound argument positions (not merely the first one — see
-/// HomomorphismTest.CandidatesUseMostSelectiveIndex).
-const std::vector<Atom>& Candidates(const Atom& atom, const Substitution& sub,
-                                    const Instance& target) {
-  const std::vector<Atom>* best = nullptr;
+/// The candidate atom ids in `target` that may match `atom` under `sub`:
+/// the most selective available index, i.e. the smallest postings list
+/// over ALL bound argument positions (not merely the first one — see
+/// HomomorphismTest.CandidatesUseMostSelectiveIndex). Ids, not atoms: the
+/// arena is bound against in place via target.view(id).
+const std::vector<AtomId>& Candidates(const Atom& atom,
+                                      const Substitution& sub,
+                                      const Instance& target) {
+  const std::vector<AtomId>* best = nullptr;
   for (size_t i = 0; i < atom.args.size(); ++i) {
     const Term& t = atom.args[i];
     Term image = t.IsVariable() ? sub.Apply(t) : t;
     if (image.IsVariable()) continue;
-    const std::vector<Atom>& list =
-        target.AtomsWithArg(atom.predicate, static_cast<int>(i), image);
+    const std::vector<AtomId>& list =
+        target.IdsWithArg(atom.predicate, static_cast<int>(i), image);
     if (best == nullptr || list.size() < best->size()) best = &list;
     if (best->empty()) break;  // cannot get more selective
   }
-  return best != nullptr ? *best : target.AtomsWith(atom.predicate);
+  return best != nullptr ? *best : target.IdsWith(atom.predicate);
 }
 
 struct SearchState {
@@ -46,6 +48,10 @@ struct SearchState {
   size_t candidates_scanned = 0;
   bool visitor_stop = false;  // visitor requested stop
   bool exhausted = false;     // max_steps budget or governor trip
+  /// Undo trail of freshly bound variables, shared across the recursion:
+  /// each frame remembers its watermark and unwinds back to it, so no
+  /// per-candidate vector is ever allocated.
+  std::vector<Term> trail;
 };
 
 /// Stride of governor probes inside the backtracking loop: frequent enough
@@ -53,14 +59,15 @@ struct SearchState {
 /// load stays invisible next to the index lookups (<2% — EXPERIMENTS.md).
 constexpr size_t kGovernorStride = 64;
 
-/// Extends `sub` so that `atom` maps onto `candidate`; records the freshly
-/// bound variables in `newly_bound`. Returns false (leaving the fresh
-/// bindings for the caller to undo) when the match is infeasible.
-bool TryMatch(const Atom& atom, const Atom& candidate, Substitution& sub,
-              std::vector<Term>& newly_bound) {
+/// Extends `sub` so that `atom` maps onto `candidate` (a span into the
+/// target's arena); pushes the freshly bound variables onto `trail`.
+/// Returns false (leaving the fresh bindings for the caller to undo) when
+/// the match is infeasible.
+bool TryMatch(const Atom& atom, AtomView candidate, Substitution& sub,
+              std::vector<Term>& trail) {
   for (size_t i = 0; i < atom.args.size(); ++i) {
     const Term& from = atom.args[i];
-    const Term& to = candidate.args[i];
+    const Term& to = candidate.arg(i);
     if (!from.IsVariable()) {
       if (from != to) return false;
       continue;
@@ -71,7 +78,7 @@ bool TryMatch(const Atom& atom, const Atom& candidate, Substitution& sub,
       continue;
     }
     sub.Bind(from, to);
-    newly_bound.push_back(from);
+    trail.push_back(from);
   }
   return true;
 }
@@ -110,13 +117,17 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
   const Atom& atom = atoms[atom_index];
 
   bool found = false;
-  for (const Atom& candidate : Candidates(atom, sub, state.target)) {
+  const size_t trail_mark = state.trail.size();
+  for (AtomId candidate_id : Candidates(atom, sub, state.target)) {
     ++state.candidates_scanned;
-    std::vector<Term> newly_bound;
-    if (TryMatch(atom, candidate, sub, newly_bound)) {
+    AtomView candidate = state.target.view(candidate_id);
+    if (TryMatch(atom, candidate, sub, state.trail)) {
       if (Search(atoms, remaining, sub, state)) found = true;
     }
-    for (const Term& v : newly_bound) sub.Unbind(v);
+    while (state.trail.size() > trail_mark) {
+      sub.Unbind(state.trail.back());
+      state.trail.pop_back();
+    }
     if (state.visitor_stop || state.exhausted) break;
   }
 
@@ -134,7 +145,9 @@ HomSearchOutcome RunSearch(
   Substitution sub = seed;
   std::vector<size_t> remaining(atoms.size());
   for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
-  SearchState state{target, visitor, options.max_steps, options.governor};
+  SearchState state{target, visitor, options.max_steps, options.governor,
+                    0,      0,       false,             false,
+                    {}};
   bool found = Search(atoms, remaining, sub, state);
   if (found_any != nullptr) *found_any = found;
   if (options.counters != nullptr) {
@@ -186,12 +199,17 @@ void ForEachHomomorphism(
   RunSearch(atoms, target, seed, visitor, unbounded, nullptr);
 }
 
-void ForEachHomomorphismPinned(
-    const std::vector<Atom>& atoms, size_t pinned_index,
-    const std::vector<Atom>& pinned_candidates, const Instance& target,
-    const Substitution& seed,
-    const std::function<bool(const Substitution&)>& visitor,
-    const HomomorphismOptions& options) {
+namespace {
+
+/// Shared body of the pinned enumeration: `view_at(i)` yields the i-th
+/// pinned candidate as an AtomView (out of `count`), whatever the caller's
+/// candidate representation — arena ids or materialized atoms.
+template <typename ViewAt>
+void PinnedImpl(const std::vector<Atom>& atoms, size_t pinned_index,
+                size_t count, ViewAt view_at, const Instance& target,
+                const Substitution& seed,
+                const std::function<bool(const Substitution&)>& visitor,
+                const HomomorphismOptions& options) {
   const Atom& pinned = atoms[pinned_index];
   Substitution sub = seed;
   std::vector<size_t> remaining;
@@ -199,9 +217,12 @@ void ForEachHomomorphismPinned(
   for (size_t i = 0; i < atoms.size(); ++i) {
     if (i != pinned_index) remaining.push_back(i);
   }
-  SearchState state{target, visitor, /*max_steps=*/0, options.governor};
-  for (const Atom& candidate : pinned_candidates) {
-    if (candidate.predicate != pinned.predicate) continue;
+  SearchState state{target, visitor, /*max_steps=*/0, options.governor,
+                    0,      0,       false,           false,
+                    {}};
+  for (size_t c = 0; c < count; ++c) {
+    AtomView candidate = view_at(c);
+    if (candidate.predicate() != pinned.predicate) continue;
     ++state.candidates_scanned;
     if (state.governor != nullptr &&
         state.candidates_scanned % kGovernorStride == 0 &&
@@ -209,11 +230,14 @@ void ForEachHomomorphismPinned(
       state.exhausted = true;
       break;
     }
-    std::vector<Term> newly_bound;
-    if (TryMatch(pinned, candidate, sub, newly_bound)) {
+    const size_t trail_mark = state.trail.size();
+    if (TryMatch(pinned, candidate, sub, state.trail)) {
       Search(atoms, remaining, sub, state);
     }
-    for (const Term& v : newly_bound) sub.Unbind(v);
+    while (state.trail.size() > trail_mark) {
+      sub.Unbind(state.trail.back());
+      state.trail.pop_back();
+    }
     if (state.visitor_stop || state.exhausted) break;
   }
   if (options.counters != nullptr) {
@@ -222,6 +246,32 @@ void ForEachHomomorphismPinned(
     options.counters->candidates_scanned += state.candidates_scanned;
     if (state.exhausted) ++options.counters->budget_exhaustions;
   }
+}
+
+}  // namespace
+
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const std::vector<Atom>& pinned_candidates, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options) {
+  PinnedImpl(
+      atoms, pinned_index, pinned_candidates.size(),
+      [&](size_t c) { return ViewOf(pinned_candidates[c]); }, target, seed,
+      visitor, options);
+}
+
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const std::vector<AtomId>& pinned_ids, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options) {
+  PinnedImpl(
+      atoms, pinned_index, pinned_ids.size(),
+      [&](size_t c) { return target.view(pinned_ids[c]); }, target, seed,
+      visitor, options);
 }
 
 std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,

@@ -115,6 +115,17 @@ void ForEachHomomorphismPinned(
     const std::function<bool(const Substitution&)>& visitor,
     const HomomorphismOptions& options = HomomorphismOptions());
 
+/// Id-based overload: the pinned candidates are atom ids into `target`'s
+/// arena, bound in place with zero materialization. This is the variant
+/// the semi-naive chase uses — its delta is a contiguous id range of the
+/// growing chase instance.
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const std::vector<AtomId>& pinned_ids, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options = HomomorphismOptions());
+
 /// Evaluates q over I: the set of answer tuples h(x̄) for homomorphisms h
 /// from the body into I with h(x̄) consisting of constants only
 /// (paper Sec. 2: the evaluation q(I) collects constant tuples).

@@ -1,6 +1,7 @@
 #include "logic/instance.h"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <map>
 
@@ -9,82 +10,144 @@
 namespace omqc {
 
 namespace {
-const std::vector<Atom>& EmptyAtomVector() {
-  static const std::vector<Atom>* empty = new std::vector<Atom>();
+const std::vector<AtomId>& EmptyIdVector() {
+  static const std::vector<AtomId>* empty = new std::vector<AtomId>();
   return *empty;
 }
 }  // namespace
 
-bool Instance::Add(const Atom& atom) {
-  if (!atom_set_.insert(atom).second) return false;
-  atoms_.push_back(atom);
-  by_predicate_[atom.predicate.id()].push_back(atom);
-  for (size_t i = 0; i < atom.args.size(); ++i) {
-    by_arg_[ArgKey{atom.predicate.id(), static_cast<int>(i), atom.args[i]}]
-        .push_back(atom);
+Instance::AddOutcome Instance::AddView(AtomView view) {
+  assert(view.predicate().valid() && "Add of an atom with an invalid "
+                                     "(default-constructed) predicate");
+#ifndef NDEBUG
+  for (const Term& t : view) {
+    assert(t.valid() && "Add of an atom containing an invalid "
+                        "(default-constructed) term");
   }
-  return true;
+#endif
+  assert(view.arity() <= 0xFF && "arena records store arity in one byte");
+  // Grow the dedup table before probing so the insert path below always
+  // has a free slot (load factor <= 1/2).
+  if ((records_.size() + 1) * 2 > slots_.size()) {
+    Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t idx = view.hash() & mask;
+  while (slots_[idx] != kEmptySlot) {
+    if (this->view(slots_[idx]) == view) return {slots_[idx], false};
+    idx = (idx + 1) & mask;
+  }
+  const AtomId id = static_cast<AtomId>(records_.size());
+  slots_[idx] = id;
+  records_.push_back(AtomRecord{view.predicate(),
+                                static_cast<uint32_t>(term_pool_.size()),
+                                static_cast<uint8_t>(view.arity())});
+  term_pool_.insert(term_pool_.end(), view.begin(), view.end());
+  by_predicate_[view.predicate().id()].push_back(id);
+  for (size_t i = 0; i < view.arity(); ++i) {
+    by_arg_[ArgKey{view.predicate().id(), static_cast<int>(i), view.arg(i)}]
+        .push_back(id);
+  }
+  return {id, true};
+}
+
+void Instance::Rehash(size_t new_size) {
+  slots_.assign(new_size, kEmptySlot);
+  const size_t mask = new_size - 1;
+  for (AtomId id = 0; id < records_.size(); ++id) {
+    size_t idx = view(id).hash() & mask;
+    while (slots_[idx] != kEmptySlot) idx = (idx + 1) & mask;
+    slots_[idx] = id;
+  }
+}
+
+std::optional<AtomId> Instance::FindId(AtomView v) const {
+  if (slots_.empty()) return std::nullopt;
+  const size_t mask = slots_.size() - 1;
+  size_t idx = v.hash() & mask;
+  while (slots_[idx] != kEmptySlot) {
+    if (view(slots_[idx]) == v) return slots_[idx];
+    idx = (idx + 1) & mask;
+  }
+  return std::nullopt;
 }
 
 void Instance::AddAll(const Instance& other) {
-  for (const Atom& a : other.atoms_) Add(a);
+  if (&other == this) return;
+  for (AtomId id = 0; id < other.records_.size(); ++id) {
+    AddView(other.view(id));
+  }
 }
 
-const std::vector<Atom>& Instance::AtomsWith(Predicate p) const {
+const std::vector<AtomId>& Instance::IdsWith(Predicate p) const {
   auto it = by_predicate_.find(p.id());
-  return it == by_predicate_.end() ? EmptyAtomVector() : it->second;
+  return it == by_predicate_.end() ? EmptyIdVector() : it->second;
 }
 
-const std::vector<Atom>& Instance::AtomsWithArg(Predicate p, int position,
+const std::vector<AtomId>& Instance::IdsWithArg(Predicate p, int position,
                                                 const Term& t) const {
   auto it = by_arg_.find(ArgKey{p.id(), position, t});
-  return it == by_arg_.end() ? EmptyAtomVector() : it->second;
+  return it == by_arg_.end() ? EmptyIdVector() : it->second;
+}
+
+std::vector<Atom> Instance::AtomsWith(Predicate p) const {
+  std::vector<Atom> out;
+  const std::vector<AtomId>& ids = IdsWith(p);
+  out.reserve(ids.size());
+  for (AtomId id : ids) out.push_back(MaterializeAtom(id));
+  return out;
+}
+
+std::vector<Atom> Instance::AtomsWithArg(Predicate p, int position,
+                                         const Term& t) const {
+  std::vector<Atom> out;
+  const std::vector<AtomId>& ids = IdsWithArg(p, position, t);
+  out.reserve(ids.size());
+  for (AtomId id : ids) out.push_back(MaterializeAtom(id));
+  return out;
 }
 
 std::vector<Term> Instance::ActiveDomain() const {
-  std::set<Term> seen;
-  for (const Atom& a : atoms_) {
-    for (const Term& t : a.args) seen.insert(t);
-  }
+  // The term pool is exactly the multiset of all argument occurrences.
+  std::set<Term> seen(term_pool_.begin(), term_pool_.end());
   return std::vector<Term>(seen.begin(), seen.end());
 }
 
 std::vector<Term> Instance::ActiveDomainConstants() const {
   std::set<Term> seen;
-  for (const Atom& a : atoms_) {
-    for (const Term& t : a.args) {
-      if (t.IsConstant()) seen.insert(t);
-    }
+  for (const Term& t : term_pool_) {
+    if (t.IsConstant()) seen.insert(t);
   }
   return std::vector<Term>(seen.begin(), seen.end());
 }
 
 Schema Instance::InducedSchema() const {
   Schema schema;
-  for (const auto& [pred_id, atoms] : by_predicate_) {
-    if (!atoms.empty()) schema.Add(atoms.front().predicate);
+  for (const auto& [pred_id, ids] : by_predicate_) {
+    if (!ids.empty()) schema.Add(records_[ids.front()].predicate);
   }
   return schema;
 }
 
 bool Instance::IsDatabase() const {
-  for (const Atom& a : atoms_) {
-    if (!a.IsFact()) return false;
+  for (const Term& t : term_pool_) {
+    if (!t.IsConstant()) return false;
   }
   return true;
 }
 
 Instance Instance::InducedBy(const std::set<Term>& terms) const {
   Instance out;
-  for (const Atom& a : atoms_) {
+  for (AtomId id = 0; id < records_.size(); ++id) {
+    AtomView a = view(id);
     bool inside = true;
-    for (const Term& t : a.args) {
+    for (const Term& t : a) {
       if (terms.count(t) == 0) {
         inside = false;
         break;
       }
     }
-    if (inside) out.Add(a);
+    if (inside) out.AddView(a);
   }
   return out;
 }
@@ -102,20 +165,20 @@ std::vector<Instance> Instance::ConnectedComponents() const {
     }
     return root;
   };
-  for (const Atom& a : atoms_) {
-    for (const Term& t : a.args) parent.emplace(t, t);
-  }
-  for (const Atom& a : atoms_) {
-    if (a.args.empty()) continue;
-    Term first = find(a.args.front());
-    for (const Term& t : a.args) {
+  for (const Term& t : term_pool_) parent.emplace(t, t);
+  for (AtomId id = 0; id < records_.size(); ++id) {
+    AtomView a = view(id);
+    if (a.arity() == 0) continue;
+    Term first = find(a.arg(0));
+    for (const Term& t : a) {
       parent[find(t)] = first;
     }
   }
   std::map<Term, Instance> components;
-  for (const Atom& a : atoms_) {
-    if (a.args.empty()) continue;
-    components[find(a.args.front())].Add(a);
+  for (AtomId id = 0; id < records_.size(); ++id) {
+    AtomView a = view(id);
+    if (a.arity() == 0) continue;
+    components[find(a.arg(0))].AddView(a);
   }
   std::vector<Instance> out;
   out.reserve(components.size());
@@ -144,10 +207,14 @@ Database PrettifiedCopy(const Database& db, const std::string& prefix) {
 }
 
 std::string Instance::ToString() const {
-  std::vector<std::string> lines;
-  lines.reserve(atoms_.size());
-  std::vector<Atom> sorted = atoms_;
+  std::vector<Atom> sorted;
+  sorted.reserve(records_.size());
+  for (AtomId id = 0; id < records_.size(); ++id) {
+    sorted.push_back(MaterializeAtom(id));
+  }
   std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> lines;
+  lines.reserve(sorted.size());
   for (const Atom& a : sorted) lines.push_back(a.ToString() + ".");
   return JoinStrings(lines, "\n");
 }

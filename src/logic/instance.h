@@ -4,19 +4,34 @@
 // per-predicate and per-(predicate,position,term) indexes that back the
 // homomorphism search engine. A database is an instance whose atoms are
 // facts (null-free); `IsDatabase()` checks this.
+//
+// Storage is columnar (DESIGN.md "Atom storage layout"): every atom is
+// stored exactly once in an append-only arena — one contiguous Term pool
+// plus a 12-byte {Predicate, offset, arity} record per atom — and every
+// side structure (dedup table, per-predicate and per-argument indexes,
+// insertion order) is a postings list of 32-bit atom ids. Hot paths read
+// atoms as AtomView spans via `view(id)` / `IdsWith*`; the materializing
+// accessors (`atoms()`, `AtomsWith*`) copy and are for cold paths only.
 
 #ifndef OMQC_LOGIC_INSTANCE_H_
 #define OMQC_LOGIC_INSTANCE_H_
 
+#include <cstdint>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "logic/atom.h"
 
 namespace omqc {
+
+/// Index of an atom within one Instance's arena: dense, assigned in
+/// insertion order, stable for the lifetime of the instance.
+using AtomId = uint32_t;
+
+class AtomRange;
 
 /// A finite set of atoms with lookup indexes. Append-only plus bulk ops;
 /// atom identity is set semantics (duplicates are ignored).
@@ -27,25 +42,64 @@ class Instance {
     for (const Atom& a : atoms) Add(a);
   }
 
+  /// Outcome of an insert: the atom's id (fresh or pre-existing) and
+  /// whether the insert actually extended the instance.
+  struct AddOutcome {
+    AtomId id;
+    bool inserted;
+  };
+
+  /// Inserts the atom `view` refers to (copying its terms into the arena);
+  /// no-op if an equal atom is already present. `view` must not point into
+  /// this instance's own arena unless the atom is already present.
+  AddOutcome AddView(AtomView view);
+
   /// Inserts `atom`; returns true iff it was not already present.
-  bool Add(const Atom& atom);
+  bool Add(const Atom& atom) { return AddView(ViewOf(atom)).inserted; }
   /// Inserts all atoms of `other`.
   void AddAll(const Instance& other);
 
-  bool Contains(const Atom& atom) const { return atom_set_.count(atom) > 0; }
-  size_t size() const { return atoms_.size(); }
-  bool empty() const { return atoms_.empty(); }
+  bool Contains(AtomView view) const { return FindId(view).has_value(); }
+  bool Contains(const Atom& atom) const { return Contains(ViewOf(atom)); }
 
-  /// All atoms in insertion order.
-  const std::vector<Atom>& atoms() const { return atoms_; }
+  /// The id of the equal atom, if present. O(1); never materializes.
+  std::optional<AtomId> FindId(AtomView view) const;
+  std::optional<AtomId> FindId(const Atom& atom) const {
+    return FindId(ViewOf(atom));
+  }
 
-  /// Atoms with the given predicate (empty vector if none).
-  const std::vector<Atom>& AtomsWith(Predicate p) const;
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
 
-  /// Atoms with predicate `p` whose argument at `position` equals `t`.
-  /// Backed by an index; O(result size).
-  const std::vector<Atom>& AtomsWithArg(Predicate p, int position,
+  /// The atom with the given id as a zero-copy span into the arena.
+  /// Invalidated by the next Add (the term pool may reallocate); the id
+  /// itself stays valid forever.
+  AtomView view(AtomId id) const {
+    const AtomRecord& r = records_[id];
+    return AtomView(r.predicate, term_pool_.data() + r.offset, r.arity);
+  }
+
+  /// A materialized (owning) copy of the atom with the given id.
+  Atom MaterializeAtom(AtomId id) const { return view(id).Materialize(); }
+
+  /// All atoms in insertion order, materialized lazily per element.
+  /// Iteration compiles with `for (const Atom& a : inst.atoms())`; hot
+  /// loops should iterate ids and call view() instead.
+  AtomRange atoms() const;
+
+  /// Ids of atoms with the given predicate, in insertion order (empty if
+  /// none). The homomorphism engine's fallback candidate list.
+  const std::vector<AtomId>& IdsWith(Predicate p) const;
+
+  /// Ids of atoms with predicate `p` whose argument at `position` equals
+  /// `t`. Backed by an index; O(result size).
+  const std::vector<AtomId>& IdsWithArg(Predicate p, int position,
                                         const Term& t) const;
+
+  /// Materializing counterparts of IdsWith / IdsWithArg (cold paths).
+  std::vector<Atom> AtomsWith(Predicate p) const;
+  std::vector<Atom> AtomsWithArg(Predicate p, int position,
+                                 const Term& t) const;
 
   /// The active domain dom(I): all terms occurring in the instance.
   std::vector<Term> ActiveDomain() const;
@@ -66,18 +120,39 @@ class Instance {
   /// 0-ary atoms are excluded, matching the paper's footnote 5.
   std::vector<Instance> ConnectedComponents() const;
 
+  /// Bytes held by the arena and the id-based indexes: term pool, atom
+  /// records, dedup slots and posting entries. O(1), exact for the data
+  /// proper (container bookkeeping overhead excluded); this is what the
+  /// chase charges against the governor's memory budget.
+  size_t MemoryBytes() const {
+    return term_pool_.size() * sizeof(Term) +
+           records_.size() * sizeof(AtomRecord) +
+           slots_.size() * sizeof(AtomId) +
+           // One by_predicate_ entry per atom, one by_arg_ entry per term.
+           (records_.size() + term_pool_.size()) * sizeof(AtomId);
+  }
+
   /// Multi-line listing "R(a,b). S(b)." sorted for stable output.
   std::string ToString() const;
 
   bool operator==(const Instance& other) const {
     if (size() != other.size()) return false;
-    for (const Atom& a : atoms_) {
-      if (!other.Contains(a)) return false;
+    for (AtomId id = 0; id < records_.size(); ++id) {
+      if (!other.Contains(view(id))) return false;
     }
     return true;
   }
 
  private:
+  /// Per-atom arena record: which predicate, where its terms live in the
+  /// pool, how many. 12 bytes; the terms themselves are contiguous in
+  /// term_pool_ so a scan over one atom's arguments never pointer-chases.
+  struct AtomRecord {
+    Predicate predicate;
+    uint32_t offset;
+    uint8_t arity;
+  };
+
   struct ArgKey {
     int32_t pred_id;
     int position;
@@ -95,11 +170,74 @@ class Instance {
     }
   };
 
-  std::vector<Atom> atoms_;
-  std::unordered_set<Atom, AtomHash> atom_set_;
-  std::unordered_map<int32_t, std::vector<Atom>> by_predicate_;
-  std::unordered_map<ArgKey, std::vector<Atom>, ArgKeyHash> by_arg_;
+  static constexpr AtomId kEmptySlot = 0xFFFFFFFFu;
+
+  /// Rebuilds the open-addressing dedup table with `new_size` slots
+  /// (power of two).
+  void Rehash(size_t new_size);
+
+  /// Arena: one flat term pool + one record per atom, in insertion order.
+  std::vector<Term> term_pool_;
+  std::vector<AtomRecord> records_;
+  /// Dedup table: open addressing (linear probing, load factor <= 1/2)
+  /// over atom ids, hashed/compared against the arena in place — Add and
+  /// Contains never materialize a temporary Atom.
+  std::vector<AtomId> slots_;
+  /// Id postings, in insertion order.
+  std::unordered_map<int32_t, std::vector<AtomId>> by_predicate_;
+  std::unordered_map<ArgKey, std::vector<AtomId>, ArgKeyHash> by_arg_;
 };
+
+/// Lazily materializing view over an Instance's atoms in insertion order.
+/// Dereferencing yields an owning Atom by value; `for (const Atom& a : r)`
+/// binds each to a loop-scoped temporary.
+class AtomRange {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Atom;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Atom;
+
+    const_iterator(const Instance* inst, AtomId id) : inst_(inst), id_(id) {}
+    Atom operator*() const { return inst_->MaterializeAtom(id_); }
+    const_iterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator out = *this;
+      ++id_;
+      return out;
+    }
+    bool operator==(const const_iterator& o) const { return id_ == o.id_; }
+    bool operator!=(const const_iterator& o) const { return id_ != o.id_; }
+
+   private:
+    const Instance* inst_;
+    AtomId id_;
+  };
+
+  explicit AtomRange(const Instance* inst) : inst_(inst) {}
+
+  const_iterator begin() const { return const_iterator(inst_, 0); }
+  const_iterator end() const {
+    return const_iterator(inst_, static_cast<AtomId>(inst_->size()));
+  }
+  size_t size() const { return inst_->size(); }
+  bool empty() const { return inst_->empty(); }
+  Atom front() const { return inst_->MaterializeAtom(0); }
+  Atom operator[](size_t i) const {
+    return inst_->MaterializeAtom(static_cast<AtomId>(i));
+  }
+
+ private:
+  const Instance* inst_;
+};
+
+inline AtomRange Instance::atoms() const { return AtomRange(this); }
 
 /// Alias emphasizing intent at call sites that require null-free instances.
 using Database = Instance;

@@ -44,6 +44,13 @@ class Term {
   bool IsNull() const { return kind_ == TermKind::kNull; }
   bool IsVariable() const { return kind_ == TermKind::kVariable; }
 
+  /// True iff this term came from one of the factories above. The default
+  /// constructor yields an *invalid* kConstant with id -1 — without this
+  /// check it is indistinguishable from a real constant in comparisons
+  /// (mirrors Predicate::valid()). Instance::Add asserts validity in debug
+  /// builds.
+  bool valid() const { return id_ >= 0; }
+
   /// The name this term was interned under; nulls render as "_:n<id>".
   std::string ToString() const;
 

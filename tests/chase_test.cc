@@ -166,11 +166,12 @@ TEST_P(ChaseStrategyTest, ProvenanceRecordsPremises) {
           .value();
   ASSERT_TRUE(result.complete);
   Atom c = Atom::Make("C", {Term::Constant("a")});
-  ASSERT_EQ(result.provenance.count(c), 1u);
-  const ChaseResult::Provenance& why = result.provenance.at(c);
-  EXPECT_EQ(why.tgd_index, 1u);
-  ASSERT_EQ(why.premises.size(), 1u);
-  EXPECT_EQ(why.premises[0], Atom::Make("B", {Term::Constant("a")}));
+  const ChaseResult::Provenance* why = result.ProvenanceOf(c);
+  ASSERT_NE(why, nullptr);
+  EXPECT_EQ(why->tgd_index, 1u);
+  ASSERT_EQ(why->premise_ids.size(), 1u);
+  EXPECT_EQ(result.instance.MaterializeAtom(why->premise_ids[0]),
+            Atom::Make("B", {Term::Constant("a")}));
 }
 
 TEST_P(ChaseStrategyTest, ViaChase) {

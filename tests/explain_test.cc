@@ -27,12 +27,12 @@ TEST(ProvenanceTest, ChaseRecordsPremises) {
       Chase(Db("R(a,b)."), ParseTgds("R(X,Y) -> P(Y).").value(), options)
           .value();
   Atom derived = Atom::Make("P", {Term::Constant("b")});
-  ASSERT_TRUE(result.provenance.count(derived) > 0);
-  const auto& why = result.provenance.at(derived);
-  EXPECT_EQ(why.tgd_index, 0u);
-  ASSERT_EQ(why.premises.size(), 1u);
-  EXPECT_EQ(why.premises[0], Atom::Make("R", {Term::Constant("a"),
-                                              Term::Constant("b")}));
+  const ChaseResult::Provenance* why = result.ProvenanceOf(derived);
+  ASSERT_NE(why, nullptr);
+  EXPECT_EQ(why->tgd_index, 0u);
+  ASSERT_EQ(why->premise_ids.size(), 1u);
+  EXPECT_EQ(result.instance.MaterializeAtom(why->premise_ids[0]),
+            Atom::Make("R", {Term::Constant("a"), Term::Constant("b")}));
 }
 
 TEST(ProvenanceTest, OffByDefault) {
