@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "logic/instance.h"
+#include "logic/postings_kernels.h"
 
 namespace omqc {
 namespace {
@@ -171,9 +172,45 @@ void BM_InstanceScanByArgMaterialized(benchmark::State& state) {
 }
 BENCHMARK(BM_InstanceScanByArgMaterialized)->Arg(1 << 14);
 
-/// Scan: full per-predicate postings sweep (AtomsWith), touching every
-/// argument of every atom — the unindexed-candidate fallback path.
+/// Scan: full per-predicate postings sweep, touching every argument of
+/// every atom — the unindexed-candidate fallback path. Iterates the packed
+/// predicate-major mirror (Instance::Postings), exactly as the
+/// homomorphism engine's fallback does since the postings-kernel fix; the
+/// interleaved id-loop it replaced is kept below as the contrast.
 void BM_InstanceScanByPredicate(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
+  Instance inst = MakeInstance(atoms);
+  std::vector<Predicate> ps;
+  for (int p = 0; p < 8; ++p) {
+    ps.push_back(Predicate::Get("R" + std::to_string(p), 3));
+  }
+  size_t scanned = 0;
+  for (auto _ : state) {
+    scanned = 0;
+    for (const Predicate& p : ps) {
+      PostingsSpan span = inst.Postings(p);
+      for (size_t j = 0; j < span.size(); ++j) {
+        AtomView a = span.view(j);
+        for (const Term& arg : a) {
+          benchmark::DoNotOptimize(arg.id());
+        }
+        ++scanned;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scanned) *
+                          state.iterations());
+}
+BENCHMARK(BM_InstanceScanByPredicate)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 16);
+
+/// The same full sweep through the interleaved id postings + view(id) —
+/// the access pattern behind the PR-5 regression (eight predicates stride
+/// the shared record/pool arrays). Kept as the contrast measuring what the
+/// predicate-major mirror buys.
+void BM_InstanceScanByPredicateInterleaved(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
   Instance inst = MakeInstance(atoms);
@@ -197,9 +234,67 @@ void BM_InstanceScanByPredicate(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(scanned) *
                           state.iterations());
 }
-BENCHMARK(BM_InstanceScanByPredicate)
-    ->RangeMultiplier(4)
-    ->Range(1 << 12, 1 << 16);
+BENCHMARK(BM_InstanceScanByPredicateInterleaved)->Arg(1 << 14);
+
+/// Batched ingest: AddBatch's pipelined hash/prefetch schedule against the
+/// same workload BM_InstanceIngest feeds through one-at-a-time Add.
+void BM_InstanceIngestBatch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, /*preds=*/8, /*domain=*/64);
+  for (auto _ : state) {
+    Instance inst;
+    inst.AddBatch(atoms);
+    benchmark::DoNotOptimize(inst);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_InstanceIngestBatch)->Arg(1 << 14);
+
+/// Batched membership: CountContained over the present/absent probe mix
+/// (the one-at-a-time contrast is BM_InstanceContains).
+void BM_InstanceContainsBatch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Atom> atoms = MakeWorkload(n, 8, 64);
+  Instance inst = MakeInstance(atoms);
+  std::vector<Atom> absent = MakeWorkload(n, 8, 64);
+  for (Atom& a : absent) a.args[0] = Term::Constant("zz_absent");
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = inst.CountContained(atoms) + inst.CountContained(absent);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(2 * n) * state.iterations());
+}
+BENCHMARK(BM_InstanceContainsBatch)->Arg(1 << 14);
+
+/// The k-way intersection kernel on synthetic postings with controlled
+/// skew: two sorted lists sharing every `share`-th element, length ratio
+/// `skew` (1 = dense/dense merge, 64 = galloping regime).
+void BM_PostingsIntersect(benchmark::State& state) {
+  const size_t small_n = 1 << 10;
+  const size_t skew = static_cast<size_t>(state.range(0));
+  std::vector<AtomId> small, large;
+  for (size_t i = 0; i < small_n; ++i) {
+    small.push_back(static_cast<AtomId>(i * skew + (i % 3 == 0 ? 0 : 1)));
+  }
+  for (size_t i = 0; i < small_n * skew; ++i) {
+    large.push_back(static_cast<AtomId>(i));
+  }
+  std::vector<AtomId> out;
+  out.reserve(small_n);
+  size_t hits = 0;
+  for (auto _ : state) {
+    out.clear();
+    IntersectPostings(small.data(), small.size(), large.data(), large.size(),
+                      out);
+    hits = out.size();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["result_size"] = static_cast<double>(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(small_n) *
+                          state.iterations());
+}
+BENCHMARK(BM_PostingsIntersect)->Arg(1)->Arg(64);
 
 }  // namespace
 }  // namespace omqc

@@ -6,6 +6,7 @@
 #include "base/governor.h"
 #include "base/hash_util.h"
 #include "base/string_util.h"
+#include "logic/postings_kernels.h"
 
 namespace omqc {
 namespace {
@@ -163,20 +164,19 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
         // homomorphisms whose atom k matches inside the delta while the
         // other atoms range over the full instance. The delta is exactly
         // the contiguous arena-id range [seen_upto, turn_start) — ids are
-        // assigned in insertion order — grouped by predicate into id
-        // postings. Every trigger that uses at least one delta atom is
-        // found (at least) once; triggers found via several positions are
-        // deduped by the processed set.
-        std::unordered_map<int32_t, std::vector<AtomId>> delta_by_pred;
-        for (size_t a = seen_upto[i]; a < turn_start; ++a) {
-          AtomId id = static_cast<AtomId>(a);
-          delta_by_pred[result.instance.view(id).predicate().id()]
-              .push_back(id);
-        }
+        // assigned in insertion order — so each predicate's share of it is
+        // a contiguous SUBRANGE of its (sorted) postings, found by binary
+        // search with no per-turn grouping pass or map. Every trigger that
+        // uses at least one delta atom is found (at least) once; triggers
+        // found via several positions are deduped by the processed set.
         for (size_t k = 0; k < tgd.body.size(); ++k) {
-          auto it = delta_by_pred.find(tgd.body[k].predicate.id());
-          if (it == delta_by_pred.end()) continue;
-          ForEachHomomorphismPinned(tgd.body, k, it->second,
+          auto [first, last] = PostingsIdRange(
+              result.instance.IdsWith(tgd.body[k].predicate),
+              static_cast<AtomId>(seen_upto[i]),
+              static_cast<AtomId>(turn_start));
+          if (first == last) continue;
+          ForEachHomomorphismPinned(tgd.body, k, first,
+                                    static_cast<size_t>(last - first),
                                     result.instance, Substitution(),
                                     collect, hom_options);
         }

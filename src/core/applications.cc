@@ -139,8 +139,9 @@ Result<std::vector<std::vector<Term>>> EvalOverComponents(
   // 0-ary atoms are excluded from components (paper footnote 5); evaluate
   // over them separately so Boolean queries over 0-ary predicates work.
   Database nullary;
-  for (const Atom& a : database.atoms()) {
-    if (a.args.empty()) nullary.Add(a);
+  for (AtomId id = 0; id < database.size(); ++id) {
+    const AtomView a = database.view(id);
+    if (a.arity() == 0) nullary.AddView(a);
   }
   if (!nullary.empty()) {
     OMQC_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> partial,

@@ -50,11 +50,12 @@ Status ValidateDecomposition(const TreeDecomposition& decomposition,
     }
   }
   // Condition (i): every atom fits in a bag.
-  for (const Atom& a : instance.atoms()) {
+  for (AtomId id = 0; id < instance.size(); ++id) {
+    const AtomView a = instance.view(id);
     bool covered = false;
     for (const std::set<Term>& bag : decomposition.bags) {
       bool inside = true;
-      for (const Term& t : a.args) {
+      for (const Term& t : a) {
         if (bag.count(t) == 0) {
           inside = false;
           break;
@@ -67,7 +68,8 @@ Status ValidateDecomposition(const TreeDecomposition& decomposition,
     }
     if (!covered) {
       return Status::InvalidArgument(
-          StrCat("atom ", a.ToString(), " is not covered by any bag"));
+          StrCat("atom ", a.Materialize().ToString(),
+                 " is not covered by any bag"));
     }
   }
   // Condition (ii): each term's bags form a connected subtree.
@@ -115,8 +117,9 @@ bool IsGuardedExcept(const TreeDecomposition& decomposition,
     if (exempt.count(static_cast<int>(i)) > 0) continue;
     const std::set<Term>& bag = decomposition.bags[i];
     bool guarded = false;
-    for (const Atom& a : instance.atoms()) {
-      std::set<Term> args(a.args.begin(), a.args.end());
+    for (AtomId id = 0; id < instance.size(); ++id) {
+      const AtomView a = instance.view(id);
+      const std::set<Term> args(a.begin(), a.end());
       bool covers = true;
       for (const Term& t : bag) {
         if (args.count(t) == 0) {
@@ -179,13 +182,17 @@ Result<Unraveling> GuardedUnravel(const Instance& instance,
   nodes.push_back(std::move(root));
   out.decomposition.parent.push_back(-1);
 
-  // Materialize the atoms induced by a node's bag.
+  // Emit the atoms induced by a node's bag, translated through the node's
+  // renaming. Built straight from arena views: only the translated copy
+  // that lands in out.instance is ever materialized.
   auto emit_atoms = [&](const Node& node) {
     Instance induced = instance.InducedBy(node.originals);
-    for (const Atom& a : induced.atoms()) {
-      Atom translated = a;
-      for (Term& t : translated.args) t = node.to_unraveled.at(t);
-      out.instance.Add(translated);
+    std::vector<Term> args;
+    for (AtomId id = 0; id < induced.size(); ++id) {
+      const AtomView a = induced.view(id);
+      args.assign(a.begin(), a.end());
+      for (Term& t : args) t = node.to_unraveled.at(t);
+      out.instance.Add(Atom(a.predicate(), args));
     }
   };
   emit_atoms(nodes[0]);
@@ -198,8 +205,9 @@ Result<Unraveling> GuardedUnravel(const Instance& instance,
     if (nodes[v].depth >= depth) continue;
     // Children: one per instance atom overlapping the bag that brings new
     // elements.
-    for (const Atom& a : instance.atoms()) {
-      std::set<Term> guard_set(a.args.begin(), a.args.end());
+    for (AtomId id = 0; id < instance.size(); ++id) {
+      const AtomView a = instance.view(id);
+      std::set<Term> guard_set(a.begin(), a.end());
       bool overlaps = false;
       bool adds_new = false;
       for (const Term& t : guard_set) {
@@ -333,11 +341,12 @@ Result<EncodedTree> EncodeCTree(const Instance& instance,
       if (core_terms.count(t) > 0) label.core_names.insert(name);
     }
     Instance induced = instance.InducedBy(decomposition.bags[v]);
-    for (const Atom& a : induced.atoms()) {
+    for (AtomId id = 0; id < induced.size(); ++id) {
+      const AtomView a = induced.view(id);
       std::vector<int> names;
-      names.reserve(a.args.size());
-      for (const Term& t : a.args) names.push_back(naming[v].at(t));
-      label.atoms.insert({a.predicate, std::move(names)});
+      names.reserve(a.arity());
+      for (const Term& t : a) names.push_back(naming[v].at(t));
+      label.atoms.insert({a.predicate(), std::move(names)});
     }
   }
   return tree;

@@ -35,7 +35,10 @@ std::string EngineStats::ToString() const {
       " subsumption_prunes=", rewrite.subsumption_prunes, "\n",
       "  hom search:  searches=", hom.searches, " steps=", hom.steps,
       " candidates_scanned=", hom.candidates_scanned,
-      " budget_exhaustions=", hom.budget_exhaustions, "\n",
+      " budget_exhaustions=", hom.budget_exhaustions,
+      " postings_intersections=", hom.postings_intersections,
+      " candidates_pruned_by_intersection=",
+      hom.candidates_pruned_by_intersection, "\n",
       "  chase:       steps=", chase_steps,
       " atoms_derived=", chase_atoms_derived,
       " max_level=", chase_max_level,

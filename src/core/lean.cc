@@ -79,14 +79,17 @@ Result<TreeDecomposition> BuildLeanDecomposition(
   while (!frontier.empty()) {
     Term current = frontier.front();
     frontier.pop();
-    // Binary atoms incident to `current`.
-    for (const Atom& atom : database.atoms()) {
-      if (atom.args.size() != 2) continue;
+    // Binary atoms incident to `current` (arena views — this loop runs
+    // once per discovered term, so materializing every atom each visit
+    // made the BFS quadratic in allocations).
+    for (AtomId id = 0; id < database.size(); ++id) {
+      const AtomView atom = database.view(id);
+      if (atom.arity() != 2) continue;
       Term other;
-      if (atom.args[0] == current) {
-        other = atom.args[1];
-      } else if (atom.args[1] == current) {
-        other = atom.args[0];
+      if (atom.arg(0) == current) {
+        other = atom.arg(1);
+      } else if (atom.arg(1) == current) {
+        other = atom.arg(0);
       } else {
         continue;
       }
@@ -108,7 +111,7 @@ Result<TreeDecomposition> BuildLeanDecomposition(
         if (!both_core && !parent_child) {
           return Status::InvalidArgument(
               StrCat("the database is not tree-shaped outside the core: ",
-                     atom.ToString(), " closes a cycle"));
+                     atom.Materialize().ToString(), " closes a cycle"));
         }
         continue;
       }
@@ -151,17 +154,18 @@ std::map<Term, int> DistanceFromRoot(const TreeDecomposition& decomposition,
 DistanceSplit SplitByDistance(const Database& database,
                               const std::map<Term, int>& distance, int k) {
   DistanceSplit split;
-  for (const Atom& atom : database.atoms()) {
+  for (AtomId id = 0; id < database.size(); ++id) {
+    const AtomView atom = database.view(id);
     bool all_near = true;
     bool all_far = true;
-    for (const Term& t : atom.args) {
+    for (const Term& t : atom) {
       auto it = distance.find(t);
       int d = it == distance.end() ? 0 : it->second;
       if (d > k) all_near = false;
       if (d <= k) all_far = false;
     }
-    if (all_near) split.near.Add(atom);
-    if (all_far) split.far.Add(atom);
+    if (all_near) split.near.AddView(atom);
+    if (all_far) split.far.AddView(atom);
   }
   return split;
 }

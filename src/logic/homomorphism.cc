@@ -4,6 +4,7 @@
 #include <set>
 
 #include "base/governor.h"
+#include "logic/postings_kernels.h"
 
 namespace omqc {
 namespace {
@@ -18,41 +19,103 @@ int BoundArgs(const Atom& atom, const Substitution& sub) {
   return bound;
 }
 
-/// The candidate atom ids in `target` that may match `atom` under `sub`:
-/// the most selective available index, i.e. the smallest postings list
-/// over ALL bound argument positions (not merely the first one — see
-/// HomomorphismTest.CandidatesUseMostSelectiveIndex). Ids, not atoms: the
-/// arena is bound against in place via target.view(id).
-const std::vector<AtomId>& Candidates(const Atom& atom,
-                                      const Substitution& sub,
-                                      const Instance& target) {
-  const std::vector<AtomId>* best = nullptr;
-  for (size_t i = 0; i < atom.args.size(); ++i) {
-    const Term& t = atom.args[i];
-    Term image = t.IsVariable() ? sub.Apply(t) : t;
-    if (image.IsVariable()) continue;
-    const std::vector<AtomId>& list =
-        target.IdsWithArg(atom.predicate, static_cast<int>(i), image);
-    if (best == nullptr || list.size() < best->size()) best = &list;
-    if (best->empty()) break;  // cannot get more selective
-  }
-  return best != nullptr ? *best : target.IdsWith(atom.predicate);
-}
+/// Per-recursion-depth swap space for the k-way candidate intersection.
+/// The buffers live in SearchState (one set per depth, reused across the
+/// whole search) so the hot loop never allocates once warmed up.
+struct IntersectScratch {
+  std::vector<const std::vector<AtomId>*> lists;
+  std::vector<AtomId> result;
+  std::vector<AtomId> tmp;
+};
 
 struct SearchState {
+  SearchState(const Instance& target_,
+              const std::function<bool(const Substitution&)>& visitor_,
+              size_t max_steps_, ResourceGovernor* governor_)
+      : target(target_), visitor(visitor_), max_steps(max_steps_),
+        governor(governor_) {}
+
   const Instance& target;
   const std::function<bool(const Substitution&)>& visitor;
   size_t max_steps;
   ResourceGovernor* governor = nullptr;
   size_t steps = 0;
   size_t candidates_scanned = 0;
+  size_t postings_intersections = 0;
+  size_t candidates_pruned_by_intersection = 0;
   bool visitor_stop = false;  // visitor requested stop
   bool exhausted = false;     // max_steps budget or governor trip
   /// Undo trail of freshly bound variables, shared across the recursion:
   /// each frame remembers its watermark and unwinds back to it, so no
   /// per-candidate vector is ever allocated.
   std::vector<Term> trail;
+  /// Intersection buffers, indexed by recursion depth (= atoms matched so
+  /// far). Grown lazily; inner heap buffers survive outer resizes, so
+  /// pointers into `result.data()` stay valid across deeper recursion.
+  std::vector<IntersectScratch> scratch;
+
+  IntersectScratch& ScratchAt(size_t depth) {
+    if (scratch.size() <= depth) scratch.resize(depth + 1);
+    return scratch[depth];
+  }
 };
+
+/// The candidate set for one atom under the current bindings. Two layouts:
+/// an id list into the target's arena (selective indexes, intersections),
+/// or the full predicate postings swept through the packed predicate-major
+/// mirror (no bound position at all).
+struct CandidateSet {
+  const AtomId* ids = nullptr;  ///< id-list mode; null in packed mode
+  size_t count = 0;
+  bool packed = false;  ///< sweep Instance::Postings(predicate) instead
+};
+
+/// Builds the candidate set for `atom` under `sub`, intersecting the
+/// postings of ALL bound argument positions (multiplicative pruning; the
+/// pre-kernel code scanned the single smallest list). A bound position
+/// with an empty postings list refutes the atom outright: the empty set is
+/// returned immediately and the caller skips even its governor probe.
+CandidateSet BuildCandidates(const Atom& atom, const Substitution& sub,
+                             SearchState& state, size_t depth) {
+  IntersectScratch& scratch = state.ScratchAt(depth);
+  scratch.lists.clear();
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& t = atom.args[i];
+    Term image = t.IsVariable() ? sub.Apply(t) : t;
+    if (image.IsVariable()) continue;
+    const std::vector<AtomId>& list =
+        state.target.IdsWithArg(atom.predicate, static_cast<int>(i), image);
+    if (list.empty()) return CandidateSet{};  // bound position refutes
+    scratch.lists.push_back(&list);
+  }
+  if (scratch.lists.empty()) {
+    // No bound position: full-predicate sweep over the packed mirror.
+    CandidateSet set;
+    set.packed = true;
+    set.count = state.target.Postings(atom.predicate).size();
+    return set;
+  }
+  if (scratch.lists.size() == 1) {
+    return CandidateSet{scratch.lists[0]->data(), scratch.lists[0]->size(),
+                        false};
+  }
+  const size_t smallest =
+      (*std::min_element(scratch.lists.begin(), scratch.lists.end(),
+                         [](const std::vector<AtomId>* x,
+                            const std::vector<AtomId>* y) {
+                           return x->size() < y->size();
+                         }))
+          ->size();
+  IntersectPostingsKWay(scratch.lists, scratch.result, scratch.tmp);
+  ++state.postings_intersections;
+  state.candidates_pruned_by_intersection += smallest - scratch.result.size();
+  return CandidateSet{scratch.result.data(), scratch.result.size(), false};
+}
+
+/// Prefetch lookahead inside candidate id loops: far enough to cover the
+/// arena load latency, near enough that the line is still resident when
+/// the loop reaches it.
+constexpr size_t kScanPrefetchDistance = 8;
 
 /// Stride of governor probes inside the backtracking loop: frequent enough
 /// to bound overrun (~64 cheap steps), rare enough that the relaxed atomic
@@ -92,11 +155,6 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
     state.exhausted = true;
     return false;
   }
-  if (state.governor != nullptr && state.steps % kGovernorStride == 0 &&
-      !state.governor->Check().ok()) {
-    state.exhausted = true;
-    return false;
-  }
   if (remaining.empty()) {
     if (!state.visitor(sub)) state.visitor_stop = true;
     return true;
@@ -117,18 +175,52 @@ bool Search(const std::vector<Atom>& atoms, std::vector<size_t>& remaining,
   const Atom& atom = atoms[atom_index];
 
   bool found = false;
-  const size_t trail_mark = state.trail.size();
-  for (AtomId candidate_id : Candidates(atom, sub, state.target)) {
-    ++state.candidates_scanned;
-    AtomView candidate = state.target.view(candidate_id);
-    if (TryMatch(atom, candidate, sub, state.trail)) {
-      if (Search(atoms, remaining, sub, state)) found = true;
+  const size_t depth = atoms.size() - remaining.size();
+  CandidateSet cands = BuildCandidates(atom, sub, state, depth);
+  if (cands.count != 0) {
+    // The governor is probed only for candidate sets with work in them:
+    // an empty set (e.g. a bound position with no postings) returns
+    // without paying for the probe.
+    if (state.governor != nullptr && state.steps % kGovernorStride == 0 &&
+        !state.governor->Check().ok()) {
+      state.exhausted = true;
+      remaining.push_back(atom_index);
+      std::swap(remaining[best_pos], remaining.back());
+      return false;
     }
-    while (state.trail.size() > trail_mark) {
-      sub.Unbind(state.trail.back());
-      state.trail.pop_back();
+    const size_t trail_mark = state.trail.size();
+    if (cands.packed) {
+      // Unindexed fallback: sweep the predicate through its packed
+      // predicate-major mirror — one linear read, no arena striding.
+      PostingsSpan span = state.target.Postings(atom.predicate);
+      for (size_t j = 0; j < cands.count; ++j) {
+        ++state.candidates_scanned;
+        if (TryMatch(atom, span.view(j), sub, state.trail)) {
+          if (Search(atoms, remaining, sub, state)) found = true;
+        }
+        while (state.trail.size() > trail_mark) {
+          sub.Unbind(state.trail.back());
+          state.trail.pop_back();
+        }
+        if (state.visitor_stop || state.exhausted) break;
+      }
+    } else {
+      for (size_t j = 0; j < cands.count; ++j) {
+        if (j + kScanPrefetchDistance < cands.count) {
+          state.target.PrefetchTerms(cands.ids[j + kScanPrefetchDistance]);
+        }
+        ++state.candidates_scanned;
+        AtomView candidate = state.target.view(cands.ids[j]);
+        if (TryMatch(atom, candidate, sub, state.trail)) {
+          if (Search(atoms, remaining, sub, state)) found = true;
+        }
+        while (state.trail.size() > trail_mark) {
+          sub.Unbind(state.trail.back());
+          state.trail.pop_back();
+        }
+        if (state.visitor_stop || state.exhausted) break;
+      }
     }
-    if (state.visitor_stop || state.exhausted) break;
   }
 
   remaining.push_back(atom_index);
@@ -145,15 +237,16 @@ HomSearchOutcome RunSearch(
   Substitution sub = seed;
   std::vector<size_t> remaining(atoms.size());
   for (size_t i = 0; i < atoms.size(); ++i) remaining[i] = i;
-  SearchState state{target, visitor, options.max_steps, options.governor,
-                    0,      0,       false,             false,
-                    {}};
+  SearchState state(target, visitor, options.max_steps, options.governor);
   bool found = Search(atoms, remaining, sub, state);
   if (found_any != nullptr) *found_any = found;
   if (options.counters != nullptr) {
     ++options.counters->searches;
     options.counters->steps += state.steps;
     options.counters->candidates_scanned += state.candidates_scanned;
+    options.counters->postings_intersections += state.postings_intersections;
+    options.counters->candidates_pruned_by_intersection +=
+        state.candidates_pruned_by_intersection;
     if (state.exhausted) ++options.counters->budget_exhaustions;
   }
   if (found) return HomSearchOutcome::kFound;
@@ -217,9 +310,7 @@ void PinnedImpl(const std::vector<Atom>& atoms, size_t pinned_index,
   for (size_t i = 0; i < atoms.size(); ++i) {
     if (i != pinned_index) remaining.push_back(i);
   }
-  SearchState state{target, visitor, /*max_steps=*/0, options.governor,
-                    0,      0,       false,           false,
-                    {}};
+  SearchState state(target, visitor, /*max_steps=*/0, options.governor);
   for (size_t c = 0; c < count; ++c) {
     AtomView candidate = view_at(c);
     if (candidate.predicate() != pinned.predicate) continue;
@@ -244,6 +335,9 @@ void PinnedImpl(const std::vector<Atom>& atoms, size_t pinned_index,
     ++options.counters->searches;
     options.counters->steps += state.steps;
     options.counters->candidates_scanned += state.candidates_scanned;
+    options.counters->postings_intersections += state.postings_intersections;
+    options.counters->candidates_pruned_by_intersection +=
+        state.candidates_pruned_by_intersection;
     if (state.exhausted) ++options.counters->budget_exhaustions;
   }
 }
@@ -268,10 +362,26 @@ void ForEachHomomorphismPinned(
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& visitor,
     const HomomorphismOptions& options) {
+  ForEachHomomorphismPinned(atoms, pinned_index, pinned_ids.data(),
+                            pinned_ids.size(), target, seed, visitor,
+                            options);
+}
+
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const AtomId* pinned_ids, size_t pinned_count, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options) {
   PinnedImpl(
-      atoms, pinned_index, pinned_ids.size(),
-      [&](size_t c) { return target.view(pinned_ids[c]); }, target, seed,
-      visitor, options);
+      atoms, pinned_index, pinned_count,
+      [&](size_t c) {
+        if (c + kScanPrefetchDistance < pinned_count) {
+          target.PrefetchTerms(pinned_ids[c + kScanPrefetchDistance]);
+        }
+        return target.view(pinned_ids[c]);
+      },
+      target, seed, visitor, options);
 }
 
 std::vector<std::vector<Term>> EvaluateCQ(const ConjunctiveQuery& q,

@@ -2,10 +2,15 @@
 //
 // The evaluator is a backtracking join over the instance's per-predicate and
 // per-(predicate,position,term) indexes, picking at each step the body atom
-// with the most bound arguments (most-constrained-first) and, per atom, the
-// smallest candidate list over all bound argument positions. This is the
-// workhorse behind chase applicability checks, certain-answer computation,
-// CQ containment and the small-witness containment algorithm.
+// with the most bound arguments (most-constrained-first). Per atom, the
+// candidate set is the k-way sorted-postings INTERSECTION over all bound
+// argument positions (src/logic/postings_kernels.h): candidates shrink
+// multiplicatively with each bound position instead of scanning the single
+// smallest list, any empty bound position refutes the atom outright, and a
+// fully unbound atom sweeps the predicate through its packed predicate-major
+// postings (Instance::Postings). This is the workhorse behind chase
+// applicability checks, certain-answer computation, CQ containment and the
+// small-witness containment algorithm.
 //
 // Budget semantics: a bounded search (max_steps > 0) has THREE outcomes —
 // found / exhaustively refuted / stopped at the budget. The tri-state
@@ -41,12 +46,22 @@ struct HomCounters {
   size_t candidates_scanned = 0;
   /// Searches that stopped at their max_steps budget.
   size_t budget_exhaustions = 0;
+  /// k-way sorted-postings intersections performed (one per candidate set
+  /// built from >= 2 bound argument positions).
+  size_t postings_intersections = 0;
+  /// Candidates the intersection removed relative to the single smallest
+  /// postings list (the pre-kernel heuristic's scan set): the atoms the
+  /// backtracking loop never had to touch.
+  size_t candidates_pruned_by_intersection = 0;
 
   void Merge(const HomCounters& other) {
     searches += other.searches;
     steps += other.steps;
     candidates_scanned += other.candidates_scanned;
     budget_exhaustions += other.budget_exhaustions;
+    postings_intersections += other.postings_intersections;
+    candidates_pruned_by_intersection +=
+        other.candidates_pruned_by_intersection;
   }
 };
 
@@ -122,6 +137,17 @@ void ForEachHomomorphismPinned(
 void ForEachHomomorphismPinned(
     const std::vector<Atom>& atoms, size_t pinned_index,
     const std::vector<AtomId>& pinned_ids, const Instance& target,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visitor,
+    const HomomorphismOptions& options = HomomorphismOptions());
+
+/// Raw-range variant of the id-based pinned enumeration: `pinned_ids`
+/// points at `pinned_count` sorted arena ids of `target`. The chase hands
+/// in subranges of the per-predicate postings directly (its delta window
+/// is a contiguous id range — see PostingsIdRange), with no copy.
+void ForEachHomomorphismPinned(
+    const std::vector<Atom>& atoms, size_t pinned_index,
+    const AtomId* pinned_ids, size_t pinned_count, const Instance& target,
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& visitor,
     const HomomorphismOptions& options = HomomorphismOptions());

@@ -14,9 +14,36 @@ const std::vector<AtomId>& EmptyIdVector() {
   static const std::vector<AtomId>* empty = new std::vector<AtomId>();
   return *empty;
 }
+
+const PredicatePostings& EmptyPostings() {
+  static const PredicatePostings* empty = new PredicatePostings();
+  return *empty;
+}
+
+/// Pipeline depth of the batched Add/Contains paths: hashes are computed
+/// and dedup slots prefetched this many atoms ahead of the probe. Deep
+/// enough to overlap a memory access, shallow enough that the hash ring
+/// stays register/L1-resident.
+constexpr size_t kProbePipeline = 8;
 }  // namespace
 
-Instance::AddOutcome Instance::AddView(AtomView view) {
+std::optional<AtomId> Instance::ProbeHashed(AtomView v, size_t hash) const {
+  if (slots_.empty()) return std::nullopt;
+  const size_t mask = slots_.size() - 1;
+  const uint16_t tag = TagOf(hash);
+  size_t idx = hash & mask;
+  while (slots_[idx] != kEmptySlot) {
+    // The tag rejects nearly all non-matching chain entries without the
+    // dependent record/pool loads behind view().
+    if (slot_tags_[idx] == tag && view(slots_[idx]) == v) {
+      return slots_[idx];
+    }
+    idx = (idx + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+Instance::AddOutcome Instance::AddViewHashed(AtomView view, size_t hash) {
   assert(view.predicate().valid() && "Add of an atom with an invalid "
                                      "(default-constructed) predicate");
 #ifndef NDEBUG
@@ -32,18 +59,30 @@ Instance::AddOutcome Instance::AddView(AtomView view) {
     Rehash(slots_.empty() ? 16 : slots_.size() * 2);
   }
   const size_t mask = slots_.size() - 1;
-  size_t idx = view.hash() & mask;
+  const uint16_t tag = TagOf(hash);
+  size_t idx = hash & mask;
   while (slots_[idx] != kEmptySlot) {
-    if (this->view(slots_[idx]) == view) return {slots_[idx], false};
+    if (slot_tags_[idx] == tag && this->view(slots_[idx]) == view) {
+      return {slots_[idx], false};
+    }
     idx = (idx + 1) & mask;
   }
   const AtomId id = static_cast<AtomId>(records_.size());
   slots_[idx] = id;
+  slot_tags_[idx] = tag;
   records_.push_back(AtomRecord{view.predicate(),
                                 static_cast<uint32_t>(term_pool_.size()),
                                 static_cast<uint8_t>(view.arity())});
   term_pool_.insert(term_pool_.end(), view.begin(), view.end());
-  by_predicate_[view.predicate().id()].push_back(id);
+  PredicatePostings& postings = by_predicate_[view.predicate().id()];
+  if (postings.ids.empty()) {
+    postings.uniform_arity = static_cast<uint32_t>(view.arity());
+  } else if (postings.uniform_arity != view.arity()) {
+    postings.uniform_arity = PredicatePostings::kMixedArity;
+  }
+  postings.ids.push_back(id);
+  postings.begins.push_back(static_cast<uint32_t>(postings.terms.size()));
+  postings.terms.insert(postings.terms.end(), view.begin(), view.end());
   for (size_t i = 0; i < view.arity(); ++i) {
     by_arg_[ArgKey{view.predicate().id(), static_cast<int>(i), view.arg(i)}]
         .push_back(id);
@@ -51,37 +90,108 @@ Instance::AddOutcome Instance::AddView(AtomView view) {
   return {id, true};
 }
 
+Instance::AddOutcome Instance::AddView(AtomView view) {
+  return AddViewHashed(view, view.hash());
+}
+
 void Instance::Rehash(size_t new_size) {
   slots_.assign(new_size, kEmptySlot);
+  slot_tags_.assign(new_size, 0);
   const size_t mask = new_size - 1;
   for (AtomId id = 0; id < records_.size(); ++id) {
-    size_t idx = view(id).hash() & mask;
+    const size_t hash = view(id).hash();
+    size_t idx = hash & mask;
     while (slots_[idx] != kEmptySlot) idx = (idx + 1) & mask;
     slots_[idx] = id;
+    slot_tags_[idx] = TagOf(hash);
   }
 }
 
 std::optional<AtomId> Instance::FindId(AtomView v) const {
-  if (slots_.empty()) return std::nullopt;
-  const size_t mask = slots_.size() - 1;
-  size_t idx = v.hash() & mask;
-  while (slots_[idx] != kEmptySlot) {
-    if (view(slots_[idx]) == v) return slots_[idx];
-    idx = (idx + 1) & mask;
-  }
-  return std::nullopt;
+  return ProbeHashed(v, v.hash());
 }
 
 void Instance::AddAll(const Instance& other) {
   if (&other == this) return;
-  for (AtomId id = 0; id < other.records_.size(); ++id) {
-    AddView(other.view(id));
+  // Same software pipeline as AddBatch: hash ahead, prefetch the slot
+  // lines, probe behind. (Each insert may rehash or reallocate, so the
+  // prefetches are hints against the CURRENT table — stale hints after a
+  // rehash are harmless and rehashes are O(log n) many.)
+  size_t hashes[kProbePipeline];
+  const size_t n = other.records_.size();
+  const size_t lead = std::min(n, kProbePipeline);
+  for (size_t i = 0; i < lead; ++i) {
+    hashes[i] = other.view(static_cast<AtomId>(i)).hash();
+    PrefetchSlot(hashes[i]);
   }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kProbePipeline < n) {
+      const size_t h =
+          other.view(static_cast<AtomId>(i + kProbePipeline)).hash();
+      hashes[(i + kProbePipeline) % kProbePipeline] = h;
+      PrefetchSlot(h);
+    }
+    AddViewHashed(other.view(static_cast<AtomId>(i)),
+                  hashes[i % kProbePipeline]);
+  }
+}
+
+size_t Instance::AddBatch(const std::vector<Atom>& atoms) {
+  size_t hashes[kProbePipeline];
+  const size_t n = atoms.size();
+  const size_t lead = std::min(n, kProbePipeline);
+  for (size_t i = 0; i < lead; ++i) {
+    hashes[i] = ViewOf(atoms[i]).hash();
+    PrefetchSlot(hashes[i]);
+  }
+  size_t inserted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kProbePipeline < n) {
+      const size_t h = ViewOf(atoms[i + kProbePipeline]).hash();
+      hashes[(i + kProbePipeline) % kProbePipeline] = h;
+      PrefetchSlot(h);
+    }
+    if (AddViewHashed(ViewOf(atoms[i]), hashes[i % kProbePipeline])
+            .inserted) {
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+size_t Instance::CountContained(const std::vector<Atom>& atoms) const {
+  size_t hashes[kProbePipeline];
+  const size_t n = atoms.size();
+  const size_t lead = std::min(n, kProbePipeline);
+  for (size_t i = 0; i < lead; ++i) {
+    hashes[i] = ViewOf(atoms[i]).hash();
+    PrefetchSlot(hashes[i]);
+  }
+  size_t contained = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kProbePipeline < n) {
+      const size_t h = ViewOf(atoms[i + kProbePipeline]).hash();
+      hashes[(i + kProbePipeline) % kProbePipeline] = h;
+      PrefetchSlot(h);
+    }
+    if (ProbeHashed(ViewOf(atoms[i]), hashes[i % kProbePipeline])
+            .has_value()) {
+      ++contained;
+    }
+  }
+  return contained;
 }
 
 const std::vector<AtomId>& Instance::IdsWith(Predicate p) const {
   auto it = by_predicate_.find(p.id());
-  return it == by_predicate_.end() ? EmptyIdVector() : it->second;
+  return it == by_predicate_.end() ? EmptyIdVector() : it->second.ids;
+}
+
+PostingsSpan Instance::Postings(Predicate p) const {
+  auto it = by_predicate_.find(p.id());
+  return PostingsSpan(p,
+                      it == by_predicate_.end() ? &EmptyPostings()
+                                                : &it->second);
 }
 
 const std::vector<AtomId>& Instance::IdsWithArg(Predicate p, int position,
@@ -123,8 +233,10 @@ std::vector<Term> Instance::ActiveDomainConstants() const {
 
 Schema Instance::InducedSchema() const {
   Schema schema;
-  for (const auto& [pred_id, ids] : by_predicate_) {
-    if (!ids.empty()) schema.Add(records_[ids.front()].predicate);
+  for (const auto& [pred_id, postings] : by_predicate_) {
+    if (!postings.ids.empty()) {
+      schema.Add(records_[postings.ids.front()].predicate);
+    }
   }
   return schema;
 }

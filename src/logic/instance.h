@@ -12,6 +12,14 @@
 // insertion order) is a postings list of 32-bit atom ids. Hot paths read
 // atoms as AtomView spans via `view(id)` / `IdsWith*`; the materializing
 // accessors (`atoms()`, `AtomsWith*`) copy and are for cold paths only.
+//
+// Full-predicate sweeps additionally get a predicate-MAJOR mirror of the
+// terms (DESIGN.md "Postings kernels"): each predicate's postings carry a
+// packed copy of their atoms' arguments, appended at Add time, so a sweep
+// over one predicate is a single linear read instead of a stride through
+// the interleaved shared pool. `Postings(p)` exposes that layout as a
+// PostingsSpan; it is what the homomorphism engine's unindexed fallback
+// and the scan benches iterate.
 
 #ifndef OMQC_LOGIC_INSTANCE_H_
 #define OMQC_LOGIC_INSTANCE_H_
@@ -33,14 +41,66 @@ using AtomId = uint32_t;
 
 class AtomRange;
 
+/// One predicate's postings: the atom ids (ascending — ids are assigned in
+/// insertion order) plus a predicate-major packed mirror of the atoms'
+/// argument terms. `terms` holds entry j's arguments contiguously starting
+/// at `begins[j]`; a full sweep over the predicate therefore reads one
+/// flat array front to back, never striding the shared arena.
+struct PredicatePostings {
+  /// Sentinel for `uniform_arity`: entries have differing arities (only
+  /// possible for hand-built atoms whose argument count disagrees across
+  /// inserts) and views must go through `begins`.
+  static constexpr uint32_t kMixedArity = 0xFFFFFFFFu;
+
+  std::vector<AtomId> ids;
+  std::vector<uint32_t> begins;  ///< parallel to ids; start offset in terms
+  std::vector<Term> terms;       ///< packed predicate-major term mirror
+  /// Common arity of every entry, or kMixedArity. In the (ubiquitous)
+  /// uniform case entry j's terms sit at j * uniform_arity, so a sweep is
+  /// pure pointer arithmetic over `terms` with no index loads.
+  uint32_t uniform_arity = kMixedArity;
+};
+
+/// Zero-copy view over one predicate's postings in insertion order.
+/// Views returned by `view(j)` point into the packed mirror and are
+/// invalidated by the next Add, exactly like Instance::view spans.
+class PostingsSpan {
+ public:
+  PostingsSpan(Predicate p, const PredicatePostings* postings)
+      : predicate_(p), postings_(postings),
+        stride_(postings->uniform_arity) {}
+
+  Predicate predicate() const { return predicate_; }
+  size_t size() const { return postings_->ids.size(); }
+  bool empty() const { return postings_->ids.empty(); }
+  AtomId id(size_t j) const { return postings_->ids[j]; }
+  const std::vector<AtomId>& ids() const { return postings_->ids; }
+
+  /// Entry j as a span into the packed predicate-major mirror.
+  AtomView view(size_t j) const {
+    if (stride_ != PredicatePostings::kMixedArity) {
+      return AtomView(predicate_, postings_->terms.data() + j * stride_,
+                      stride_);
+    }
+    const uint32_t b = postings_->begins[j];
+    const uint32_t e = j + 1 < postings_->begins.size()
+                           ? postings_->begins[j + 1]
+                           : static_cast<uint32_t>(postings_->terms.size());
+    return AtomView(predicate_, postings_->terms.data() + b, e - b);
+  }
+
+ private:
+  Predicate predicate_;
+  const PredicatePostings* postings_;
+  size_t stride_;  ///< uniform arity snapshot, or kMixedArity
+};
+
 /// A finite set of atoms with lookup indexes. Append-only plus bulk ops;
 /// atom identity is set semantics (duplicates are ignored).
 class Instance {
  public:
   Instance() = default;
-  explicit Instance(const std::vector<Atom>& atoms) {
-    for (const Atom& a : atoms) Add(a);
-  }
+  explicit Instance(const std::vector<Atom>& atoms) { AddBatch(atoms); }
 
   /// Outcome of an insert: the atom's id (fresh or pre-existing) and
   /// whether the insert actually extended the instance.
@@ -58,6 +118,16 @@ class Instance {
   bool Add(const Atom& atom) { return AddView(ViewOf(atom)).inserted; }
   /// Inserts all atoms of `other`.
   void AddAll(const Instance& other);
+
+  /// Bulk insert with batched dedup probes: hashes are computed a few
+  /// atoms ahead and the dedup slots prefetched before they are probed, so
+  /// the table's cache misses overlap instead of serializing. Returns the
+  /// number of atoms actually inserted (duplicates are skipped as in Add).
+  size_t AddBatch(const std::vector<Atom>& atoms);
+
+  /// Batched membership: how many of `atoms` are present. Same pipelined
+  /// hash/prefetch schedule as AddBatch, for probe-heavy callers.
+  size_t CountContained(const std::vector<Atom>& atoms) const;
 
   bool Contains(AtomView view) const { return FindId(view).has_value(); }
   bool Contains(const Atom& atom) const { return Contains(ViewOf(atom)); }
@@ -91,6 +161,22 @@ class Instance {
   /// none). The homomorphism engine's fallback candidate list.
   const std::vector<AtomId>& IdsWith(Predicate p) const;
 
+  /// The predicate's postings as a packed predicate-major span: the
+  /// layout-aware way to sweep every atom of one predicate (the id loop
+  /// over IdsWith + view(id) strides the shared arena; this reads one
+  /// contiguous terms array). Empty span if the predicate is absent.
+  PostingsSpan Postings(Predicate p) const;
+
+  /// Prefetch hint: pulls the argument terms of atom `id` toward the
+  /// cache. Used by candidate scans that know their next few ids.
+  void PrefetchTerms(AtomId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(term_pool_.data() + records_[id].offset);
+#else
+    (void)id;
+#endif
+  }
+
   /// Ids of atoms with predicate `p` whose argument at `position` equals
   /// `t`. Backed by an index; O(result size).
   const std::vector<AtomId>& IdsWithArg(Predicate p, int position,
@@ -121,15 +207,18 @@ class Instance {
   std::vector<Instance> ConnectedComponents() const;
 
   /// Bytes held by the arena and the id-based indexes: term pool, atom
-  /// records, dedup slots and posting entries. O(1), exact for the data
-  /// proper (container bookkeeping overhead excluded); this is what the
-  /// chase charges against the governor's memory budget.
+  /// records, dedup slots (+ hash tags), posting entries and the
+  /// predicate-major term mirror. O(1), exact for the data proper
+  /// (container bookkeeping overhead excluded); this is what the chase
+  /// charges against the governor's memory budget.
   size_t MemoryBytes() const {
-    return term_pool_.size() * sizeof(Term) +
-           records_.size() * sizeof(AtomRecord) +
-           slots_.size() * sizeof(AtomId) +
-           // One by_predicate_ entry per atom, one by_arg_ entry per term.
-           (records_.size() + term_pool_.size()) * sizeof(AtomId);
+    // Per term occurrence: the pool entry, its mirror copy in the
+    // predicate-major postings, and one by_arg_ posting entry. Per atom:
+    // the record, one predicate posting id and one mirror begin offset.
+    return term_pool_.size() * (2 * sizeof(Term) + sizeof(AtomId)) +
+           records_.size() *
+               (sizeof(AtomRecord) + sizeof(AtomId) + sizeof(uint32_t)) +
+           slots_.size() * (sizeof(AtomId) + sizeof(uint16_t));
   }
 
   /// Multi-line listing "R(a,b). S(b)." sorted for stable output.
@@ -176,15 +265,46 @@ class Instance {
   /// (power of two).
   void Rehash(size_t new_size);
 
+  /// AddView with the atom's hash already computed (the batched paths
+  /// hash ahead of the probe to overlap the table's cache misses).
+  AddOutcome AddViewHashed(AtomView view, size_t hash);
+
+  /// The dedup slot holding an atom equal to `v` (hash precomputed), or
+  /// nullopt. Tags filter arena comparisons: a slot's terms are only
+  /// touched when its 16-bit hash fragment matches.
+  std::optional<AtomId> ProbeHashed(AtomView v, size_t hash) const;
+
+  /// Prefetches the dedup slot cache lines `hash` lands on.
+  void PrefetchSlot(size_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!slots_.empty()) {
+      const size_t idx = hash & (slots_.size() - 1);
+      __builtin_prefetch(slots_.data() + idx);
+      __builtin_prefetch(slot_tags_.data() + idx);
+    }
+#else
+    (void)hash;
+#endif
+  }
+
+  /// The 16-bit tag stored next to a slot: high hash bits (the table index
+  /// uses the low bits, so the tag adds independent discrimination).
+  static uint16_t TagOf(size_t hash) {
+    return static_cast<uint16_t>(hash >> 48);
+  }
+
   /// Arena: one flat term pool + one record per atom, in insertion order.
   std::vector<Term> term_pool_;
   std::vector<AtomRecord> records_;
   /// Dedup table: open addressing (linear probing, load factor <= 1/2)
   /// over atom ids, hashed/compared against the arena in place — Add and
-  /// Contains never materialize a temporary Atom.
+  /// Contains never materialize a temporary Atom. slot_tags_ carries a
+  /// 16-bit hash fragment per slot so probe chains reject mismatches
+  /// without the dependent load into records_/term_pool_.
   std::vector<AtomId> slots_;
-  /// Id postings, in insertion order.
-  std::unordered_map<int32_t, std::vector<AtomId>> by_predicate_;
+  std::vector<uint16_t> slot_tags_;
+  /// Id postings plus the predicate-major term mirror, in insertion order.
+  std::unordered_map<int32_t, PredicatePostings> by_predicate_;
   std::unordered_map<ArgKey, std::vector<AtomId>, ArgKeyHash> by_arg_;
 };
 

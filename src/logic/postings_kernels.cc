@@ -1,0 +1,174 @@
+#include "logic/postings_kernels.h"
+
+#include <algorithm>
+
+#if defined(OMQC_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace omqc {
+namespace {
+
+/// Length ratio beyond which the merge gallops through the longer list
+/// instead of stepping it linearly.
+constexpr size_t kGallopSkew = 16;
+
+/// Gallop kernel: for each element of the short list, doubling-search the
+/// long list. Preconditions as in the header.
+void IntersectGallop(const AtomId* small, size_t ns, const AtomId* large,
+                     size_t nl, std::vector<AtomId>& out) {
+  size_t lo = 0;
+  for (size_t i = 0; i < ns && lo < nl; ++i) {
+    const AtomId v = small[i];
+    // Doubling probe from the current frontier.
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < nl && large[hi] < v) {
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    if (hi > nl) hi = nl;
+    const AtomId* pos = std::lower_bound(large + lo, large + hi, v);
+    lo = static_cast<size_t>(pos - large);
+    if (lo < nl && large[lo] == v) {
+      out.push_back(v);
+      ++lo;
+    }
+  }
+}
+
+}  // namespace
+
+void IntersectPostingsScalar(const AtomId* a, size_t na, const AtomId* b,
+                             size_t nb, std::vector<AtomId>& out) {
+  if (na == 0 || nb == 0) return;
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (nb / na >= kGallopSkew) {
+    IntersectGallop(a, na, b, nb, out);
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const AtomId x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out.push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+#if defined(OMQC_SIMD_AVX2)
+
+namespace {
+
+/// AVX2 dense-merge kernel: per element of the (shorter) list a, one
+/// 8-lane compare against the current block of b, with whole-block skips
+/// when the block is exhausted — O(na + nb/8) vector steps. Skewed inputs
+/// are routed to the gallop kernel before this is reached.
+void IntersectAvx2(const AtomId* a, size_t na, const AtomId* b, size_t nb,
+                   std::vector<AtomId>& out) {
+  size_t i = 0, j = 0;
+  while (i < na && j + 8 <= nb) {
+    const AtomId v = a[i];
+    if (b[j + 7] < v) {
+      j += 8;  // the whole block is below v: skip it in one step
+      continue;
+    }
+    const __m256i vv = _mm256_set1_epi32(static_cast<int>(v));
+    const __m256i bb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int hit = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(vv, bb)));
+    if (hit != 0) out.push_back(v);
+    ++i;
+  }
+  // Scalar tail: fewer than 8 elements left in b (or a exhausted).
+  while (i < na && j < nb) {
+    const AtomId x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out.push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+bool CpuHasAvx2() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+}  // namespace
+
+bool PostingsSimdEnabled() { return CpuHasAvx2(); }
+
+void IntersectPostings(const AtomId* a, size_t na, const AtomId* b,
+                       size_t nb, std::vector<AtomId>& out) {
+  if (na == 0 || nb == 0) return;
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (nb / na >= kGallopSkew || !CpuHasAvx2()) {
+    IntersectPostingsScalar(a, na, b, nb, out);
+    return;
+  }
+  IntersectAvx2(a, na, b, nb, out);
+}
+
+#else  // !OMQC_SIMD_AVX2
+
+bool PostingsSimdEnabled() { return false; }
+
+void IntersectPostings(const AtomId* a, size_t na, const AtomId* b,
+                       size_t nb, std::vector<AtomId>& out) {
+  IntersectPostingsScalar(a, na, b, nb, out);
+}
+
+#endif  // OMQC_SIMD_AVX2
+
+void IntersectPostingsKWay(
+    std::vector<const std::vector<AtomId>*>& lists, std::vector<AtomId>& out,
+    std::vector<AtomId>& scratch) {
+  out.clear();
+  if (lists.empty()) return;
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<AtomId>* x, const std::vector<AtomId>* y) {
+              return x->size() < y->size();
+            });
+  if (lists.size() == 1) {
+    out.assign(lists[0]->begin(), lists[0]->end());
+    return;
+  }
+  IntersectPostings(lists[0]->data(), lists[0]->size(), lists[1]->data(),
+                    lists[1]->size(), out);
+  for (size_t k = 2; k < lists.size() && !out.empty(); ++k) {
+    scratch.swap(out);
+    out.clear();
+    IntersectPostings(scratch.data(), scratch.size(), lists[k]->data(),
+                      lists[k]->size(), out);
+  }
+}
+
+std::pair<const AtomId*, const AtomId*> PostingsIdRange(
+    const std::vector<AtomId>& ids, AtomId lo, AtomId hi) {
+  const AtomId* first = std::lower_bound(ids.data(), ids.data() + ids.size(),
+                                         lo);
+  const AtomId* last = std::lower_bound(first, ids.data() + ids.size(), hi);
+  return {first, last};
+}
+
+}  // namespace omqc

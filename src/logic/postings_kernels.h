@@ -1,0 +1,65 @@
+// Data-oriented kernels over Instance's id postings (DESIGN.md "Postings
+// kernels").
+//
+// Postings lists are sorted ascending (AtomIds are assigned in insertion
+// order and each list is appended in that order), duplicate-free, and
+// backed by contiguous arrays — the preconditions every kernel here
+// assumes. The kernels are deliberately dumb loops over flat data: the
+// layout work happens at Add time (predicate-major term mirror, packed id
+// lists), so the scans can be branch-light and SIMD-friendly.
+//
+// The SIMD intersection path is compiled when the build detects support
+// (CMake option OMQC_ENABLE_SIMD; sanitizer presets turn it off so both
+// code paths stay exercised) and additionally checks the running CPU, so
+// a binary built with the flag still works on older hardware. The scalar
+// kernels are always compiled and are the reference the tests compare
+// against.
+
+#ifndef OMQC_LOGIC_POSTINGS_KERNELS_H_
+#define OMQC_LOGIC_POSTINGS_KERNELS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "logic/instance.h"
+
+namespace omqc {
+
+/// True iff the SIMD intersection kernel is compiled in AND supported by
+/// the CPU this process runs on.
+bool PostingsSimdEnabled();
+
+/// Appends a ∩ b to `out` (both inputs sorted ascending, duplicate-free;
+/// the result is too). Scalar reference kernel: linear two-pointer merge,
+/// switching to galloping (doubling search in the longer list) when the
+/// lengths are skewed — cost O(min(na,nb) · log(max/min)) on skew,
+/// O(na + nb) otherwise.
+void IntersectPostingsScalar(const AtomId* a, size_t na, const AtomId* b,
+                             size_t nb, std::vector<AtomId>& out);
+
+/// Dispatching intersection: the SIMD kernel when available, else the
+/// scalar reference. Identical results by contract (tested).
+void IntersectPostings(const AtomId* a, size_t na, const AtomId* b,
+                       size_t nb, std::vector<AtomId>& out);
+
+/// k-way sorted intersection: folds `lists` smallest-first so the running
+/// result shrinks as fast as possible; stops early when it empties.
+/// `lists` is reordered (sorted by ascending size). `out` receives the
+/// result; `scratch` is caller-owned swap space so hot loops reuse
+/// capacity instead of allocating. Handles k = 0 (out left empty) and
+/// k = 1 (copy).
+void IntersectPostingsKWay(
+    std::vector<const std::vector<AtomId>*>& lists, std::vector<AtomId>& out,
+    std::vector<AtomId>& scratch);
+
+/// The contiguous subrange of sorted postings `ids` whose values v satisfy
+/// lo <= v < hi, as [first, last) pointers. The semi-naive chase's delta
+/// for one predicate is exactly this range with [lo, hi) the delta's
+/// arena-id window — no per-turn grouping pass or map required.
+std::pair<const AtomId*, const AtomId*> PostingsIdRange(
+    const std::vector<AtomId>& ids, AtomId lo, AtomId hi);
+
+}  // namespace omqc
+
+#endif  // OMQC_LOGIC_POSTINGS_KERNELS_H_

@@ -296,6 +296,7 @@ class Parser {
     for (const NamedQuery& nq : program.queries) {
       for (const Atom& a : nq.query.body) OMQC_RETURN_IF_ERROR(check(a));
     }
+    // Cold path (parse time): the materializing atoms() walk is fine.
     for (const Atom& a : program.facts.atoms()) {
       OMQC_RETURN_IF_ERROR(check(a));
     }
@@ -398,6 +399,7 @@ std::string SerializeProgram(const Program& program) {
                             [](const Atom& a) { return a.ToString(); });
     out += ".\n";
   }
+  // Cold path (serialization): materializing atoms() walk is fine.
   for (const Atom& fact : program.facts.atoms()) {
     out += fact.ToString();
     out += ".\n";

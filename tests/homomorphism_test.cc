@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/governor.h"
 #include "logic/homomorphism.h"
 #include "tgd/parser.h"
 
@@ -256,6 +257,57 @@ TEST(HomomorphismTest, CandidatesUseMostSelectiveIndex) {
   EXPECT_EQ(SearchHomomorphism(q.body, db, Substitution(), options),
             HomSearchOutcome::kFound);
   EXPECT_EQ(counters.candidates_scanned, 1u);
+}
+
+TEST(HomomorphismTest, EmptyBoundPostingsShortCircuitBeforeGovernor) {
+  // R(zz,X): the bound constant zz never occurs at position 0, so the
+  // (R, 0, zz) postings list is empty. BuildCandidates must refute the
+  // atom outright — no candidates scanned, no intersection run, and no
+  // governor probe burned on a search a single index lookup settles
+  // (regression: the old pick-smallest heuristic consulted the governor
+  // before discovering the scan set was empty).
+  Database db;
+  for (int i = 0; i < 200; ++i) {
+    db.Add(Atom::Make("R", {Term::Constant("a"),
+                            Term::Constant("b" + std::to_string(i))}));
+  }
+  ConjunctiveQuery q = Q("Q(X) :- R(zz,X)");
+  HomCounters counters;
+  ResourceGovernor governor;
+  HomomorphismOptions options;
+  options.counters = &counters;
+  options.governor = &governor;
+  EXPECT_EQ(SearchHomomorphism(q.body, db, Substitution(), options),
+            HomSearchOutcome::kNotFound);
+  EXPECT_EQ(counters.candidates_scanned, 0u);
+  EXPECT_EQ(counters.postings_intersections, 0u);
+  EXPECT_EQ(governor.counters().checks, 0u);
+}
+
+TEST(HomomorphismTest, IntersectionCountersPinned) {
+  // R(a,c) with both positions bound: position 0 matches 101 atoms,
+  // position 1 matches 3 (R(a,c), R(x1,c), R(x2,c)); the intersection is
+  // the single atom R(a,c). Exactly one k-way intersection runs, the
+  // backtracking loop touches exactly one candidate, and the pruning
+  // counter credits the 2 candidates the intersection removed relative to
+  // scanning the smallest list (the pre-kernel heuristic's scan set).
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    db.Add(Atom::Make("R", {Term::Constant("a"),
+                            Term::Constant("b" + std::to_string(i))}));
+  }
+  db.Add(Atom::Make("R", {Term::Constant("a"), Term::Constant("c")}));
+  db.Add(Atom::Make("R", {Term::Constant("x1"), Term::Constant("c")}));
+  db.Add(Atom::Make("R", {Term::Constant("x2"), Term::Constant("c")}));
+  ConjunctiveQuery q = Q("Q() :- R(a,c)");
+  HomCounters counters;
+  HomomorphismOptions options;
+  options.counters = &counters;
+  EXPECT_EQ(SearchHomomorphism(q.body, db, Substitution(), options),
+            HomSearchOutcome::kFound);
+  EXPECT_EQ(counters.postings_intersections, 1u);
+  EXPECT_EQ(counters.candidates_scanned, 1u);
+  EXPECT_EQ(counters.candidates_pruned_by_intersection, 2u);
 }
 
 TEST(TupleInAnswerTest, BudgetedTriState) {

@@ -229,6 +229,16 @@ class InstanceIndexConsistencyTest
       }
       EXPECT_EQ(inst.AtomsWith(p), brute);
       EXPECT_EQ(Enumerate(inst, p, AccessPath::kArenaViews), brute);
+      // The packed predicate-major mirror (Postings span) is a third copy
+      // of the same relation and must agree entry-for-entry, including
+      // the id it reports for each entry.
+      PostingsSpan span = inst.Postings(p);
+      ASSERT_EQ(span.size(), brute.size());
+      EXPECT_EQ(span.ids(), inst.IdsWith(p));
+      for (size_t j = 0; j < span.size(); ++j) {
+        EXPECT_EQ(span.view(j).Materialize(), brute[j]);
+        EXPECT_EQ(inst.view(span.id(j)), span.view(j));
+      }
       for (int pos = 0; pos < p.arity(); ++pos) {
         for (const Term& t : inst.ActiveDomain()) {
           std::vector<Atom> brute_arg;
@@ -287,6 +297,40 @@ TEST_P(InstanceIndexConsistencyTest, ChaseInstanceUnderParallelContainment) {
   ChaseResult chased = Chase(db, sigma).value();
   ASSERT_TRUE(chased.complete);
   CheckIndexes(chased.instance);
+}
+
+TEST_P(InstanceIndexConsistencyTest, HomomorphismVerdictsStableAcrossThreads) {
+  // A containment check whose query bodies join through multi-bound atoms,
+  // so candidate sets are built by the k-way postings intersection kernel.
+  // The verdict at GetParam() worker threads must equal the serial one,
+  // and the stats must show the kernel actually ran (intersections > 0) —
+  // a silent fallback to single-list scans would pass the verdict check
+  // without exercising the kernel at all.
+  Schema schema;
+  schema.Add(Predicate::Get("Edge", 2));
+  schema.Add(Predicate::Get("Tri", 3));
+  TgdSet sigma =
+      ParseTgds("Edge(X,Y), Edge(Y,Z) -> Tri(X,Y,Z).").value();
+  Omq q1{schema, sigma,
+         ParseQuery("Q(X) :- Tri(X,Y,Z), Edge(Z,X), Edge(Y,Z)").value()};
+  Omq q2{schema, sigma, ParseQuery("Q(X) :- Tri(X,Y,Z), Edge(Y,Z)").value()};
+  ContainmentOptions options;
+  options.num_threads = 1;
+  auto serial = CheckContainment(q1, q2, options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  options.num_threads = GetParam();
+  auto parallel = CheckContainment(q1, q2, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel->outcome, serial->outcome);
+  EXPECT_EQ(parallel->outcome, ContainmentOutcome::kContained);
+  EXPECT_GT(parallel->stats.hom.postings_intersections, 0u);
+  // The reverse direction must also agree across widths (and is the
+  // direction that actually has to refute candidate homomorphisms).
+  auto serial_rev = CheckContainment(q2, q1, options);
+  options.num_threads = 1;
+  auto parallel_rev = CheckContainment(q2, q1, options);
+  ASSERT_TRUE(serial_rev.ok() && parallel_rev.ok());
+  EXPECT_EQ(serial_rev->outcome, parallel_rev->outcome);
 }
 
 }  // namespace
