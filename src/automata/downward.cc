@@ -85,13 +85,16 @@ Result<Nta> DownwardToNta(const Twapa& automaton,
   nta.num_labels = automaton.num_labels;
 
   std::map<StateSet, int> state_id;
-  std::vector<StateSet> worklist;
-  auto intern = [&](const StateSet& s) {
+  // The worklist aliases the map's keys: node-based map keys are stable
+  // under further inserts, so growing the worklist never copies a set.
+  std::vector<const StateSet*> worklist;
+  auto intern = [&](StateSet s) {
     auto it = state_id.find(s);
     if (it != state_id.end()) return it->second;
     int id = static_cast<int>(state_id.size());
-    state_id.emplace(s, id);
-    worklist.push_back(s);
+    auto [slot, inserted] = state_id.emplace(std::move(s), id);
+    (void)inserted;
+    worklist.push_back(&slot->first);
     return id;
   };
   nta.initial_state = intern({automaton.initial_state});
@@ -104,8 +107,9 @@ Result<Nta> DownwardToNta(const Twapa& automaton,
       return Status::ResourceExhausted(
           StrCat("more than ", options.max_states, " obligation sets"));
     }
-    // Copy: intern() may grow the worklist.
-    StateSet obligations = worklist[next];
+    // No copy: the pointee lives in state_id's keys; intern() may grow
+    // the worklist vector but never moves the sets themselves.
+    const StateSet& obligations = *worklist[next];
     int from = state_id.at(obligations);
     for (int label = 0; label < automaton.num_labels; ++label) {
       if (options.governor != nullptr) {

@@ -1,0 +1,90 @@
+#include "automata/stateset.h"
+
+#include <cassert>
+
+namespace omqc {
+
+StateSetArena::StateSetArena(int num_states)
+    : num_states_(num_states),
+      words_per_set_(static_cast<size_t>((num_states + 63) / 64)) {
+  if (words_per_set_ == 0) words_per_set_ = 1;
+  scratch_.assign(words_per_set_, 0);
+}
+
+uint64_t StateSetArena::HashWords(const uint64_t* w, size_t n) {
+  // FNV-1a over the words; the hash-cons table masks the low bits.
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= w[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void StateSetArena::Rehash(size_t new_slots) {
+  slots_.assign(new_slots, kEmptySlot);
+  const size_t mask = new_slots - 1;
+  for (size_t id = 0; id < count_; ++id) {
+    uint64_t h = HashWords(words(static_cast<StateSetId>(id)), words_per_set_);
+    size_t idx = h & mask;
+    while (slots_[idx] != kEmptySlot) idx = (idx + 1) & mask;
+    slots_[idx] = static_cast<StateSetId>(id);
+  }
+}
+
+StateSetId StateSetArena::InternScratch() {
+  if ((count_ + 1) * 2 > slots_.size()) {
+    Rehash(slots_.empty() ? 64 : slots_.size() * 2);
+  }
+  const size_t mask = slots_.size() - 1;
+  const uint64_t h = HashWords(scratch_.data(), words_per_set_);
+  size_t idx = h & mask;
+  while (slots_[idx] != kEmptySlot) {
+    const uint64_t* existing = words(slots_[idx]);
+    bool equal = true;
+    for (size_t i = 0; i < words_per_set_; ++i) {
+      if (existing[i] != scratch_[i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return slots_[idx];
+    idx = (idx + 1) & mask;
+  }
+  const StateSetId id = static_cast<StateSetId>(count_);
+  slots_[idx] = id;
+  words_.insert(words_.end(), scratch_.begin(), scratch_.end());
+  ++count_;
+  return id;
+}
+
+StateSetId StateSetArena::InternSingleton(int state) {
+  assert(state >= 0 && state < num_states_);
+  for (uint64_t& w : scratch_) w = 0;
+  scratch_[static_cast<size_t>(state) / 64] |=
+      uint64_t{1} << (static_cast<size_t>(state) % 64);
+  return InternScratch();
+}
+
+StateSetId StateSetArena::InternUnion(const uint64_t* base, int extra) {
+  // Copy first: `base` may point into words_, which InternScratch can
+  // reallocate.
+  for (size_t i = 0; i < words_per_set_; ++i) scratch_[i] = base[i];
+  if (extra >= 0) {
+    assert(extra < num_states_);
+    scratch_[static_cast<size_t>(extra) / 64] |=
+        uint64_t{1} << (static_cast<size_t>(extra) % 64);
+  }
+  return InternScratch();
+}
+
+int StateSetArena::Popcount(StateSetId id) const {
+  const uint64_t* w = words(id);
+  int n = 0;
+  for (size_t i = 0; i < words_per_set_; ++i) {
+    n += __builtin_popcountll(w[i]);
+  }
+  return n;
+}
+
+}  // namespace omqc

@@ -1,0 +1,147 @@
+// Flat interned bitset state-sets and the subsumption antichain used by
+// the on-the-fly 2WAPA emptiness engine (automata/emptiness.h).
+//
+// The antichain construction manipulates obligation sets (subsets of the
+// automaton's states) by the million; representing them as std::set<int>
+// — one node allocation per element, pointer-chasing comparisons — is what
+// made the reference worklist construction the cost center. Here every
+// set is a fixed-width bitset of ceil(num_states/64) words living in ONE
+// flat arena vector, hash-consed on insert so each distinct set is stored
+// exactly once and is afterwards named by a dense 32-bit StateSetId. All
+// downstream bookkeeping (status memo, move tables, the antichain) indexes
+// by id; subset tests are a handful of AND/compare word ops on contiguous
+// memory.
+//
+// Invalidation: the arena's flat storage may reallocate on intern, so raw
+// word pointers obtained via words(id) are invalidated by the next
+// Intern*. Ids are stable forever. Callers that build a set while reading
+// another must copy into the scratch buffer first (InternUnion does).
+
+#ifndef OMQC_AUTOMATA_STATESET_H_
+#define OMQC_AUTOMATA_STATESET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace omqc {
+
+/// Dense name of an interned state set, assigned in first-seen order.
+using StateSetId = uint32_t;
+
+/// Hash-consing arena for fixed-width bitsets. All sets share one width
+/// (decided at construction from the automaton's state count).
+class StateSetArena {
+ public:
+  explicit StateSetArena(int num_states);
+
+  int num_states() const { return num_states_; }
+  size_t words_per_set() const { return words_per_set_; }
+  size_t size() const { return count_; }
+
+  /// Start of the words of set `id` (width words_per_set()). Invalidated
+  /// by the next Intern*.
+  const uint64_t* words(StateSetId id) const {
+    return words_.data() + static_cast<size_t>(id) * words_per_set_;
+  }
+
+  /// Interns the singleton {state}.
+  StateSetId InternSingleton(int state);
+
+  /// Interns base ∪ extra, where `base` is a word span of this arena's
+  /// width (typically a scratch buffer) and `extra` is one state (-1 for
+  /// none). Copies through the internal scratch, so `base` MAY point into
+  /// the arena itself.
+  StateSetId InternUnion(const uint64_t* base, int extra);
+
+  /// True iff set `a` ⊆ set `b`.
+  bool IsSubset(StateSetId a, StateSetId b) const {
+    const uint64_t* wa = words(a);
+    const uint64_t* wb = words(b);
+    for (size_t i = 0; i < words_per_set_; ++i) {
+      if ((wa[i] & ~wb[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of states in set `id`.
+  int Popcount(StateSetId id) const;
+
+  /// Invokes `fn(state)` for every state of set `id`, ascending.
+  template <typename Fn>
+  void ForEachState(StateSetId id, Fn fn) const {
+    const uint64_t* w = words(id);
+    for (size_t i = 0; i < words_per_set_; ++i) {
+      uint64_t word = w[i];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(static_cast<int>(i * 64) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Bytes held by the arena (flat words + hash slots); O(1).
+  size_t MemoryBytes() const {
+    return words_.capacity() * sizeof(uint64_t) +
+           slots_.capacity() * sizeof(StateSetId);
+  }
+
+ private:
+  /// Looks up/inserts the set currently staged in scratch_. Returns its id.
+  StateSetId InternScratch();
+  void Rehash(size_t new_slots);
+  static uint64_t HashWords(const uint64_t* w, size_t n);
+
+  int num_states_;
+  size_t words_per_set_;
+  size_t count_ = 0;
+  std::vector<uint64_t> words_;     ///< count_ * words_per_set_ flat words
+  std::vector<uint64_t> scratch_;   ///< staging buffer, one set wide
+  /// Open-addressing hash-cons table over ids (empty = kEmptySlot).
+  std::vector<StateSetId> slots_;
+  static constexpr StateSetId kEmptySlot = 0xFFFFFFFFu;
+};
+
+/// The ⊆-maximal frontier of the productive sets discovered so far.
+/// Monotonicity (S ⊆ T and T productive ⟹ S productive) makes the
+/// productive family downward closed, so membership of a candidate in the
+/// downward closure — `SubsumedBy` — is one subset test per antichain
+/// member. Inserts keep the container a strict antichain.
+class Antichain {
+ public:
+  explicit Antichain(const StateSetArena* arena) : arena_(arena) {}
+
+  size_t size() const { return members_.size(); }
+  const std::vector<StateSetId>& members() const { return members_; }
+
+  /// True iff `id` ⊆ some member (hence productive by monotonicity).
+  bool SubsumedBy(StateSetId id) const {
+    for (StateSetId m : members_) {
+      if (arena_->IsSubset(id, m)) return true;
+    }
+    return false;
+  }
+
+  /// Inserts a newly proven productive set: drops members it subsumes and
+  /// skips the insert when a member already covers it.
+  void Insert(StateSetId id) {
+    size_t keep = 0;
+    for (size_t i = 0; i < members_.size(); ++i) {
+      if (arena_->IsSubset(id, members_[i])) return;  // already covered
+      if (!arena_->IsSubset(members_[i], id)) {
+        members_[keep++] = members_[i];
+      }
+    }
+    members_.resize(keep);
+    members_.push_back(id);
+  }
+
+ private:
+  const StateSetArena* arena_;
+  std::vector<StateSetId> members_;
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_AUTOMATA_STATESET_H_

@@ -170,10 +170,24 @@ Result<ChaseResult> Chase(const Instance& database, const TgdSet& tgds,
         // uses at least one delta atom is found (at least) once; triggers
         // found via several positions are deduped by the processed set.
         for (size_t k = 0; k < tgd.body.size(); ++k) {
-          auto [first, last] = PostingsIdRange(
-              result.instance.IdsWith(tgd.body[k].predicate),
-              static_cast<AtomId>(seen_upto[i]),
-              static_cast<AtomId>(turn_start));
+          // A body atom with a constant argument scans the by-arg postings
+          // of its most selective constant position instead of the whole
+          // predicate delta: both lists are sorted id lists, so the delta
+          // window is the same two binary searches either way, and the
+          // pinned enumeration never sees an atom the constant refutes.
+          const Atom& pinned_atom = tgd.body[k];
+          const std::vector<AtomId>* ids =
+              &result.instance.IdsWith(pinned_atom.predicate);
+          for (size_t pos = 0; pos < pinned_atom.args.size(); ++pos) {
+            if (pinned_atom.args[pos].IsVariable()) continue;
+            const std::vector<AtomId>& arg_ids = result.instance.IdsWithArg(
+                pinned_atom.predicate, static_cast<int>(pos),
+                pinned_atom.args[pos]);
+            if (arg_ids.size() < ids->size()) ids = &arg_ids;
+          }
+          auto [first, last] =
+              PostingsIdRange(*ids, static_cast<AtomId>(seen_upto[i]),
+                              static_cast<AtomId>(turn_start));
           if (first == last) continue;
           ForEachHomomorphismPinned(tgd.body, k, first,
                                     static_cast<size_t>(last - first),

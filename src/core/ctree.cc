@@ -515,4 +515,24 @@ Result<Database> DecodeTree(const EncodedTree& tree) {
   return out;
 }
 
+size_t TreeLabelHash::operator()(const TreeLabel& label) const {
+  // FNV-1a over the sorted set contents, with sentinels between the
+  // three sections so {1}/{} and {}/{1} hash differently.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (int a : label.names) mix(static_cast<uint64_t>(a) + 1);
+  mix(0);
+  for (int a : label.core_names) mix(static_cast<uint64_t>(a) + 1);
+  mix(0);
+  for (const auto& [pred, args] : label.atoms) {
+    mix(static_cast<uint64_t>(pred.id()) + 1);
+    for (int a : args) mix(static_cast<uint64_t>(a) + 1);
+    mix(0);
+  }
+  return static_cast<size_t>(h);
+}
+
 }  // namespace omqc

@@ -73,6 +73,12 @@ struct TreeLabel {
   }
 };
 
+/// Deterministic hash over a label's (sorted) set contents; enables O(1)
+/// label lookup tables such as GammaAlphabet's index.
+struct TreeLabelHash {
+  size_t operator()(const TreeLabel& label) const;
+};
+
 /// A ΓS,l-labeled tree (structure mirrors the decomposition).
 struct EncodedTree {
   int l = 0;          ///< number of core names

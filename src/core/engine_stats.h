@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "automata/emptiness.h"
 #include "base/governor.h"
 #include "cache/omq_cache.h"
 #include "logic/homomorphism.h"
@@ -43,6 +44,10 @@ struct EngineStats {
   size_t disjuncts_checked = 0;    ///< candidate witnesses examined
   size_t witnesses_rejected = 0;   ///< candidates that failed to refute
   size_t budget_exhaustions = 0;   ///< RHS checks that hit some budget
+
+  /// Guarded-fragment automata layer: 2WAPA emptiness exploration,
+  /// antichain pruning and DNF-memo traffic (automata/emptiness.h).
+  EmptinessStats automata;
 
   /// Compilation-cache traffic attributable to this run (src/cache).
   CacheCounters cache;

@@ -73,6 +73,10 @@ int CoreMask(const TreeLabel& label) {
 }  // namespace
 
 int GammaAlphabet::IndexOf(const TreeLabel& label) const {
+  if (!index.empty()) {
+    auto it = index.find(label);
+    return it == index.end() ? -1 : it->second;
+  }
   for (size_t i = 0; i < labels.size(); ++i) {
     if (labels[i] == label) return static_cast<int>(i);
   }
@@ -157,6 +161,10 @@ Result<GammaAlphabet> EnumerateGammaAlphabet(const Schema& schema, int l,
         }
       }
     }
+  }
+  alphabet.index.reserve(alphabet.labels.size());
+  for (size_t i = 0; i < alphabet.labels.size(); ++i) {
+    alphabet.index.emplace(alphabet.labels[i], static_cast<int>(i));
   }
   return alphabet;
 }

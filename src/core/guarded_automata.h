@@ -18,6 +18,7 @@
 #ifndef OMQC_CORE_GUARDED_AUTOMATA_H_
 #define OMQC_CORE_GUARDED_AUTOMATA_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "automata/twapa.h"
@@ -34,8 +35,13 @@ struct GammaAlphabet {
   int width = 0;
   Schema schema;
   std::vector<TreeLabel> labels;
+  /// Hash index over `labels`; EnumerateGammaAlphabet fills it in, and
+  /// IndexOf falls back to a linear scan for hand-built alphabets that
+  /// leave it empty.
+  std::unordered_map<TreeLabel, int, TreeLabelHash> index;
 
-  /// Index of a label in `labels`, or -1 when absent.
+  /// Index of a label in `labels`, or -1 when absent. O(1) via `index`
+  /// when populated.
   int IndexOf(const TreeLabel& label) const;
 
   /// Converts an encoded tree into an integer-labeled tree over this

@@ -297,7 +297,10 @@ namespace {
 /// Shared body of the pinned enumeration: `view_at(i)` yields the i-th
 /// pinned candidate as an AtomView (out of `count`), whatever the caller's
 /// candidate representation — arena ids or materialized atoms.
-template <typename ViewAt>
+/// `kHomogeneous` asserts every candidate already carries the pinned
+/// atom's predicate (true for postings-backed id ranges), letting the
+/// scan drop the per-candidate predicate filter.
+template <bool kHomogeneous, typename ViewAt>
 void PinnedImpl(const std::vector<Atom>& atoms, size_t pinned_index,
                 size_t count, ViewAt view_at, const Instance& target,
                 const Substitution& seed,
@@ -313,7 +316,7 @@ void PinnedImpl(const std::vector<Atom>& atoms, size_t pinned_index,
   SearchState state(target, visitor, /*max_steps=*/0, options.governor);
   for (size_t c = 0; c < count; ++c) {
     AtomView candidate = view_at(c);
-    if (candidate.predicate() != pinned.predicate) continue;
+    if (!kHomogeneous && candidate.predicate() != pinned.predicate) continue;
     ++state.candidates_scanned;
     if (state.governor != nullptr &&
         state.candidates_scanned % kGovernorStride == 0 &&
@@ -350,7 +353,7 @@ void ForEachHomomorphismPinned(
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& visitor,
     const HomomorphismOptions& options) {
-  PinnedImpl(
+  PinnedImpl</*kHomogeneous=*/false>(
       atoms, pinned_index, pinned_candidates.size(),
       [&](size_t c) { return ViewOf(pinned_candidates[c]); }, target, seed,
       visitor, options);
@@ -373,7 +376,7 @@ void ForEachHomomorphismPinned(
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& visitor,
     const HomomorphismOptions& options) {
-  PinnedImpl(
+  PinnedImpl</*kHomogeneous=*/true>(
       atoms, pinned_index, pinned_count,
       [&](size_t c) {
         if (c + kScanPrefetchDistance < pinned_count) {

@@ -131,9 +131,11 @@ void ForEachHomomorphismPinned(
     const HomomorphismOptions& options = HomomorphismOptions());
 
 /// Id-based overload: the pinned candidates are atom ids into `target`'s
-/// arena, bound in place with zero materialization. This is the variant
-/// the semi-naive chase uses — its delta is a contiguous id range of the
-/// growing chase instance.
+/// arena, bound in place with zero materialization. Every id must refer
+/// to an atom with the pinned atom's predicate (postings-backed lists
+/// are): the scan skips the per-candidate predicate filter. This is the
+/// variant the semi-naive chase uses — its delta is a contiguous id range
+/// of the growing chase instance.
 void ForEachHomomorphismPinned(
     const std::vector<Atom>& atoms, size_t pinned_index,
     const std::vector<AtomId>& pinned_ids, const Instance& target,
@@ -142,9 +144,11 @@ void ForEachHomomorphismPinned(
     const HomomorphismOptions& options = HomomorphismOptions());
 
 /// Raw-range variant of the id-based pinned enumeration: `pinned_ids`
-/// points at `pinned_count` sorted arena ids of `target`. The chase hands
-/// in subranges of the per-predicate postings directly (its delta window
-/// is a contiguous id range — see PostingsIdRange), with no copy.
+/// points at `pinned_count` sorted arena ids of `target`, all carrying
+/// the pinned atom's predicate (no per-candidate predicate filter). The
+/// chase hands in subranges of the per-predicate or by-arg postings
+/// directly (its delta window is a contiguous id range — see
+/// PostingsIdRange / Instance::ArgIdRange), with no copy.
 void ForEachHomomorphismPinned(
     const std::vector<Atom>& atoms, size_t pinned_index,
     const AtomId* pinned_ids, size_t pinned_count, const Instance& target,

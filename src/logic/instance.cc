@@ -6,6 +6,7 @@
 #include <map>
 
 #include "base/string_util.h"
+#include "logic/postings_kernels.h"
 
 namespace omqc {
 
@@ -198,6 +199,11 @@ const std::vector<AtomId>& Instance::IdsWithArg(Predicate p, int position,
                                                 const Term& t) const {
   auto it = by_arg_.find(ArgKey{p.id(), position, t});
   return it == by_arg_.end() ? EmptyIdVector() : it->second;
+}
+
+std::pair<const AtomId*, const AtomId*> Instance::ArgIdRange(
+    Predicate p, int position, const Term& t, AtomId lo, AtomId hi) const {
+  return PostingsIdRange(IdsWithArg(p, position, t), lo, hi);
 }
 
 std::vector<Atom> Instance::AtomsWith(Predicate p) const {

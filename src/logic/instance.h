@@ -29,6 +29,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "logic/atom.h"
@@ -178,9 +179,22 @@ class Instance {
   }
 
   /// Ids of atoms with predicate `p` whose argument at `position` equals
-  /// `t`. Backed by an index; O(result size).
+  /// `t`. Backed by an index; O(result size). The list is sorted: ids are
+  /// appended in insertion order, so it supports the same binary-searched
+  /// windows as the per-predicate postings (see ArgIdRange).
   const std::vector<AtomId>& IdsWithArg(Predicate p, int position,
                                         const Term& t) const;
+
+  /// The by-arg postings of (p, position, t) windowed to the arena-id
+  /// range [lo, hi), as a sorted [first, last) span (two binary searches;
+  /// no copy). The semi-naive chase's delta scan for a body atom with a
+  /// constant argument is exactly this window: it visits only delta atoms
+  /// that already carry the constant, where the per-predicate postings
+  /// window would scan the predicate's whole delta.
+  std::pair<const AtomId*, const AtomId*> ArgIdRange(Predicate p,
+                                                     int position,
+                                                     const Term& t, AtomId lo,
+                                                     AtomId hi) const;
 
   /// Materializing counterparts of IdsWith / IdsWithArg (cold paths).
   std::vector<Atom> AtomsWith(Predicate p) const;

@@ -158,6 +158,28 @@ TEST_P(ChaseStrategyTest, ConstantInTgdHead) {
       Atom::Make("R", {Term::Constant("a"), Term::Constant("c")})));
 }
 
+TEST_P(ChaseStrategyTest, ConstantInTgdBodyPinsDeltaScans) {
+  // The recursive body atom C(Y,hub) carries a constant, so the
+  // semi-naive delta scan runs over the by-arg postings of `hub` and the
+  // derived C(.,noise) atoms never enter the pinned enumeration. Both
+  // strategies must reach the same closure.
+  ChaseResult result =
+      Chase(Db("E(a,b). E(b,c). C(c,hub). C(c,noise)."),
+            Tgds("E(X,Y), C(Y,hub) -> C(X,hub). C(X,hub) -> C(X,noise)."),
+            Opts())
+          .value();
+  EXPECT_TRUE(result.complete);
+  for (const char* x : {"a", "b", "c"}) {
+    EXPECT_TRUE(result.instance.Contains(
+        Atom::Make("C", {Term::Constant(x), Term::Constant("hub")})))
+        << x;
+    EXPECT_TRUE(result.instance.Contains(
+        Atom::Make("C", {Term::Constant(x), Term::Constant("noise")})))
+        << x;
+  }
+  EXPECT_EQ(result.instance.size(), 8u);
+}
+
 TEST_P(ChaseStrategyTest, ProvenanceRecordsPremises) {
   ChaseOptions options = Opts();
   options.track_provenance = true;

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "automata/emptiness.h"
 #include "base/fault_injection.h"
 #include "base/governor.h"
 #include "base/thread_pool.h"
@@ -413,6 +414,127 @@ TEST_P(ContainmentChaosTest, RealCancellationFromAnotherThread) {
     FaultInjector unused{FaultPlan{}};
     ExpectSoundUnderFault(workload, result, unused,
                           std::string("live-cancel ") + workload.name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Antichain emptiness chaos: the automata engine's governor probe sites
+// (per expanded obligation set, the per-label stride inside ExpandSet,
+// per propagation round, and the arena byte charges) across thread
+// counts. Invariant: a governor code or the true verdict — a fault must
+// never flip emptiness.
+// ---------------------------------------------------------------------------
+
+struct EmptinessWorkload {
+  const char* name;
+  Twapa automaton;
+  bool expected_empty;
+};
+
+std::vector<EmptinessWorkload> EmptinessWorkloads() {
+  // A long diamond chain (states 0 -> 1 -> ... -> n-1, the last accepts):
+  // non-empty, and every link interns a fresh obligation set so the
+  // per-set and per-round probes fire many times.
+  Twapa chain;
+  const int n = 60;
+  chain.num_states = n;
+  chain.num_labels = 1;
+  chain.initial_state = 0;
+  chain.mode = AcceptanceMode::kFiniteRuns;
+  chain.delta = [](int state, int) {
+    return state == 60 - 1 ? Formula::True()
+                           : Diamond(Move::kChild, state + 1);
+  };
+  // "some node has label 1" ∧ "every node has label 0": empty, and the
+  // engine must explore to the fixpoint to prove it.
+  Twapa reach1;
+  reach1.num_states = 1;
+  reach1.num_labels = 2;
+  reach1.initial_state = 0;
+  reach1.mode = AcceptanceMode::kFiniteRuns;
+  reach1.delta = [](int, int label) {
+    return label == 1 ? Formula::True() : Diamond(Move::kChild, 0);
+  };
+  Twapa all0 = reach1;
+  all0.delta = [](int, int label) {
+    return label == 0 ? Box(Move::kChild, 0) : Formula::False();
+  };
+  return {{"chain_nonempty", chain, false},
+          {"contradiction_empty", Intersect(reach1, all0).value(), true}};
+}
+
+class EmptinessChaosTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, EmptinessChaosTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{8}));
+
+TEST_P(EmptinessChaosTest, GovernorFaultsNeverFlipTheVerdict) {
+  for (const EmptinessWorkload& workload : EmptinessWorkloads()) {
+    {
+      EmptinessOptions options;
+      options.engine = EmptinessEngine::kAntichain;
+      options.num_threads = GetParam();
+      auto clean = DownwardEmptiness(workload.automaton, options);
+      ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+      ASSERT_EQ(*clean, workload.expected_empty) << workload.name;
+    }
+    for (StatusCode injected :
+         {StatusCode::kDeadlineExceeded, StatusCode::kCancelled}) {
+      for (uint64_t at : kCheckPoints) {
+        FaultPlan plan;
+        plan.seed = at;
+        (injected == StatusCode::kDeadlineExceeded ? plan.deadline_at_check
+                                                   : plan.cancel_at_check) =
+            at;
+        FaultInjector injector(plan);
+        ResourceGovernor governor;
+        governor.set_fault_injector(&injector);
+        EmptinessOptions options;
+        options.engine = EmptinessEngine::kAntichain;
+        options.num_threads = GetParam();
+        options.governor = &governor;
+        auto result = DownwardEmptiness(workload.automaton, options);
+        const std::string context =
+            std::string(workload.name) + " threads=" +
+            std::to_string(GetParam()) + " code=" +
+            StatusCodeToString(injected) + " at=" + std::to_string(at);
+        if (result.ok()) {
+          EXPECT_EQ(*result, workload.expected_empty)
+              << context << ": a fault flipped the verdict";
+        } else {
+          EXPECT_TRUE(injector.fired()) << context;
+          EXPECT_EQ(result.status().code(), injected)
+              << context << ": " << result.status().ToString();
+          EXPECT_FALSE(result.status().message().empty()) << context;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EmptinessChaosTest, MemoryFaultsSurfaceAsResourceExhausted) {
+  for (const EmptinessWorkload& workload : EmptinessWorkloads()) {
+    for (uint64_t at : {uint64_t{1}, uint64_t{2}, uint64_t{5}}) {
+      FaultPlan plan;
+      plan.memory_at_charge = at;
+      FaultInjector injector(plan);
+      ResourceGovernor governor;
+      governor.set_fault_injector(&injector);
+      EmptinessOptions options;
+      options.engine = EmptinessEngine::kAntichain;
+      options.num_threads = GetParam();
+      options.governor = &governor;
+      auto result = DownwardEmptiness(workload.automaton, options);
+      const std::string context = std::string(workload.name) +
+                                  " memory at=" + std::to_string(at);
+      if (result.ok()) {
+        EXPECT_EQ(*result, workload.expected_empty) << context;
+      } else {
+        EXPECT_TRUE(injector.fired()) << context;
+        EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+            << context << ": " << result.status().ToString();
+      }
+    }
   }
 }
 

@@ -195,6 +195,35 @@ TEST_P(InstancePropertyTest, ViewsAndMaterializedAtomsAgreePerId) {
   }
 }
 
+TEST_P(InstancePropertyTest, ArgIdRangeWindowsMatchBruteForce) {
+  Rng rng(0x27D4EB2F165667C5ull);
+  std::vector<Atom> atoms = RandomAtoms(rng, 120, 3, 4);
+  Instance inst;
+  for (const Atom& a : atoms) inst.Add(a);
+  for (int trial = 0; trial < 50; ++trial) {
+    const AtomId at = static_cast<AtomId>(rng.Next() % inst.size());
+    AtomView probe = inst.view(at);
+    if (probe.arity() == 0) continue;
+    const int pos = static_cast<int>(rng.Next() % probe.arity());
+    const Term t = probe.arg(static_cast<size_t>(pos));
+    AtomId lo = static_cast<AtomId>(rng.Next() % (inst.size() + 1));
+    AtomId hi = static_cast<AtomId>(rng.Next() % (inst.size() + 1));
+    if (lo > hi) std::swap(lo, hi);
+    auto [first, last] = inst.ArgIdRange(probe.predicate(), pos, t, lo, hi);
+    std::vector<AtomId> expected;
+    for (AtomId id = lo; id < hi; ++id) {
+      AtomView v = inst.view(id);
+      if (v.predicate() == probe.predicate() &&
+          pos < static_cast<int>(v.arity()) &&
+          v.arg(static_cast<size_t>(pos)) == t) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(std::vector<AtomId>(first, last), expected)
+        << "trial=" << trial << " lo=" << lo << " hi=" << hi;
+  }
+}
+
 TEST(TermValidityTest, FactoriesProduceValidTermsDefaultDoesNot) {
   EXPECT_FALSE(Term().valid());
   EXPECT_TRUE(Term::Constant("a").valid());
