@@ -8,11 +8,15 @@
 //   omqc_cli distribute <program-file> <query-name>
 //   omqc_cli explain <program-file> <query-name> [answer constants...]
 //
-// Flags (anywhere on the command line):
+// Flags (anywhere on the command line; shared with omqc_server/omqc_load,
+// parsed by src/core/frontend.h — malformed numeric values are a usage
+// error):
 //   --threads=N              worker threads for `contain` (0 = hardware
 //                            concurrency)
 //   --stats                  print per-layer EngineStats after `eval` /
 //                            `contain`
+//   --stats-json             print EngineStats as one JSON document (same
+//                            serializer as the server STATS endpoint)
 //   --chase=naive|seminaive  chase trigger-enumeration strategy for `eval`
 //                            and `contain` (default: seminaive)
 //   --cache=on|off           compilation cache (classification, UCQ
@@ -36,21 +40,18 @@
 // predicates occurring in the facts plus any query-body predicates that
 // no tgd derives.
 
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/governor.h"
-#include "base/string_util.h"
-#include "cache/omq_cache.h"
 #include "core/applications.h"
 #include "core/containment.h"
 #include "core/eval.h"
 #include "core/explain.h"
+#include "core/frontend.h"
+#include "core/stats_json.h"
 #include "rewrite/xrewrite.h"
 #include "tgd/parser.h"
 
@@ -63,30 +64,9 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-/// Command-line flags, stripped from argv before positional parsing.
-struct CliFlags {
-  size_t threads = 1;  ///< --threads=N (0 = hardware concurrency)
-  bool stats = false;  ///< --stats
-  ChaseStrategy chase = ChaseStrategy::kSemiNaive;  ///< --chase=...
-  bool cache = true;             ///< --cache=on|off
-  size_t cache_capacity = 1024;  ///< --cache-capacity=N
-  uint64_t deadline_ms = 0;      ///< --deadline-ms=N (0 = none)
-  size_t max_memory_mb = 0;      ///< --max-memory-mb=N (0 = none)
-};
-
 /// Exit code for a tripped resource governor — distinct from 1 (error) and
 /// 2 (usage) so scripts can tell "ran out of budget" from "went wrong".
 constexpr int kGovernorTripExit = 3;
-
-/// Applies the CLI deadline/memory flags to `governor`.
-void ConfigureGovernor(const CliFlags& flags, ResourceGovernor* governor) {
-  if (flags.deadline_ms > 0) {
-    governor->set_deadline_after(std::chrono::milliseconds(flags.deadline_ms));
-  }
-  if (flags.max_memory_mb > 0) {
-    governor->set_memory_budget(flags.max_memory_mb * size_t{1024} * 1024);
-  }
-}
 
 /// Shared tail for governed commands: a trip overrides the command's own
 /// exit code (the partial output has already been printed).
@@ -99,89 +79,43 @@ int GovernedExit(const ResourceGovernor& governor, int code) {
   return code;
 }
 
-Result<Program> LoadProgram(const char* path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound(std::string("cannot open ") + path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return ParseProgram(text.str());
-}
-
-/// Data schema heuristic: fact predicates + underived query predicates.
-Schema InferDataSchema(const Program& program) {
-  Schema schema = program.facts.InducedSchema();
-  Schema derived = program.tgds.HeadPredicates();
-  for (const NamedQuery& nq : program.queries) {
-    for (const Atom& a : nq.query.body) {
-      if (!derived.Contains(a.predicate)) schema.Add(a.predicate);
-    }
+/// --stats / --stats-json tail for `eval` and `contain`.
+void PrintStats(const EngineFlags& flags, const EngineStats& stats) {
+  if (flags.stats) std::printf("%s\n", stats.ToString().c_str());
+  if (flags.stats_json) {
+    std::printf("%s\n", EngineStatsToJson(stats).c_str());
   }
-  for (const Tgd& tgd : program.tgds.tgds) {
-    for (const Atom& a : tgd.body) {
-      if (!derived.Contains(a.predicate)) schema.Add(a.predicate);
-    }
-  }
-  return schema;
-}
-
-Result<Omq> QueryNamed(const Program& program, const Schema& schema,
-                       const std::string& name) {
-  UnionOfCQs ucq = program.QueriesNamed(name);
-  if (ucq.empty()) {
-    return Status::NotFound("no query named " + name);
-  }
-  if (ucq.size() > 1) {
-    return Status::Unsupported(
-        "query " + name + " is a UCQ; this command expects a single CQ");
-  }
-  return Omq{schema, program.tgds, ucq.disjuncts.front()};
 }
 
 int Classify(const Program& program) {
-  ClassificationReport report = omqc::Classify(program.tgds);
-  std::printf("tgds: %zu\nclasses: %s\nprimary class: %s\n",
-              program.tgds.size(), report.ToString().c_str(),
-              TgdClassToString(PrimaryClass(program.tgds)));
+  std::fputs(FormatClassificationReport(program.tgds).c_str(), stdout);
   return 0;
 }
 
-/// The process-wide compilation cache (null when --cache=off).
-OmqCache* SharedCache(const CliFlags& flags) {
-  static OmqCache* cache =
-      flags.cache ? new OmqCache(OmqCacheConfig{flags.cache_capacity, 8})
-                  : nullptr;
-  return cache;
-}
-
 int Eval(const Program& program, const Schema& schema,
-         const std::string& name, const CliFlags& flags) {
-  auto omq = QueryNamed(program, schema, name);
+         const std::string& name, const EngineFlags& flags,
+         OmqCache* cache) {
+  auto omq = SingleQueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   EngineStats stats;
   EvalOptions eval_options;
   eval_options.chase_strategy = flags.chase;
-  eval_options.cache = SharedCache(flags);
+  eval_options.cache = cache;
   ResourceGovernor governor;
-  ConfigureGovernor(flags, &governor);
+  ApplyGovernorFlags(flags, &governor);
   eval_options.governor = &governor;
   auto answers = EvalAll(*omq, program.facts, eval_options, &stats);
   if (!answers.ok()) {
     return GovernedExit(governor, Fail(answers.status().ToString()));
   }
-  std::printf("%zu answer(s):\n", answers->size());
-  for (const auto& tuple : *answers) {
-    std::printf("  (%s)\n",
-                omqc::JoinMapped(tuple, ", ",
-                           [](const Term& t) { return t.ToString(); })
-                    .c_str());
-  }
-  if (flags.stats) std::printf("%s\n", stats.ToString().c_str());
+  std::fputs(FormatAnswers(*answers).c_str(), stdout);
+  PrintStats(flags, stats);
   return GovernedExit(governor, 0);
 }
 
 int Rewrite(const Program& program, const Schema& schema,
             const std::string& name) {
-  auto omq = QueryNamed(program, schema, name);
+  auto omq = SingleQueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   XRewriteStats stats;
   auto rewriting = XRewrite(schema, omq->tgds, omq->query,
@@ -196,43 +130,31 @@ int Rewrite(const Program& program, const Schema& schema,
 
 int Contain(const Program& program, const Schema& schema,
             const std::string& lhs, const std::string& rhs,
-            const CliFlags& flags) {
-  auto q1 = QueryNamed(program, schema, lhs);
-  auto q2 = QueryNamed(program, schema, rhs);
+            const EngineFlags& flags, OmqCache* cache) {
+  auto q1 = SingleQueryNamed(program, schema, lhs);
+  auto q2 = SingleQueryNamed(program, schema, rhs);
   if (!q1.ok()) return Fail(q1.status().ToString());
   if (!q2.ok()) return Fail(q2.status().ToString());
   ContainmentOptions options;
   options.num_threads = flags.threads;
   options.eval.chase_strategy = flags.chase;
-  options.cache = SharedCache(flags);
+  options.cache = cache;
   ResourceGovernor governor;
-  ConfigureGovernor(flags, &governor);
+  ApplyGovernorFlags(flags, &governor);
   options.governor = &governor;
   auto result = CheckContainment(*q1, *q2, options);
   if (!result.ok()) {
     return GovernedExit(governor, Fail(result.status().ToString()));
   }
-  std::printf("%s ⊆ %s: %s\n", lhs.c_str(), rhs.c_str(),
-              ContainmentOutcomeToString(result->outcome));
-  if (!result->detail.empty()) {
-    std::printf("  %s\n", result->detail.c_str());
-  }
-  if (result->witness.has_value()) {
-    std::printf("counterexample database:\n%s\n",
-                PrettifiedCopy(result->witness->database)
-                    .ToString()
-                    .c_str());
-  }
-  std::printf("candidates checked: %zu (largest: %zu atoms)\n",
-              result->candidates_checked, result->max_witness_size);
-  if (flags.stats) std::printf("%s\n", result->stats.ToString().c_str());
+  std::fputs(FormatContainmentReport(lhs, rhs, *result).c_str(), stdout);
+  PrintStats(flags, result->stats);
   return GovernedExit(governor, 0);
 }
 
 int Explain(const Program& program, const Schema& schema,
             const std::string& name,
             const std::vector<std::string>& constants) {
-  auto omq = QueryNamed(program, schema, name);
+  auto omq = SingleQueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   std::vector<Term> tuple;
   for (const std::string& c : constants) tuple.push_back(Term::Constant(c));
@@ -244,7 +166,7 @@ int Explain(const Program& program, const Schema& schema,
 
 int Distribute(const Program& program, const Schema& schema,
                const std::string& name) {
-  auto omq = QueryNamed(program, schema, name);
+  auto omq = SingleQueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   auto result = DistributesOverComponents(*omq);
   if (!result.ok()) return Fail(result.status().ToString());
@@ -257,62 +179,16 @@ int Distribute(const Program& program, const Schema& schema,
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliFlags flags;
+  EngineFlags flags;
   std::vector<std::string> args;  // positional: command, file, names...
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      flags.threads =
-          static_cast<size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
-      continue;
+    auto consumed = ParseEngineFlag(arg, &flags);
+    if (!consumed.ok()) {
+      std::fprintf(stderr, "%s\n", consumed.status().message().c_str());
+      return 2;
     }
-    if (arg == "--stats") {
-      flags.stats = true;
-      continue;
-    }
-    if (arg.rfind("--chase=", 0) == 0) {
-      std::string strategy = arg.substr(8);
-      if (strategy == "naive") {
-        flags.chase = ChaseStrategy::kNaive;
-      } else if (strategy == "seminaive") {
-        flags.chase = ChaseStrategy::kSemiNaive;
-      } else {
-        std::fprintf(stderr, "--chase expects 'naive' or 'seminaive'\n");
-        return 2;
-      }
-      continue;
-    }
-    if (arg.rfind("--cache=", 0) == 0) {
-      std::string mode = arg.substr(8);
-      if (mode == "on") {
-        flags.cache = true;
-      } else if (mode == "off") {
-        flags.cache = false;
-      } else {
-        std::fprintf(stderr, "--cache expects 'on' or 'off'\n");
-        return 2;
-      }
-      continue;
-    }
-    if (arg.rfind("--cache-capacity=", 0) == 0) {
-      flags.cache_capacity =
-          static_cast<size_t>(std::strtoul(arg.c_str() + 17, nullptr, 10));
-      if (flags.cache_capacity == 0) {
-        std::fprintf(stderr, "--cache-capacity expects a positive integer\n");
-        return 2;
-      }
-      continue;
-    }
-    if (arg.rfind("--deadline-ms=", 0) == 0) {
-      flags.deadline_ms =
-          static_cast<uint64_t>(std::strtoull(arg.c_str() + 14, nullptr, 10));
-      continue;
-    }
-    if (arg.rfind("--max-memory-mb=", 0) == 0) {
-      flags.max_memory_mb =
-          static_cast<size_t>(std::strtoul(arg.c_str() + 16, nullptr, 10));
-      continue;
-    }
+    if (*consumed) continue;
     if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -322,29 +198,27 @@ int main(int argc, char** argv) {
   if (args.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s classify|eval|rewrite|contain|distribute|"
-                 "explain <program-file> [query names / constants...] "
-                 "[--threads=N] [--stats] [--chase=naive|seminaive] "
-                 "[--cache=on|off] [--cache-capacity=N] [--deadline-ms=N] "
-                 "[--max-memory-mb=N]\n"
+                 "explain <program-file> [query names / constants...] %s\n"
                  "exit codes: 0 ok, 1 error, 2 usage, 3 governor tripped "
                  "(deadline/memory)\n",
-                 argv[0]);
+                 argv[0], EngineFlagsUsage());
     return 2;
   }
-  auto program = LoadProgram(args[1].c_str());
+  auto program = LoadProgramFile(args[1]);
   if (!program.ok()) return Fail(program.status().ToString());
-  Schema schema = InferDataSchema(*program);
+  Schema schema = InferProgramDataSchema(*program);
+  std::unique_ptr<OmqCache> cache = MakeCacheFromFlags(flags);
 
   const std::string& command = args[0];
   if (command == "classify") return Classify(*program);
   if (command == "eval" && args.size() >= 3) {
-    return Eval(*program, schema, args[2], flags);
+    return Eval(*program, schema, args[2], flags, cache.get());
   }
   if (command == "rewrite" && args.size() >= 3) {
     return Rewrite(*program, schema, args[2]);
   }
   if (command == "contain" && args.size() >= 4) {
-    return Contain(*program, schema, args[2], args[3], flags);
+    return Contain(*program, schema, args[2], args[3], flags, cache.get());
   }
   if (command == "distribute" && args.size() >= 3) {
     return Distribute(*program, schema, args[2]);

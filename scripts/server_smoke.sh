@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the omqc server over real TCP: start the
+# daemon on an ephemeral port, replay a seeded mixed workload with
+# omqc_load (--verify asserts per-shape response consistency), then diff
+# every response body against what omqc_cli prints for the same request —
+# the "server is byte-identical to the CLI" acceptance check — and finally
+# assert a clean daemon shutdown.
+#
+# Usage: scripts/server_smoke.sh
+# Env: BUILD_DIR (default: build) — must already be configured and built.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+for bin in omqc_server omqc_load omqc_cli; do
+  if [ ! -x "$BUILD_DIR/examples/$bin" ]; then
+    echo "error: $BUILD_DIR/examples/$bin not found (build the project first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+# 1. Daemon on an ephemeral port; the port file sidesteps the startup race.
+"$BUILD_DIR/examples/omqc_server" --port=0 --port-file="$workdir/port" \
+  >"$workdir/server.log" 2>&1 &
+server_pid=$!
+tries=0
+while [ ! -s "$workdir/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "error: daemon never wrote its port file" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+  fi
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "error: daemon exited during startup" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+port="$(cat "$workdir/port")"
+echo "daemon up on port $port (pid $server_pid)"
+
+# 2. Seeded mixed workload over TCP, with cross-request verification and a
+# dump of every distinct request shape for the CLI diff below.
+"$BUILD_DIR/examples/omqc_load" --port="$port" --requests=60 \
+  --concurrency=4 --seed=1 --verify --dump-dir="$workdir"
+
+# 3. CLI agreement: each manifest row is one distinct request shape; the
+# server's response body must be byte-identical to omqc_cli's stdout.
+# ("-" marks an unused query column — empty fields would collapse under
+# the shell's IFS tab handling.)
+fails=0
+checked=0
+while IFS="$(printf '\t')" read -r kind prog q1 q2 resp; do
+  [ -n "$kind" ] || continue
+  case "$kind" in
+    eval)     "$BUILD_DIR/examples/omqc_cli" eval "$workdir/$prog" "$q1" \
+                >"$workdir/cli_out.txt" ;;
+    contain)  "$BUILD_DIR/examples/omqc_cli" contain "$workdir/$prog" \
+                "$q1" "$q2" >"$workdir/cli_out.txt" ;;
+    classify) "$BUILD_DIR/examples/omqc_cli" classify "$workdir/$prog" \
+                >"$workdir/cli_out.txt" ;;
+    *)        echo "unknown manifest kind '$kind'" >&2; exit 1 ;;
+  esac
+  checked=$((checked + 1))
+  if ! diff -u "$workdir/cli_out.txt" "$workdir/$resp" >&2; then
+    echo "MISMATCH: $kind $prog $q1 $q2" >&2
+    fails=$((fails + 1))
+  fi
+done <"$workdir/manifest.tsv"
+if [ "$checked" -eq 0 ]; then
+  echo "error: manifest.tsv had no rows to check" >&2
+  exit 1
+fi
+echo "CLI agreement: $checked shapes checked, $fails mismatches"
+[ "$fails" -eq 0 ]
+
+# 4. Clean shutdown on SIGTERM: the daemon must drain and say so.
+kill "$server_pid"
+wait "$server_pid"
+server_pid=""
+grep -q "clean shutdown" "$workdir/server.log" || {
+  echo "error: daemon did not report a clean shutdown" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+}
+echo "server smoke: OK"

@@ -43,6 +43,11 @@ struct FaultPlan {
   uint64_t memory_at_charge = 0;
   /// Drop this cache insert (OmqCache::PutErased call) on the floor.
   uint64_t fail_insert_at = 0;
+  /// Drop this admission-queue batch (AdmissionQueue dispatch, 1-based):
+  /// every request riding the batch is completed with kCancelled instead
+  /// of executing; the queue must stay serviceable and all tenant/governor
+  /// accounting must be returned (tests/server_test.cc).
+  uint64_t drop_batch_at = 0;
   /// Stall the ThreadPool worker with this index (-1 = none) for
   /// `stall_millis` at the start of each task it picks up.
   int stall_worker = -1;
@@ -97,6 +102,18 @@ class FaultInjector {
     return false;
   }
 
+  /// Consulted by the server's AdmissionQueue at each batch dispatch.
+  /// Returns true when this batch must be dropped (its requests are
+  /// completed with kCancelled; nothing executes).
+  bool OnBatchDispatch() {
+    uint64_t n = batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (plan_.drop_batch_at != 0 && n == plan_.drop_batch_at) {
+      MarkFired();
+      return true;
+    }
+    return false;
+  }
+
   /// Consulted by ThreadPool workers at task start (via the global task
   /// hook installed by the test). Sleeps when this worker is the stall
   /// target. Implemented out of line to keep <thread> out of this header.
@@ -114,6 +131,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> batches_{0};
   std::atomic<bool> fired_{false};
 };
 

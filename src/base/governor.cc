@@ -155,9 +155,13 @@ Status ResourceGovernor::ChargeBytes(size_t bytes) {
     }
   }
 
-  size_t total =
-      r->charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Account at every level before checking any budget, so charge/release
+  // pairs stay balanced per level even when a budget trips mid-walk.
   for (ResourceGovernor* g = this; g != nullptr; g = g->parent_) {
+    g->charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  for (ResourceGovernor* g = this; g != nullptr; g = g->parent_) {
+    size_t total = g->charged_bytes_.load(std::memory_order_relaxed);
     size_t budget = g->memory_budget_.load(std::memory_order_acquire);
     if (budget != 0 && total > budget) {
       // The trip belongs to the governor whose budget was exceeded (it may
@@ -177,7 +181,19 @@ Status ResourceGovernor::ChargeBytes(size_t bytes) {
 }
 
 void ResourceGovernor::ReleaseBytes(size_t bytes) {
-  root()->charged_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  // Saturating subtraction at every level: a tripped request's releases
+  // may exceed what was accounted (post-trip charges are rejected before
+  // accounting), and a long-lived server chain must never wrap.
+  for (ResourceGovernor* g = this; g != nullptr; g = g->parent_) {
+    size_t current = g->charged_bytes_.load(std::memory_order_relaxed);
+    while (true) {
+      size_t next = current >= bytes ? current - bytes : 0;
+      if (g->charged_bytes_.compare_exchange_weak(
+              current, next, std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
 }
 
 GovernorCounters ResourceGovernor::counters() const {

@@ -29,6 +29,11 @@
 // found a refuting disjunct) without cancelling the caller's request.
 // Counters always accumulate at the root, so EngineStats reflects the
 // whole request no matter how many internal children were layered on.
+// Byte charges accumulate at *every* level of the chain, and each level's
+// memory budget bounds its own subtree total — this is what lets the
+// server (src/server) layer per-tenant quotas between a request's governor
+// and the server-wide one: a tenant quota trips on the tenant's own
+// in-flight bytes, not on the server-wide total.
 
 #ifndef OMQC_BASE_GOVERNOR_H_
 #define OMQC_BASE_GOVERNOR_H_
@@ -118,14 +123,18 @@ class ResourceGovernor {
   /// one relaxed load plus, every kClockStride-th call, a clock read.
   Status Check();
 
-  /// Accounts `bytes` toward the memory budget (root-wide). Returns the
-  /// trip status if the budget is or becomes exceeded. The caller keeps
+  /// Accounts `bytes` at this governor and every ancestor, then checks
+  /// each level's budget against that level's own total. Returns the trip
+  /// status if any budget is or becomes exceeded. The caller keeps
   /// whatever it already materialized — the charge failing means "stop
   /// growing", not "roll back".
   Status ChargeBytes(size_t bytes);
 
   /// Returns previously charged bytes (e.g. a scratch structure freed
-  /// mid-request). Never un-trips a tripped governor.
+  /// mid-request) at this governor and every ancestor, saturating at zero
+  /// per level (a request that tripped mid-charge may release more than
+  /// was accounted; the chain must never wrap). Never un-trips a tripped
+  /// governor.
   void ReleaseBytes(size_t bytes);
 
   /// The sticky trip status: OK if not tripped.
@@ -135,9 +144,16 @@ class ResourceGovernor {
            static_cast<int>(StatusCode::kOk);
   }
 
-  /// Bytes currently accounted at this governor's root.
+  /// Bytes currently accounted at this governor's root (the whole tree).
   size_t charged_bytes() const {
     return root()->charged_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes currently accounted at *this* level (this governor's subtree
+  /// only). Equal to charged_bytes() for a root. The server uses this to
+  /// return a finished request's residual charges to the tenant chain.
+  size_t local_charged_bytes() const {
+    return charged_bytes_.load(std::memory_order_relaxed);
   }
 
   /// Snapshot of the root's counters.
@@ -185,7 +201,8 @@ class ResourceGovernor {
 
   /// Deadline as steady-clock nanoseconds since epoch; 0 = none.
   std::atomic<int64_t> deadline_ns_{0};
-  /// Memory cap in bytes; 0 = unlimited. Charges accumulate at the root.
+  /// Memory cap in bytes; 0 = unlimited. Charges accumulate at every
+  /// level of the chain; each budget bounds its own subtree.
   std::atomic<size_t> memory_budget_{0};
   std::atomic<size_t> charged_bytes_{0};
 

@@ -1,0 +1,148 @@
+#include "base/json_writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace omqc {
+
+std::string JsonWriter::Quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::Comma() {
+  assert(!has_value_.empty());
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Comma();
+  out_ += Quote(key);
+  out_ += ':';
+}
+
+void JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::BeginObject(std::string_view key) {
+  Key(key);
+  out_ += '{';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(has_value_.size() > 1);
+  has_value_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::BeginArray(std::string_view key) {
+  Key(key);
+  out_ += '[';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(has_value_.size() > 1);
+  has_value_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  out_ += Quote(value);
+}
+
+void JsonWriter::Field(std::string_view key, const char* value) {
+  Field(key, std::string_view(value));
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(std::string_view key, int value) {
+  Field(key, static_cast<int64_t>(value));
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Value(std::string_view value) {
+  Comma();
+  out_ += Quote(value);
+}
+
+void JsonWriter::Value(uint64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Value(double value) {
+  Comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::RawField(std::string_view key, std::string_view json) {
+  Key(key);
+  out_ += json;
+}
+
+}  // namespace omqc

@@ -1,0 +1,65 @@
+// A tiny streaming JSON writer — just enough for the machine-readable
+// stats surfaces (omqc_cli --stats-json, the server STATS endpoint and the
+// load driver's BENCH_server.json). Handles comma placement and string
+// escaping; the caller is responsible for well-nested Begin/End calls
+// (asserted in debug builds).
+
+#ifndef OMQC_BASE_JSON_WRITER_H_
+#define OMQC_BASE_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omqc {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  /// Containers. The keyed flavors are for use inside an object.
+  void BeginObject();
+  void BeginObject(std::string_view key);
+  void EndObject();
+  void BeginArray();
+  void BeginArray(std::string_view key);
+  void EndArray();
+
+  /// Scalar key/value pairs inside an object.
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, int value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+
+  /// Scalar array elements.
+  void Value(std::string_view value);
+  void Value(uint64_t value);
+  void Value(double value);
+
+  /// A pre-serialized JSON fragment inserted verbatim as the value of
+  /// `key` (used to splice one serializer's output into another's object).
+  void RawField(std::string_view key, std::string_view json);
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Escapes `s` as a JSON string literal (with quotes).
+  static std::string Quote(std::string_view s);
+
+ private:
+  void Comma();
+  void Key(std::string_view key);
+
+  std::string out_;
+  /// true = a value was already emitted at this nesting level.
+  std::vector<bool> has_value_{false};
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_BASE_JSON_WRITER_H_

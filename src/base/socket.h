@@ -1,0 +1,90 @@
+// Thin POSIX stream-socket helpers for the omqc server stack.
+//
+// Everything here is deliberately minimal: blocking I/O, IPv4 loopback or
+// any-address listening, and an in-process socketpair mode so tests and
+// benches can exercise the full wire protocol without touching the
+// network stack. Errors surface as Status (base/status.h); no exceptions,
+// no ownership surprises (OwnedFd is the only RAII piece).
+
+#ifndef OMQC_BASE_SOCKET_H_
+#define OMQC_BASE_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+
+namespace omqc {
+
+/// A close-on-destruction file descriptor. Movable, not copyable.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { Reset(); }
+
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the descriptor (idempotent).
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listening socket bound to `address` (e.g. "127.0.0.1", or
+/// "" for INADDR_ANY) on `port` (0 = kernel-assigned ephemeral port).
+/// SO_REUSEADDR is set so restarting a daemon does not trip TIME_WAIT.
+Result<OwnedFd> ListenTcp(const std::string& address, uint16_t port);
+
+/// The local port a listening socket is bound to (resolves port 0).
+Result<uint16_t> LocalPort(int listen_fd);
+
+/// Blocking accept. Returns the connected fd; kCancelled if the listening
+/// socket was shut down from another thread (see ShutdownSocket).
+Result<OwnedFd> AcceptConnection(int listen_fd);
+
+/// Blocking TCP connect to host:port. `host` is a dotted-quad or
+/// "localhost".
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// A connected AF_UNIX stream socket pair for in-process client/server
+/// tests: first = client end, second = server end.
+Result<std::pair<OwnedFd, OwnedFd>> StreamSocketPair();
+
+/// Writes exactly `len` bytes (retrying on short writes / EINTR).
+Status WriteFull(int fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes. kCancelled on orderly EOF at offset 0 (the
+/// peer closed between messages), kInvalidArgument on EOF mid-message.
+Status ReadFull(int fd, void* data, size_t len);
+
+/// shutdown(2) both directions — unblocks a thread parked in
+/// AcceptConnection/ReadFull on this fd from another thread. Ignores
+/// errors (the fd may already be closed).
+void ShutdownSocket(int fd);
+
+}  // namespace omqc
+
+#endif  // OMQC_BASE_SOCKET_H_

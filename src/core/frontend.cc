@@ -1,0 +1,211 @@
+#include "core/frontend.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/string_util.h"
+#include "tgd/classify.h"
+
+namespace omqc {
+
+const char* EngineFlagsUsage() {
+  return "[--threads=N] [--stats] [--stats-json] "
+         "[--chase=naive|seminaive] [--cache=on|off] [--cache-capacity=N] "
+         "[--deadline-ms=N] [--max-memory-mb=N]";
+}
+
+Result<uint64_t> ParseUnsignedFlagValue(const std::string& flag,
+                                        const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument(
+        StrCat(flag, " expects an unsigned integer, got an empty value"));
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat(flag, " expects an unsigned integer, got '", text, "'"));
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(
+          StrCat(flag, " value '", text, "' overflows"));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+namespace {
+
+/// Shared pattern: "--name=<uint>" with strict value parsing.
+Result<bool> ConsumeUnsigned(const std::string& arg, const char* name,
+                             uint64_t* out) {
+  std::string prefix = StrCat(name, "=");
+  if (arg.rfind(prefix, 0) != 0) return false;
+  OMQC_ASSIGN_OR_RETURN(*out,
+                        ParseUnsignedFlagValue(name, arg.substr(prefix.size())));
+  return true;
+}
+
+}  // namespace
+
+Result<bool> ParseEngineFlag(const std::string& arg, EngineFlags* flags) {
+  uint64_t value = 0;
+  {
+    auto r = ConsumeUnsigned(arg, "--threads", &value);
+    if (!r.ok()) return r.status();
+    if (*r) {
+      flags->threads = static_cast<size_t>(value);
+      return true;
+    }
+  }
+  if (arg == "--stats") {
+    flags->stats = true;
+    return true;
+  }
+  if (arg == "--stats-json") {
+    flags->stats_json = true;
+    return true;
+  }
+  if (arg.rfind("--chase=", 0) == 0) {
+    std::string strategy = arg.substr(8);
+    if (strategy == "naive") {
+      flags->chase = ChaseStrategy::kNaive;
+    } else if (strategy == "seminaive") {
+      flags->chase = ChaseStrategy::kSemiNaive;
+    } else {
+      return Status::InvalidArgument("--chase expects 'naive' or 'seminaive'");
+    }
+    return true;
+  }
+  if (arg.rfind("--cache=", 0) == 0) {
+    std::string mode = arg.substr(8);
+    if (mode == "on") {
+      flags->cache = true;
+    } else if (mode == "off") {
+      flags->cache = false;
+    } else {
+      return Status::InvalidArgument("--cache expects 'on' or 'off'");
+    }
+    return true;
+  }
+  {
+    auto r = ConsumeUnsigned(arg, "--cache-capacity", &value);
+    if (!r.ok()) return r.status();
+    if (*r) {
+      if (value == 0) {
+        return Status::InvalidArgument(
+            "--cache-capacity expects a positive integer");
+      }
+      flags->cache_capacity = static_cast<size_t>(value);
+      return true;
+    }
+  }
+  {
+    auto r = ConsumeUnsigned(arg, "--deadline-ms", &value);
+    if (!r.ok()) return r.status();
+    if (*r) {
+      flags->deadline_ms = value;
+      return true;
+    }
+  }
+  {
+    auto r = ConsumeUnsigned(arg, "--max-memory-mb", &value);
+    if (!r.ok()) return r.status();
+    if (*r) {
+      flags->max_memory_mb = static_cast<size_t>(value);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<OmqCache> MakeCacheFromFlags(const EngineFlags& flags) {
+  if (!flags.cache) return nullptr;
+  return std::make_unique<OmqCache>(OmqCacheConfig{flags.cache_capacity, 8});
+}
+
+void ApplyGovernorFlags(const EngineFlags& flags,
+                        ResourceGovernor* governor) {
+  if (flags.deadline_ms > 0) {
+    governor->set_deadline_after(std::chrono::milliseconds(flags.deadline_ms));
+  }
+  if (flags.max_memory_mb > 0) {
+    governor->set_memory_budget(flags.max_memory_mb * size_t{1024} * 1024);
+  }
+}
+
+Result<Program> LoadProgramFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProgram(text.str());
+}
+
+Schema InferProgramDataSchema(const Program& program) {
+  Schema schema = program.facts.InducedSchema();
+  Schema derived = program.tgds.HeadPredicates();
+  for (const NamedQuery& nq : program.queries) {
+    for (const Atom& a : nq.query.body) {
+      if (!derived.Contains(a.predicate)) schema.Add(a.predicate);
+    }
+  }
+  for (const Tgd& tgd : program.tgds.tgds) {
+    for (const Atom& a : tgd.body) {
+      if (!derived.Contains(a.predicate)) schema.Add(a.predicate);
+    }
+  }
+  return schema;
+}
+
+Result<Omq> SingleQueryNamed(const Program& program, const Schema& schema,
+                             const std::string& name) {
+  UnionOfCQs ucq = program.QueriesNamed(name);
+  if (ucq.empty()) {
+    return Status::NotFound("no query named " + name);
+  }
+  if (ucq.size() > 1) {
+    return Status::Unsupported(
+        "query " + name + " is a UCQ; this command expects a single CQ");
+  }
+  return Omq{schema, program.tgds, ucq.disjuncts.front()};
+}
+
+std::string FormatAnswers(const std::vector<std::vector<Term>>& answers) {
+  std::string out = StrCat(answers.size(), " answer(s):\n");
+  for (const auto& tuple : answers) {
+    out += StrCat("  (",
+                  JoinMapped(tuple, ", ",
+                             [](const Term& t) { return t.ToString(); }),
+                  ")\n");
+  }
+  return out;
+}
+
+std::string FormatContainmentReport(const std::string& lhs,
+                                    const std::string& rhs,
+                                    const ContainmentResult& result) {
+  std::string out = StrCat(lhs, " ⊆ ", rhs, ": ",
+                           ContainmentOutcomeToString(result.outcome), "\n");
+  if (!result.detail.empty()) {
+    out += StrCat("  ", result.detail, "\n");
+  }
+  if (result.witness.has_value()) {
+    out += StrCat("counterexample database:\n",
+                  PrettifiedCopy(result.witness->database).ToString(), "\n");
+  }
+  out += StrCat("candidates checked: ", result.candidates_checked,
+                " (largest: ", result.max_witness_size, " atoms)\n");
+  return out;
+}
+
+std::string FormatClassificationReport(const TgdSet& tgds) {
+  ClassificationReport report = Classify(tgds);
+  return StrCat("tgds: ", tgds.size(), "\nclasses: ", report.ToString(),
+                "\nprimary class: ", TgdClassToString(PrimaryClass(tgds)),
+                "\n");
+}
+
+}  // namespace omqc

@@ -1,0 +1,96 @@
+// Shared front-end plumbing for the omqc binaries (omqc_cli, omqc_server,
+// omqc_load): engine flag parsing, program loading, and verdict
+// formatting.
+//
+// The three binaries accept the same --cache=/--deadline-ms=/... engine
+// flags; parsing lives here once so they cannot drift. Numeric flag values
+// are parsed *strictly* — "--threads=12x" or "--deadline-ms=" is a usage
+// error, not a silent 12 or 0 (omqc_cli historically accepted both via
+// strtoul).
+//
+// The Format* functions produce the exact text omqc_cli prints for a
+// verdict; the server returns the same strings as response bodies, which
+// is what makes "server output is byte-identical to the CLI" a structural
+// property rather than a test aspiration (asserted anyway by
+// tests/server_test.cc and scripts/server_smoke.sh).
+
+#ifndef OMQC_CORE_FRONTEND_H_
+#define OMQC_CORE_FRONTEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/governor.h"
+#include "cache/omq_cache.h"
+#include "chase/chase.h"
+#include "core/containment.h"
+#include "core/omq.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+
+/// The engine flags shared by every omqc binary.
+struct EngineFlags {
+  size_t threads = 1;      ///< --threads=N (0 = hardware concurrency)
+  bool stats = false;      ///< --stats (human-readable EngineStats)
+  bool stats_json = false; ///< --stats-json (machine-readable EngineStats)
+  ChaseStrategy chase = ChaseStrategy::kSemiNaive;  ///< --chase=...
+  bool cache = true;             ///< --cache=on|off
+  size_t cache_capacity = 1024;  ///< --cache-capacity=N (> 0)
+  uint64_t deadline_ms = 0;      ///< --deadline-ms=N (0 = none)
+  size_t max_memory_mb = 0;      ///< --max-memory-mb=N (0 = none)
+};
+
+/// One-line usage text for the shared engine flags (appended to each
+/// binary's own usage message).
+const char* EngineFlagsUsage();
+
+/// Strict unsigned decimal parse of a flag value: the whole of `text` must
+/// be digits and fit in a uint64_t. `flag` names the flag for the error
+/// message ("--threads").
+Result<uint64_t> ParseUnsignedFlagValue(const std::string& flag,
+                                        const std::string& text);
+
+/// Tries to consume `arg` as a shared engine flag into `flags`. Returns
+/// true when consumed, false when `arg` is not an engine flag (positional
+/// argument or a binary-specific flag), and an error Status for an engine
+/// flag with a malformed value.
+Result<bool> ParseEngineFlag(const std::string& arg, EngineFlags* flags);
+
+/// The process-wide compilation cache the flags ask for (null when
+/// --cache=off).
+std::unique_ptr<OmqCache> MakeCacheFromFlags(const EngineFlags& flags);
+
+/// Applies the deadline/memory flags to `governor`.
+void ApplyGovernorFlags(const EngineFlags& flags, ResourceGovernor* governor);
+
+/// Reads and parses a DLGP program file.
+Result<Program> LoadProgramFile(const std::string& path);
+
+/// Data schema heuristic shared by all front ends: fact predicates plus
+/// query/tgd body predicates no tgd derives.
+Schema InferProgramDataSchema(const Program& program);
+
+/// The single-CQ query named `name` as an OMQ over `schema`; NotFound /
+/// Unsupported mirror omqc_cli's historical messages.
+Result<Omq> SingleQueryNamed(const Program& program, const Schema& schema,
+                             const std::string& name);
+
+/// "N answer(s):" plus one indented tuple per line — exactly what
+/// omqc_cli eval prints.
+std::string FormatAnswers(const std::vector<std::vector<Term>>& answers);
+
+/// The containment verdict block omqc_cli contain prints: verdict line,
+/// optional detail, optional counterexample database, candidates line.
+std::string FormatContainmentReport(const std::string& lhs,
+                                    const std::string& rhs,
+                                    const ContainmentResult& result);
+
+/// The classification block omqc_cli classify prints.
+std::string FormatClassificationReport(const TgdSet& tgds);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_FRONTEND_H_

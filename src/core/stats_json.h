@@ -1,0 +1,43 @@
+// Machine-readable serialization of the engine's observability structs.
+//
+// One serializer feeds every surface that exports counters: omqc_cli
+// --stats-json, the server's STATS endpoint (src/server/server.cc) and the
+// per-request stats attached to wire responses — so a dashboard scraping
+// the daemon and a script parsing the CLI see the same field names.
+// Layout mirrors EngineStats::ToString section for section.
+
+#ifndef OMQC_CORE_STATS_JSON_H_
+#define OMQC_CORE_STATS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/json_writer.h"
+#include "core/engine_stats.h"
+
+namespace omqc {
+
+/// Appends {"containment": {...}, "rewrite": {...}, ...} as the value of
+/// `key` in the writer's current object.
+void AppendEngineStatsJson(JsonWriter& w, std::string_view key,
+                           const EngineStats& stats);
+
+/// Appends governor counters as the value of `key`.
+void AppendGovernorCountersJson(JsonWriter& w, std::string_view key,
+                                const GovernorCounters& governor);
+
+/// Appends cache traffic counters as the value of `key`.
+void AppendCacheCountersJson(JsonWriter& w, std::string_view key,
+                             const CacheCounters& cache);
+
+/// Appends an OmqCache occupancy snapshot as the value of `key`.
+void AppendOmqCacheStatsJson(JsonWriter& w, std::string_view key,
+                             const OmqCacheStats& stats);
+
+/// A complete standalone JSON document for one run's EngineStats
+/// (omqc_cli --stats-json).
+std::string EngineStatsToJson(const EngineStats& stats);
+
+}  // namespace omqc
+
+#endif  // OMQC_CORE_STATS_JSON_H_

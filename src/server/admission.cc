@@ -1,0 +1,125 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace omqc {
+
+using Clock = std::chrono::steady_clock;
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config, DispatchFn dispatch)
+    : config_(config), dispatch_(std::move(dispatch)) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AdmissionQueue::~AdmissionQueue() { Shutdown(); }
+
+bool AdmissionQueue::Submit(const BatchKey& key,
+                            std::shared_ptr<void> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++stats_.submitted;
+  ++stats_.current_depth;
+  stats_.queue_depth_peak =
+      std::max(stats_.queue_depth_peak, stats_.current_depth);
+  Clock::time_point now = Clock::now();
+  Group& group = groups_[key];
+  if (group.tickets.empty()) {
+    group.deadline = now + std::chrono::milliseconds(config_.linger_ms);
+  }
+  group.tickets.push_back(Ticket{key, std::move(payload), now, 0});
+  if (group.tickets.size() >= config_.max_batch) {
+    ready_.push_back(std::move(group.tickets));
+    groups_.erase(key);
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second caller: the dispatcher is already flushing/joined.
+    }
+    stopping_ = true;
+    wake_.notify_one();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void AdmissionQueue::CollectReadyLocked(Clock::time_point now, bool flush) {
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (flush || it->second.deadline <= now) {
+      ready_.push_back(std::move(it->second.tickets));
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AdmissionQueue::DispatcherLoop() {
+  for (;;) {
+    std::vector<Ticket> batch;
+    uint64_t batch_id = 0;
+    bool dropped = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        Clock::time_point now = Clock::now();
+        CollectReadyLocked(now, /*flush=*/stopping_);
+        if (!ready_.empty()) break;
+        if (stopping_) return;  // fully drained
+        if (groups_.empty()) {
+          wake_.wait(lock);
+        } else {
+          Clock::time_point next = groups_.begin()->second.deadline;
+          for (const auto& [key, group] : groups_) {
+            next = std::min(next, group.deadline);
+          }
+          wake_.wait_until(lock, next);
+        }
+      }
+      batch = std::move(ready_.front());
+      ready_.pop_front();
+      batch_id = ++next_batch_id_;
+
+      Clock::time_point now = Clock::now();
+      for (Ticket& ticket : batch) {
+        ticket.wait_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - ticket.enqueued)
+                .count());
+        stats_.wait_us_total += ticket.wait_us;
+        stats_.wait_us_max = std::max(stats_.wait_us_max, ticket.wait_us);
+      }
+      ++stats_.batches_dispatched;
+      stats_.max_batch_size =
+          std::max<uint64_t>(stats_.max_batch_size, batch.size());
+      if (batch.size() > 1) stats_.batched_requests += batch.size();
+      stats_.current_depth -= std::min<uint64_t>(
+          stats_.current_depth, static_cast<uint64_t>(batch.size()));
+
+      // The injector hook is a lock-free counter bump; consulting it under
+      // mu_ keeps the drop accounting atomic with the dispatch accounting.
+      FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire);
+      if (injector != nullptr && injector->OnBatchDispatch()) {
+        dropped = true;
+        ++stats_.batches_dropped;
+        stats_.dropped_requests += batch.size();
+      }
+    }
+    dispatch_(std::move(batch), batch_id, dropped);
+  }
+}
+
+AdmissionStats AdmissionQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace omqc

@@ -1,0 +1,149 @@
+// The server's admission queue: groups compatible requests into batches
+// before dispatch, so concurrent requests against the same ontology share
+// one compilation instead of racing N cold XRewrite runs.
+//
+// Compatibility is structural: requests batch together iff they agree on
+// BatchKey — the 128-bit isomorphism-invariant fingerprint of the
+// ontology's tgd set (cache/canonical.h) plus the request kind. Two
+// tenants sending the same ontology under different names land in the same
+// batch; the same tenant sending two different ontologies does not.
+//
+// A batch is dispatched when it reaches `max_batch` tickets or when its
+// oldest ticket has lingered `linger_ms` (whichever first; linger 0 =
+// dispatch on the next dispatcher wakeup, i.e. effectively immediately).
+// All dispatch callbacks run on the queue's single dispatcher thread, so
+// batches leave in a deterministic order — the server relies on this to
+// submit each batch's leader task to the worker pool before its followers.
+//
+// Fault injection: FaultPlan::drop_batch_at names a 1-based dispatch at
+// which the whole batch is handed to the callback with dropped=true. The
+// callback must still complete every ticket (the chaos suite asserts the
+// queue stays serviceable and no governor charge leaks).
+
+#ifndef OMQC_SERVER_ADMISSION_H_
+#define OMQC_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "cache/canonical.h"
+
+namespace omqc {
+
+/// What makes two requests batchable: same ontology structure (up to tgd
+/// reordering and variable renaming) and same request kind.
+struct BatchKey {
+  Fingerprint ontology;
+  uint8_t kind = 0;  ///< RequestType byte (eval/contain/classify)
+
+  bool operator==(const BatchKey& other) const {
+    return ontology == other.ontology && kind == other.kind;
+  }
+  bool operator<(const BatchKey& other) const {
+    if (!(ontology == other.ontology)) return ontology < other.ontology;
+    return kind < other.kind;
+  }
+};
+
+struct AdmissionConfig {
+  /// Dispatch a batch as soon as it holds this many tickets.
+  size_t max_batch = 16;
+  /// How long the first ticket of a batch may wait for company.
+  uint64_t linger_ms = 2;
+};
+
+/// Queue-level tallies for the STATS endpoint.
+struct AdmissionStats {
+  uint64_t submitted = 0;          ///< tickets accepted by Submit
+  uint64_t rejected = 0;           ///< tickets refused (queue shut down)
+  uint64_t batches_dispatched = 0; ///< includes dropped batches
+  uint64_t batches_dropped = 0;    ///< fault-injected drops
+  uint64_t dropped_requests = 0;   ///< tickets riding dropped batches
+  uint64_t batched_requests = 0;   ///< tickets in batches of size > 1
+  uint64_t max_batch_size = 0;
+  uint64_t queue_depth_peak = 0;
+  uint64_t current_depth = 0;
+  uint64_t wait_us_total = 0;      ///< admission wait summed over tickets
+  uint64_t wait_us_max = 0;
+};
+
+class AdmissionQueue {
+ public:
+  /// One queued request. `payload` is opaque to the queue (the server
+  /// stores its per-request state there); `wait_us` is filled in at
+  /// dispatch with the ticket's time in the queue.
+  struct Ticket {
+    BatchKey key;
+    std::shared_ptr<void> payload;
+    std::chrono::steady_clock::time_point enqueued;
+    uint64_t wait_us = 0;
+  };
+
+  /// Invoked on the dispatcher thread with a complete batch. `dropped`
+  /// means a fault plan dropped the batch: the callback must complete
+  /// every ticket with kCancelled instead of executing it.
+  using DispatchFn = std::function<void(std::vector<Ticket>&& batch,
+                                        uint64_t batch_id, bool dropped)>;
+
+  AdmissionQueue(AdmissionConfig config, DispatchFn dispatch);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Equivalent to Shutdown().
+  ~AdmissionQueue();
+
+  /// Enqueues one request. Returns false (and does nothing) after
+  /// Shutdown() has begun — the caller answers the request itself.
+  bool Submit(const BatchKey& key, std::shared_ptr<void> payload);
+
+  /// Flushes every pending batch through the dispatch callback (normal,
+  /// not dropped), then joins the dispatcher thread. Idempotent.
+  void Shutdown();
+
+  AdmissionStats Stats() const;
+
+  /// Test-only: batch-drop fault injection (FaultPlan::drop_batch_at).
+  /// Pass nullptr to detach. The injector must outlive its use.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  struct Group {
+    std::vector<Ticket> tickets;
+    std::chrono::steady_clock::time_point deadline;  ///< linger expiry
+  };
+
+  void DispatcherLoop();
+  /// Moves groups whose linger expired (all groups if `flush`) from
+  /// `groups_` to `ready_`. Caller holds mu_.
+  void CollectReadyLocked(std::chrono::steady_clock::time_point now,
+                          bool flush);
+
+  const AdmissionConfig config_;
+  const DispatchFn dispatch_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::map<BatchKey, Group> groups_;
+  std::deque<std::vector<Ticket>> ready_;
+  AdmissionStats stats_;
+  uint64_t next_batch_id_ = 0;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_SERVER_ADMISSION_H_

@@ -1,0 +1,76 @@
+#include "server/client.h"
+
+namespace omqc {
+
+Result<OmqClient> OmqClient::Connect(const std::string& host,
+                                     uint16_t port) {
+  OMQC_ASSIGN_OR_RETURN(OwnedFd fd, ConnectTcp(host, port));
+  return OmqClient(std::move(fd));
+}
+
+Result<WireResponse> OmqClient::Call(WireRequest request) {
+  if (request.request_id == 0) request.request_id = next_request_id_;
+  next_request_id_ = request.request_id + 1;
+  OMQC_RETURN_IF_ERROR(WriteFrame(fd_.get(), EncodeRequest(request)));
+  std::string payload;
+  for (;;) {
+    OMQC_RETURN_IF_ERROR(ReadFrame(fd_.get(), &payload));
+    OMQC_ASSIGN_OR_RETURN(WireResponse response, DecodeResponse(payload));
+    if (response.request_id == request.request_id) return response;
+    // A stray id (server answered a decode failure with id 0, or a stale
+    // pipelined response) — keep reading for ours.
+  }
+}
+
+Result<WireResponse> OmqClient::Ping() {
+  WireRequest request;
+  request.type = RequestType::kPing;
+  return Call(std::move(request));
+}
+
+Result<WireResponse> OmqClient::Eval(const std::string& program,
+                                     const std::string& query,
+                                     const std::string& tenant) {
+  WireRequest request;
+  request.type = RequestType::kEval;
+  request.tenant = tenant;
+  request.program = program;
+  request.query = query;
+  return Call(std::move(request));
+}
+
+Result<WireResponse> OmqClient::Contain(const std::string& program,
+                                        const std::string& lhs,
+                                        const std::string& rhs,
+                                        const std::string& tenant) {
+  WireRequest request;
+  request.type = RequestType::kContain;
+  request.tenant = tenant;
+  request.program = program;
+  request.query = lhs;
+  request.query2 = rhs;
+  return Call(std::move(request));
+}
+
+Result<WireResponse> OmqClient::Classify(const std::string& program,
+                                         const std::string& tenant) {
+  WireRequest request;
+  request.type = RequestType::kClassify;
+  request.tenant = tenant;
+  request.program = program;
+  return Call(std::move(request));
+}
+
+Result<WireResponse> OmqClient::Stats() {
+  WireRequest request;
+  request.type = RequestType::kStats;
+  return Call(std::move(request));
+}
+
+Result<WireResponse> OmqClient::Shutdown() {
+  WireRequest request;
+  request.type = RequestType::kShutdown;
+  return Call(std::move(request));
+}
+
+}  // namespace omqc

@@ -1,0 +1,58 @@
+// OmqClient: a minimal blocking client for the omqc wire protocol, used
+// by omqc_load, scripts/server_smoke.sh (via omqc_load) and the server
+// tests. One outstanding request per connection: Call() writes the
+// request and reads frames until the response with the matching
+// request_id arrives (the server may interleave other ids only when the
+// caller itself pipelined, which this client never does).
+
+#ifndef OMQC_SERVER_CLIENT_H_
+#define OMQC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/socket.h"
+#include "server/wire.h"
+
+namespace omqc {
+
+class OmqClient {
+ public:
+  /// Wraps an already-connected fd (e.g. OmqServer::ConnectInProcess).
+  explicit OmqClient(OwnedFd fd) : fd_(std::move(fd)) {}
+
+  /// Connects over TCP.
+  static Result<OmqClient> Connect(const std::string& host, uint16_t port);
+
+  OmqClient(OmqClient&&) = default;
+  OmqClient& operator=(OmqClient&&) = default;
+
+  /// Sends `request` (request_id assigned here if 0) and blocks for its
+  /// response. Transport-level failure is the returned error; a server-
+  /// side failure arrives as a WireResponse with code != kOk.
+  Result<WireResponse> Call(WireRequest request);
+
+  /// Convenience wrappers.
+  Result<WireResponse> Ping();
+  Result<WireResponse> Eval(const std::string& program,
+                            const std::string& query,
+                            const std::string& tenant = "");
+  Result<WireResponse> Contain(const std::string& program,
+                               const std::string& lhs,
+                               const std::string& rhs,
+                               const std::string& tenant = "");
+  Result<WireResponse> Classify(const std::string& program,
+                                const std::string& tenant = "");
+  Result<WireResponse> Stats();
+  Result<WireResponse> Shutdown();
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  OwnedFd fd_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_SERVER_CLIENT_H_

@@ -1,0 +1,570 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/string_util.h"
+#include "core/containment.h"
+#include "core/eval.h"
+#include "core/frontend.h"
+#include "core/stats_json.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+
+using Clock = std::chrono::steady_clock;
+
+/// One client connection. The session thread owns the read side; the
+/// write side is shared with pool workers (out-of-order responses) and
+/// serialized by `write_mu`. The fd closes when the last holder — session
+/// thread or in-flight request — drops its reference.
+struct OmqServer::Connection {
+  OwnedFd fd;
+  std::mutex write_mu;
+  std::atomic<bool> broken{false};
+};
+
+/// One admitted eval/contain/classify request between its session thread
+/// and its pool worker.
+struct OmqServer::PendingRequest {
+  WireRequest request;
+  Program program;
+  Schema schema;
+  TenantLease lease;
+  std::shared_ptr<Connection> conn;
+  uint64_t admission_wait_us = 0;
+};
+
+namespace {
+
+/// Leader/follower rendezvous for one admission batch: followers park
+/// until the leader has executed (and warmed the shared cache).
+struct BatchState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool leader_done = false;
+};
+
+}  // namespace
+
+OmqServer::OmqServer(ServerConfig config)
+    : config_(std::move(config)),
+      tenants_(&governor_, config_.tenant_quota) {
+  if (config_.server_memory_budget_bytes > 0) {
+    governor_.set_memory_budget(config_.server_memory_budget_bytes);
+  }
+  if (config_.cache_capacity > 0) {
+    OmqCacheConfig cache_config;
+    cache_config.capacity = config_.cache_capacity;
+    cache_config.num_shards = std::max<size_t>(1, config_.cache_shards);
+    cache_ = std::make_unique<OmqCache>(cache_config);
+  }
+}
+
+OmqServer::~OmqServer() { Shutdown(); }
+
+void OmqServer::Start() {
+  // call_once, not an atomic exchange: concurrent first connections must
+  // all block until the pipeline exists, or the loser's session thread
+  // would race a half-constructed admission queue.
+  std::call_once(start_once_, [this] {
+    size_t threads = config_.worker_threads != 0
+                         ? config_.worker_threads
+                         : ThreadPool::DefaultConcurrency();
+    pool_ = std::make_unique<ThreadPool>(threads);
+    admission_ = std::make_unique<AdmissionQueue>(
+        config_.admission,
+        [this](std::vector<AdmissionQueue::Ticket>&& batch,
+               uint64_t batch_id, bool dropped) {
+          RunBatch(std::move(batch), batch_id, dropped);
+        });
+  });
+}
+
+Result<uint16_t> OmqServer::ListenAndStart(uint16_t port) {
+  Start();
+  OMQC_ASSIGN_OR_RETURN(listen_fd_,
+                        ListenTcp(config_.listen_address, port));
+  OMQC_ASSIGN_OR_RETURN(uint16_t bound, LocalPort(listen_fd_.get()));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return bound;
+}
+
+Result<OwnedFd> OmqServer::ConnectInProcess() {
+  Start();
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("server shutting down");
+  }
+  OMQC_ASSIGN_OR_RETURN(auto pair, StreamSocketPair());
+  auto conn = std::make_shared<Connection>();
+  conn->fd = std::move(pair.second);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    connections_.push_back(conn);
+    session_threads_.emplace_back(
+        [this, conn]() mutable { SessionLoop(std::move(conn)); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.connections;
+  }
+  return std::move(pair.first);
+}
+
+void OmqServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = AcceptConnection(listen_fd_.get());
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kCancelled ||
+          stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      continue;  // transient accept failure (e.g. peer reset in backlog)
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(*accepted);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      connections_.push_back(conn);
+      session_threads_.emplace_back(
+          [this, conn]() mutable { SessionLoop(std::move(conn)); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.connections;
+    }
+  }
+}
+
+void OmqServer::SessionLoop(std::shared_ptr<Connection> conn) {
+  std::string payload;
+  for (;;) {
+    Status read = ReadFrame(conn->fd.get(), &payload);
+    if (!read.ok()) {
+      // kCancelled = orderly close between frames; anything else is a
+      // corrupt stream — either way the session ends (in-flight requests
+      // keep the fd alive through their own reference).
+      if (read.code() != StatusCode::kCancelled) {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.malformed_frames;
+      }
+      break;
+    }
+    auto request = DecodeRequest(payload);
+    if (!request.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.malformed_frames;
+      }
+      WireResponse response;
+      response.request_id = 0;  // the id may not have decoded
+      response.code = request.status().code();
+      response.message = request.status().message();
+      SendResponse(conn, std::move(response));
+      continue;  // framing is intact; later frames may be fine
+    }
+    HandleRequest(conn, std::move(*request));
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  connections_.erase(
+      std::remove(connections_.begin(), connections_.end(), conn),
+      connections_.end());
+}
+
+void OmqServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                              WireRequest&& request) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.requests;
+  }
+  switch (request.type) {
+    case RequestType::kPing: {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.pings;
+      }
+      WireResponse response;
+      response.request_id = request.request_id;
+      response.body = "pong";
+      SendResponse(conn, std::move(response));
+      return;
+    }
+    case RequestType::kStats: {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.stats_requests;
+      }
+      WireResponse response;
+      response.request_id = request.request_id;
+      response.body = StatsJson();
+      SendResponse(conn, std::move(response));
+      return;
+    }
+    case RequestType::kShutdown: {
+      WireResponse response;
+      response.request_id = request.request_id;
+      response.body = "shutting down";
+      SendResponse(conn, std::move(response));
+      RequestShutdown();
+      return;
+    }
+    case RequestType::kEval:
+    case RequestType::kContain:
+    case RequestType::kClassify:
+      break;
+  }
+
+  // Parse on the session thread so malformed programs bounce immediately
+  // without consuming a pool slot or tenant accounting.
+  auto program = ParseProgram(request.program);
+  if (!program.ok()) {
+    WireResponse response;
+    response.request_id = request.request_id;
+    response.code = StatusCode::kInvalidArgument;
+    response.message = StrCat("program: ", program.status().message());
+    SendResponse(conn, std::move(response));
+    return;
+  }
+
+  auto pending = std::make_shared<PendingRequest>();
+  pending->program = std::move(*program);
+  pending->schema = InferProgramDataSchema(pending->program);
+  pending->conn = conn;
+  pending->lease = tenants_.Admit(request.tenant);
+  pending->request = std::move(request);
+
+  // A tenant whose governor is tripped (e.g. blew its memory quota) fails
+  // fast until its in-flight requests drain and the governor is replaced.
+  Status trip = pending->lease.governor->TripStatus();
+  if (!trip.ok()) {
+    FailPending(pending, trip.code(),
+                StrCat("tenant governor tripped: ", trip.message()),
+                /*batch_id=*/0, /*batch_size=*/0);
+    return;
+  }
+
+  BatchKey key;
+  key.ontology = FingerprintTgdSet(pending->program.tgds);
+  key.kind = static_cast<uint8_t>(pending->request.type);
+  if (!admission_->Submit(key, pending)) {
+    FailPending(pending, StatusCode::kCancelled, "server shutting down",
+                /*batch_id=*/0, /*batch_size=*/0);
+  }
+}
+
+void OmqServer::RunBatch(std::vector<AdmissionQueue::Ticket>&& batch,
+                         uint64_t batch_id, bool dropped) {
+  uint32_t batch_size = static_cast<uint32_t>(batch.size());
+  if (dropped) {
+    // Fault-injected drop: every rider is answered and every lease
+    // settled right here on the dispatcher thread — the queue stays
+    // serviceable and no governor charge leaks (tests/server_test.cc).
+    for (AdmissionQueue::Ticket& ticket : batch) {
+      auto pending =
+          std::static_pointer_cast<PendingRequest>(ticket.payload);
+      pending->admission_wait_us = ticket.wait_us;
+      FailPending(pending, StatusCode::kCancelled,
+                  "admission batch dropped (injected)", batch_id,
+                  batch_size);
+    }
+    return;
+  }
+  if (batch.size() == 1) {
+    auto pending =
+        std::static_pointer_cast<PendingRequest>(batch.front().payload);
+    pending->admission_wait_us = batch.front().wait_us;
+    pool_->Submit([this, pending, batch_id, batch_size] {
+      Execute(pending, batch_id, batch_size);
+    });
+    return;
+  }
+  // Leader first, then followers. The pool is FIFO, so the leader is
+  // always dequeued before any follower: a parked follower's leader is
+  // running or done, never queued behind it — deadlock-free at any pool
+  // size, including 1.
+  auto state = std::make_shared<BatchState>();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto pending =
+        std::static_pointer_cast<PendingRequest>(batch[i].payload);
+    pending->admission_wait_us = batch[i].wait_us;
+    if (i == 0) {
+      pool_->Submit([this, pending, state, batch_id, batch_size] {
+        Execute(pending, batch_id, batch_size);
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->leader_done = true;
+        }
+        state->cv.notify_all();
+      });
+    } else {
+      pool_->Submit([this, pending, state, batch_id, batch_size] {
+        {
+          std::unique_lock<std::mutex> lock(state->mu);
+          state->cv.wait(lock, [&] { return state->leader_done; });
+        }
+        Execute(pending, batch_id, batch_size);
+      });
+    }
+  }
+}
+
+void OmqServer::Execute(const std::shared_ptr<PendingRequest>& pending,
+                        uint64_t batch_id, uint32_t batch_size) {
+  const WireRequest& request = pending->request;
+
+  ResourceGovernor req_gov(pending->lease.governor.get());
+  uint64_t deadline_ms = request.deadline_ms;
+  if (deadline_ms == 0) deadline_ms = config_.default_deadline_ms;
+  if (deadline_ms == 0) deadline_ms = tenants_.quota().default_deadline_ms;
+  if (deadline_ms > 0) {
+    req_gov.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  }
+  if (request.max_memory_bytes > 0) {
+    req_gov.set_memory_budget(
+        static_cast<size_t>(request.max_memory_bytes));
+  }
+
+  WireResponse response;
+  response.request_id = request.request_id;
+  response.batch_id = batch_id;
+  response.batch_size = batch_size;
+  response.admission_wait_us = pending->admission_wait_us;
+
+  EngineStats stats;
+  switch (request.type) {
+    case RequestType::kEval: {
+      auto omq = SingleQueryNamed(pending->program, pending->schema,
+                                  request.query);
+      if (!omq.ok()) {
+        response.code = omq.status().code();
+        response.message = omq.status().message();
+        break;
+      }
+      EvalOptions options;
+      options.chase_strategy = config_.chase;
+      options.cache = cache_.get();
+      options.governor = &req_gov;
+      auto answers =
+          EvalAll(*omq, pending->program.facts, options, &stats);
+      if (!answers.ok()) {
+        response.code = answers.status().code();
+        response.message = answers.status().message();
+      } else {
+        response.body = FormatAnswers(*answers);
+      }
+      response.stats_json = EngineStatsToJson(stats);
+      break;
+    }
+    case RequestType::kContain: {
+      auto q1 = SingleQueryNamed(pending->program, pending->schema,
+                                 request.query);
+      auto q2 = SingleQueryNamed(pending->program, pending->schema,
+                                 request.query2);
+      if (!q1.ok() || !q2.ok()) {
+        const Status& bad = q1.ok() ? q2.status() : q1.status();
+        response.code = bad.code();
+        response.message = bad.message();
+        break;
+      }
+      ContainmentOptions options;
+      options.num_threads = std::max<size_t>(1, config_.contain_threads);
+      options.eval.chase_strategy = config_.chase;
+      options.cache = cache_.get();
+      options.governor = &req_gov;
+      auto result = CheckContainment(*q1, *q2, options);
+      if (!result.ok()) {
+        response.code = result.status().code();
+        response.message = result.status().message();
+      } else {
+        response.body =
+            FormatContainmentReport(request.query, request.query2, *result);
+        stats = result->stats;
+      }
+      response.stats_json = EngineStatsToJson(stats);
+      break;
+    }
+    case RequestType::kClassify: {
+      response.body = FormatClassificationReport(pending->program.tgds);
+      break;
+    }
+    default:
+      response.code = StatusCode::kInternal;
+      response.message = "non-executable request type reached the pool";
+      break;
+  }
+
+  // A trip is the authoritative outcome even when the engine salvaged a
+  // partial result (mirrors omqc_cli's exit 3): the client sees the trip
+  // code, plus whatever partial body was produced.
+  Status trip = req_gov.TripStatus();
+  if (!trip.ok()) {
+    response.code = trip.code();
+    response.message = trip.message();
+  }
+
+  StatusCode code = response.code;
+  SendResponse(pending->conn, std::move(response));
+  tenants_.Complete(pending->lease, req_gov.local_charged_bytes(), code,
+                    stats, batch_size > 1);
+}
+
+void OmqServer::FailPending(const std::shared_ptr<PendingRequest>& pending,
+                            StatusCode code, const std::string& message,
+                            uint64_t batch_id, uint32_t batch_size) {
+  WireResponse response;
+  response.request_id = pending->request.request_id;
+  response.code = code;
+  response.message = message;
+  response.batch_id = batch_id;
+  response.batch_size = batch_size;
+  response.admission_wait_us = pending->admission_wait_us;
+  SendResponse(pending->conn, std::move(response));
+  tenants_.Complete(pending->lease, /*residual_bytes=*/0, code,
+                    EngineStats(), batch_size > 1);
+}
+
+void OmqServer::SendResponse(const std::shared_ptr<Connection>& conn,
+                             WireResponse&& response) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    if (response.code == StatusCode::kOk) {
+      ++counters_.responses_ok;
+    } else {
+      ++counters_.responses_error;
+    }
+  }
+  std::string payload = EncodeResponse(response);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->broken.load(std::memory_order_relaxed)) return;
+  if (!WriteFrame(conn->fd.get(), payload).ok()) {
+    conn->broken.store(true, std::memory_order_relaxed);
+  }
+}
+
+void OmqServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool OmqServer::WaitForShutdownRequest(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait_for(lock, timeout, [&] { return shutdown_requested_; });
+  return shutdown_requested_;
+}
+
+void OmqServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // 1. Stop accepting connections.
+  if (listen_fd_.valid()) ShutdownSocket(listen_fd_.get());
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Flush the admission queue (new submissions now bounce) and drain
+  //    every execution — all responses are written after this.
+  if (admission_ != nullptr) admission_->Shutdown();
+  if (pool_ != nullptr) pool_->Wait();
+  // 3. Unblock session readers and join them.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& conn : connections_) {
+      if (conn->fd.valid()) ShutdownSocket(conn->fd.get());
+    }
+  }
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(session_threads_);
+  }
+  for (std::thread& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void OmqServer::set_fault_injector(FaultInjector* injector) {
+  if (admission_ != nullptr) admission_->set_fault_injector(injector);
+  if (cache_ != nullptr) cache_->set_fault_injector(injector);
+}
+
+AdmissionStats OmqServer::admission_stats() const {
+  return admission_ != nullptr ? admission_->Stats() : AdmissionStats{};
+}
+
+ServerCounters OmqServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+std::string OmqServer::StatsJson() const {
+  JsonWriter w;
+  w.BeginObject();
+
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    w.BeginObject("server");
+    w.Field("connections", counters_.connections);
+    w.Field("requests", counters_.requests);
+    w.Field("responses_ok", counters_.responses_ok);
+    w.Field("responses_error", counters_.responses_error);
+    w.Field("pings", counters_.pings);
+    w.Field("stats_requests", counters_.stats_requests);
+    w.Field("malformed_frames", counters_.malformed_frames);
+    w.Field("worker_threads",
+            static_cast<uint64_t>(pool_ != nullptr ? pool_->num_threads()
+                                                   : 0));
+    w.EndObject();
+  }
+
+  AdmissionStats admission =
+      admission_ != nullptr ? admission_->Stats() : AdmissionStats();
+  w.BeginObject("admission");
+  w.Field("submitted", admission.submitted);
+  w.Field("rejected", admission.rejected);
+  w.Field("batches_dispatched", admission.batches_dispatched);
+  w.Field("batches_dropped", admission.batches_dropped);
+  w.Field("dropped_requests", admission.dropped_requests);
+  w.Field("batched_requests", admission.batched_requests);
+  w.Field("max_batch_size", admission.max_batch_size);
+  w.Field("queue_depth_peak", admission.queue_depth_peak);
+  w.Field("current_depth", admission.current_depth);
+  w.Field("wait_us_total", admission.wait_us_total);
+  w.Field("wait_us_max", admission.wait_us_max);
+  w.EndObject();
+
+  if (cache_ != nullptr) {
+    AppendOmqCacheStatsJson(w, "cache", cache_->Stats());
+  }
+  AppendGovernorCountersJson(w, "governor", governor_.counters());
+  w.Field("governor_charged_bytes",
+          static_cast<uint64_t>(governor_.local_charged_bytes()));
+
+  w.BeginObject("tenants");
+  for (const auto& [name, snap] : tenants_.Snapshot()) {
+    w.BeginObject(name);
+    w.Field("requests", snap.counters.requests);
+    w.Field("completed", snap.counters.completed);
+    w.Field("failed", snap.counters.failed);
+    w.Field("deadline_trips", snap.counters.deadline_trips);
+    w.Field("cancel_trips", snap.counters.cancel_trips);
+    w.Field("memory_trips", snap.counters.memory_trips);
+    w.Field("batched_requests", snap.counters.batched_requests);
+    w.Field("cache_hits", snap.counters.cache_hits);
+    w.Field("cache_misses", snap.counters.cache_misses);
+    w.Field("governor_resets", snap.counters.governor_resets);
+    w.Field("inflight", snap.inflight);
+    w.Field("charged_bytes", static_cast<uint64_t>(snap.charged_bytes));
+    w.Field("tripped", snap.tripped);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace omqc

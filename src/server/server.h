@@ -1,0 +1,198 @@
+// OmqServer: containment-as-a-service over the wire protocol.
+//
+// Request path (see DESIGN.md "Server pipeline"):
+//
+//   session thread ──► admission queue ──► dispatcher ──► worker pool
+//   (read + parse)     (batch by ontology    (leader /      (execute,
+//                       fingerprint+kind)     followers)     respond)
+//
+// Each connection gets a session thread that reads frames, answers
+// ping/stats/shutdown inline, parses eval/contain/classify programs, and
+// enqueues an admission ticket. The admission queue (admission.h) groups
+// tickets by BatchKey; the dispatcher submits each batch to the shared
+// ThreadPool as one *leader* task followed by follower tasks that block on
+// the leader. The leader's compilation warms the shared OmqCache, so the
+// followers hit where serial one-shot runs would each compile cold. FIFO
+// pool order makes this deadlock-free at any pool size: a batch's leader
+// is always dequeued before its followers, so a waiting follower's leader
+// is already running or done.
+//
+// Resource governance: every request executes under a fresh governor
+// child of its tenant's governor (tenant.h), itself a child of the
+// server-wide governor. A request trip (deadline/memory) answers that
+// request with the trip code; sibling requests and other tenants are
+// untouched.
+//
+// Responses may leave a connection out of order (batching); clients
+// correlate by request_id. All writes to one connection are serialized by
+// a per-connection mutex.
+
+#ifndef OMQC_SERVER_SERVER_H_
+#define OMQC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/governor.h"
+#include "base/socket.h"
+#include "base/thread_pool.h"
+#include "cache/omq_cache.h"
+#include "chase/chase.h"
+#include "server/admission.h"
+#include "server/tenant.h"
+#include "server/wire.h"
+
+namespace omqc {
+
+struct ServerConfig {
+  /// Bind address for ListenAndStart ("" = INADDR_ANY).
+  std::string listen_address = "127.0.0.1";
+  /// Worker pool size (0 = hardware concurrency).
+  size_t worker_threads = 0;
+  /// Shared compilation cache (0 capacity = caching off).
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+  AdmissionConfig admission;
+  /// Deadline for requests that carry none (0 = tenant default, then
+  /// unlimited).
+  uint64_t default_deadline_ms = 0;
+  /// Server-wide memory budget across all tenants (0 = none).
+  size_t server_memory_budget_bytes = 0;
+  /// Per-tenant limits.
+  TenantQuota tenant_quota;
+  /// Intra-request parallelism for containment checks. Kept at 1 by
+  /// default: the server parallelizes across requests via the pool.
+  size_t contain_threads = 1;
+  /// Chase strategy for evaluation paths.
+  ChaseStrategy chase = ChaseStrategy::kSemiNaive;
+};
+
+/// Server-level tallies (beyond admission/cache/tenant counters).
+struct ServerCounters {
+  uint64_t connections = 0;
+  uint64_t requests = 0;       ///< frames decoded into requests
+  uint64_t responses_ok = 0;
+  uint64_t responses_error = 0;
+  uint64_t pings = 0;
+  uint64_t stats_requests = 0;
+  uint64_t malformed_frames = 0;
+};
+
+class OmqServer {
+ public:
+  explicit OmqServer(ServerConfig config);
+
+  OmqServer(const OmqServer&) = delete;
+  OmqServer& operator=(const OmqServer&) = delete;
+
+  /// Equivalent to Shutdown().
+  ~OmqServer();
+
+  /// Starts the execution pipeline (pool + admission queue) without a
+  /// network listener — for in-process connections only.
+  void Start();
+
+  /// Start() plus a TCP listener on `port` (0 = ephemeral). Returns the
+  /// bound port.
+  Result<uint16_t> ListenAndStart(uint16_t port);
+
+  /// Opens an in-process connection (AF_UNIX socketpair): returns the
+  /// client end and spawns a session thread on the server end. Works with
+  /// or without a listener.
+  Result<OwnedFd> ConnectInProcess();
+
+  /// Graceful stop: refuse new work, flush the admission queue, drain the
+  /// pool, unblock and join every session. Idempotent.
+  void Shutdown();
+
+  /// Marks the server as asked to shut down (kShutdown request or a
+  /// signal) and wakes WaitForShutdownRequest. Does not stop anything
+  /// by itself.
+  void RequestShutdown();
+
+  /// Blocks until RequestShutdown or the timeout; true when requested.
+  bool WaitForShutdownRequest(std::chrono::milliseconds timeout);
+
+  /// The full metrics document served by kStats: server counters,
+  /// admission stats, cache stats, server governor, per-tenant sections.
+  std::string StatsJson() const;
+
+  const ServerConfig& config() const { return config_; }
+  OmqCache* cache() { return cache_.get(); }
+  ResourceGovernor* governor() { return &governor_; }
+
+  /// Point-in-time admission-queue tallies ({} before Start()).
+  AdmissionStats admission_stats() const;
+  /// Point-in-time per-tenant view (tenant.h TenantSnapshot).
+  std::map<std::string, TenantRegistry::TenantSnapshot> TenantSnapshots()
+      const {
+    return tenants_.Snapshot();
+  }
+  ServerCounters counters() const;
+
+  /// Test-only: wires a fault injector into the admission queue (batch
+  /// drops) and the cache (insert drops). Install before traffic.
+  void set_fault_injector(FaultInjector* injector);
+
+ private:
+  struct Connection;
+  struct PendingRequest;
+
+  void AcceptLoop();
+  void SessionLoop(std::shared_ptr<Connection> conn);
+  /// Handles one decoded request on the session thread; enqueues
+  /// eval/contain/classify, answers everything else inline.
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     WireRequest&& request);
+  /// Admission dispatch callback (dispatcher thread): leader/follower
+  /// submission, or dropped-batch completion.
+  void RunBatch(std::vector<AdmissionQueue::Ticket>&& batch,
+                uint64_t batch_id, bool dropped);
+  /// Executes one request on a pool worker and sends its response.
+  void Execute(const std::shared_ptr<PendingRequest>& pending,
+               uint64_t batch_id, uint32_t batch_size);
+  /// Sends `response` on `conn` (any thread; serialized per connection).
+  void SendResponse(const std::shared_ptr<Connection>& conn,
+                    WireResponse&& response);
+  /// Answers a request that never reaches the pool (dropped batch,
+  /// rejected admission, tripped tenant) and settles its lease.
+  void FailPending(const std::shared_ptr<PendingRequest>& pending,
+                   StatusCode code, const std::string& message,
+                   uint64_t batch_id, uint32_t batch_size);
+
+  ServerConfig config_;
+  ResourceGovernor governor_;  ///< server-wide root governor
+  std::unique_ptr<OmqCache> cache_;
+  TenantRegistry tenants_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<AdmissionQueue> admission_;
+
+  OwnedFd listen_fd_;
+  std::thread accept_thread_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> session_threads_;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::once_flag start_once_;
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;  ///< Shutdown() completed (under shutdown_mu_)
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_SERVER_SERVER_H_

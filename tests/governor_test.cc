@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -233,6 +235,73 @@ TEST(GovernorTest, InjectorOnAncestorGovernsChildren) {
   ResourceGovernor child(&parent);
   EXPECT_TRUE(child.Check().ok());
   EXPECT_EQ(child.Check().code(), StatusCode::kCancelled);
+}
+
+// The server layers one request governor per in-flight request under a
+// shared tenant/server chain (src/server/tenant.h). These two tests pin
+// the fan-out contract that layering relies on, at the pool sizes the
+// server suite uses (1/2/8).
+
+TEST(GovernorTest, ParentCancellationFansOutToAllChildren) {
+  for (size_t num_children : {1u, 2u, 8u}) {
+    ResourceGovernor parent;
+    std::vector<std::unique_ptr<ResourceGovernor>> children;
+    for (size_t i = 0; i < num_children; ++i) {
+      children.push_back(std::make_unique<ResourceGovernor>(&parent));
+    }
+    std::atomic<size_t> cancelled{0};
+    std::vector<std::thread> workers;
+    for (size_t i = 0; i < num_children; ++i) {
+      workers.emplace_back([&cancelled, child = children[i].get()]() {
+        // Spin until the parent's cancellation reaches this child.
+        while (child->Check().ok()) std::this_thread::yield();
+        if (child->TripStatus().code() == StatusCode::kCancelled) {
+          cancelled.fetch_add(1);
+        }
+      });
+    }
+    parent.Cancel();
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(cancelled.load(), num_children)
+        << "children=" << num_children;
+    // Inherited trips are counted once at the root, not once per child.
+    EXPECT_EQ(parent.counters().cancel_trips, 1u)
+        << "children=" << num_children;
+  }
+}
+
+TEST(GovernorTest, ChildTripNeverTouchesSiblingsOrParent) {
+  for (size_t num_children : {1u, 2u, 8u}) {
+    ResourceGovernor parent;
+    std::vector<std::unique_ptr<ResourceGovernor>> children;
+    for (size_t i = 0; i < num_children + 1; ++i) {
+      children.push_back(std::make_unique<ResourceGovernor>(&parent));
+    }
+    // Child 0 trips on its own token; its siblings keep checking
+    // concurrently and must never observe the trip.
+    std::atomic<bool> sibling_tripped{false};
+    std::vector<std::thread> workers;
+    for (size_t i = 1; i <= num_children; ++i) {
+      workers.emplace_back(
+          [&sibling_tripped, child = children[i].get()]() {
+            for (int n = 0; n < 5000; ++n) {
+              if (!child->Check().ok()) {
+                sibling_tripped.store(true);
+                return;
+              }
+            }
+          });
+    }
+    children[0]->Cancel();
+    EXPECT_EQ(children[0]->Check().code(), StatusCode::kCancelled);
+    for (std::thread& w : workers) w.join();
+    EXPECT_FALSE(sibling_tripped.load()) << "children=" << num_children;
+    EXPECT_TRUE(parent.TripStatus().ok());
+    EXPECT_EQ(parent.counters().cancel_trips, 1u);
+    for (size_t i = 1; i <= num_children; ++i) {
+      EXPECT_TRUE(children[i]->TripStatus().ok());
+    }
+  }
 }
 
 }  // namespace

@@ -140,5 +140,47 @@ TEST(OmqCacheTest, ConcurrentHammerStaysConsistent) {
   EXPECT_EQ(stats.counters.lookups, merged.lookups);
 }
 
+TEST(OmqCacheTest, ConcurrentEvictionUnderCapacityPressure) {
+  // Capacity far below the working set: every thread's inserts continually
+  // evict other threads' entries. The server shares one such cache across
+  // all tenants, so eviction racing lookup/insert is the steady state, not
+  // an edge case.
+  OmqCache cache(OmqCacheConfig{/*capacity=*/8, /*num_shards=*/2});
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr uint64_t kKeySpace = 64;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t]() {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t k = static_cast<uint64_t>(t * 17 + i * 5) % kKeySpace;
+        auto hit = cache.Get<std::string>(KeyFor(k));
+        if (hit == nullptr) {
+          cache.Put<std::string>(KeyFor(k), Value(std::to_string(k)), 16);
+        } else {
+          // Values must never cross keys, even mid-eviction.
+          EXPECT_EQ(*hit, std::to_string(k));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  OmqCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.counters.evictions, 0u);
+  EXPECT_LE(stats.entries, cache.capacity());
+  // Live entries can only be what was inserted and not evicted (racing
+  // same-key inserts may replace, so this is an upper bound, not equality).
+  EXPECT_LE(stats.entries,
+            stats.counters.insertions - stats.counters.evictions);
+  // Survivors still serve the right value after the storm.
+  for (uint64_t k = 0; k < kKeySpace; ++k) {
+    auto hit = cache.Get<std::string>(KeyFor(k));
+    if (hit != nullptr) {
+      EXPECT_EQ(*hit, std::to_string(k));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace omqc

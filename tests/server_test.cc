@@ -1,0 +1,578 @@
+// End-to-end tests for the omqc server subsystem (src/server): wire
+// protocol round-trips, CLI-identical verdicts across worker pool sizes,
+// per-tenant governor isolation (deadline and memory trips never touch
+// sibling tenants), admission batching that shares one compilation across
+// concurrent requests, and chaos: dropped admission batches must complete
+// every request, keep the queue serviceable and leak no governor charges.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "core/eval.h"
+#include "core/frontend.h"
+#include "generators/families.h"
+#include "server/client.h"
+#include "server/wire.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+// ---------- Fixtures ----------
+
+// The university program from tests/integration_test.cc: small, fast and
+// exercises eval, containment and classification.
+constexpr const char* kUniversityProgram = R"(
+  Professor(X) -> Faculty(X).
+  Lecturer(X) -> Faculty(X).
+  Faculty(X) -> WorksFor(X,D), Department(D).
+  Teaches(X,C) -> Faculty(X).
+  FacultyQ(X) :- Faculty(X).
+  TeachersQ(X) :- Teaches(X,C).
+  Professor(turing).
+  Lecturer(hopper).
+  Teaches(turing, computability).
+)";
+
+// What omqc_cli would print for each request kind, computed through the
+// exact same frontend path the server uses (core/frontend.h).
+struct ExpectedBodies {
+  std::string eval;      // eval FacultyQ
+  std::string contain;   // contain TeachersQ ⊆ FacultyQ
+  std::string classify;  // classify
+};
+
+ExpectedBodies ComputeExpected() {
+  auto program = ParseProgram(kUniversityProgram);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  Schema schema = InferProgramDataSchema(*program);
+
+  ExpectedBodies expected;
+  auto eval_q = SingleQueryNamed(*program, schema, "FacultyQ");
+  EXPECT_TRUE(eval_q.ok());
+  auto answers = EvalAll(*eval_q, program->facts, EvalOptions());
+  EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+  expected.eval = FormatAnswers(*answers);
+
+  auto lhs = SingleQueryNamed(*program, schema, "TeachersQ");
+  auto rhs = SingleQueryNamed(*program, schema, "FacultyQ");
+  EXPECT_TRUE(lhs.ok() && rhs.ok());
+  auto contained = CheckContainment(*lhs, *rhs, ContainmentOptions());
+  EXPECT_TRUE(contained.ok()) << contained.status().ToString();
+  expected.contain =
+      FormatContainmentReport("TeachersQ", "FacultyQ", *contained);
+
+  expected.classify = FormatClassificationReport(program->tgds);
+  return expected;
+}
+
+// The sticky witness family at n=5 takes ~1s of containment work: slow
+// enough that a 50ms deadline reliably trips mid-flight, fast enough that
+// the test stays bounded even if the trip were missed entirely.
+std::string SlowProgramText() {
+  Omq omq = MakeStickyWitnessFamily(5);
+  Program program;
+  program.tgds = omq.tgds;
+  program.queries.push_back({"Q", omq.query});
+  return SerializeProgram(program);
+}
+
+OmqClient MakeClient(OmqServer& server) {
+  auto fd = server.ConnectInProcess();
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  return OmqClient(std::move(*fd));
+}
+
+// Completion accounting (tenant counters, governor releases) happens
+// after the response is sent, so tests poll for the settled state.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(2000)) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+// ---------- Wire protocol ----------
+
+TEST(WireTest, RequestRoundTrip) {
+  WireRequest request;
+  request.type = RequestType::kContain;
+  request.request_id = 42;
+  request.tenant = "tenant-a";
+  request.deadline_ms = 250;
+  request.max_memory_bytes = 1 << 20;
+  request.program = "R(a). Q(X) :- R(X).";
+  request.query = "Q";
+  request.query2 = "Q2";
+
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, RequestType::kContain);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->tenant, "tenant-a");
+  EXPECT_EQ(decoded->deadline_ms, 250u);
+  EXPECT_EQ(decoded->max_memory_bytes, static_cast<uint64_t>(1 << 20));
+  EXPECT_EQ(decoded->program, request.program);
+  EXPECT_EQ(decoded->query, "Q");
+  EXPECT_EQ(decoded->query2, "Q2");
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  WireResponse response;
+  response.request_id = 7;
+  response.code = StatusCode::kDeadlineExceeded;
+  response.message = "deadline exceeded";
+  response.body = "3 answer(s):\n";
+  response.stats_json = "{}";
+  response.batch_id = 9;
+  response.batch_size = 4;
+  response.admission_wait_us = 1234;
+
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_EQ(decoded->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->message, "deadline exceeded");
+  EXPECT_EQ(decoded->body, "3 answer(s):\n");
+  EXPECT_EQ(decoded->batch_id, 9u);
+  EXPECT_EQ(decoded->batch_size, 4u);
+  EXPECT_EQ(decoded->admission_wait_us, 1234u);
+}
+
+TEST(WireTest, MalformedAndVersionMismatchAreRejected) {
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeRequest("x").ok());
+  // Truncated mid-string: a length prefix pointing past the payload end.
+  std::string truncated = EncodeRequest(WireRequest{});
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DecodeRequest(truncated).ok());
+
+  std::string wrong_version = EncodeRequest(WireRequest{});
+  wrong_version[0] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(DecodeRequest(wrong_version).status().code(),
+            StatusCode::kUnsupported);
+}
+
+// ---------- Verdicts: CLI-identical across pool sizes ----------
+
+TEST(ServerTest, VerdictsByteIdenticalAcrossWorkerThreads) {
+  ExpectedBodies expected = ComputeExpected();
+  for (size_t threads : {1u, 2u, 8u}) {
+    ServerConfig config;
+    config.worker_threads = threads;
+    config.admission.linger_ms = 0;
+    OmqServer server(std::move(config));
+    OmqClient client = MakeClient(server);
+
+    auto ping = client.Ping();
+    ASSERT_TRUE(ping.ok());
+    EXPECT_EQ(ping->body, "pong");
+
+    auto eval = client.Eval(kUniversityProgram, "FacultyQ");
+    ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+    EXPECT_EQ(eval->code, StatusCode::kOk) << eval->message;
+    EXPECT_EQ(eval->body, expected.eval) << "threads=" << threads;
+    EXPECT_FALSE(eval->stats_json.empty());
+
+    auto contain =
+        client.Contain(kUniversityProgram, "TeachersQ", "FacultyQ");
+    ASSERT_TRUE(contain.ok());
+    EXPECT_EQ(contain->code, StatusCode::kOk) << contain->message;
+    EXPECT_EQ(contain->body, expected.contain) << "threads=" << threads;
+
+    auto classify = client.Classify(kUniversityProgram);
+    ASSERT_TRUE(classify.ok());
+    EXPECT_EQ(classify->code, StatusCode::kOk) << classify->message;
+    EXPECT_EQ(classify->body, expected.classify) << "threads=" << threads;
+
+    server.Shutdown();
+  }
+}
+
+TEST(ServerTest, ConcurrentMixedLoadAgreesAtEveryPoolSize) {
+  ExpectedBodies expected = ComputeExpected();
+  for (size_t threads : {1u, 2u, 8u}) {
+    ServerConfig config;
+    config.worker_threads = threads;
+    OmqServer server(std::move(config));
+
+    constexpr int kClients = 6;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int c = 0; c < kClients; ++c) {
+      OmqClient client = MakeClient(server);
+      workers.emplace_back(
+          [c, &expected, &failures, client = std::move(client)]() mutable {
+            for (int i = 0; i < 4; ++i) {
+              std::string tenant = "t" + std::to_string(c % 2);
+              Result<WireResponse> response =
+                  (c + i) % 3 == 0
+                      ? client.Eval(kUniversityProgram, "FacultyQ", tenant)
+                  : (c + i) % 3 == 1
+                      ? client.Contain(kUniversityProgram, "TeachersQ",
+                                       "FacultyQ", tenant)
+                      : client.Classify(kUniversityProgram, tenant);
+              const std::string& want = (c + i) % 3 == 0 ? expected.eval
+                                        : (c + i) % 3 == 1
+                                            ? expected.contain
+                                            : expected.classify;
+              if (!response.ok() || response->code != StatusCode::kOk ||
+                  response->body != want) {
+                failures.fetch_add(1);
+              }
+            }
+          });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(failures.load(), 0) << "threads=" << threads;
+    server.Shutdown();
+  }
+}
+
+// ---------- Session robustness ----------
+
+TEST(ServerTest, MalformedProgramDoesNotKillTheSession) {
+  OmqServer server((ServerConfig()));
+  OmqClient client = MakeClient(server);
+
+  auto bad = client.Eval("R(a. this is not DLGP", "Q");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->code, StatusCode::kInvalidArgument);
+
+  auto missing = client.Eval(kUniversityProgram, "NoSuchQuery");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->code, StatusCode::kOk);
+
+  // The same connection still serves well-formed requests.
+  auto good = client.Eval(kUniversityProgram, "FacultyQ");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->code, StatusCode::kOk) << good->message;
+}
+
+TEST(ServerTest, MalformedFrameGetsAnErrorAndTheSessionSurvives) {
+  OmqServer server((ServerConfig()));
+  auto fd = server.ConnectInProcess();
+  ASSERT_TRUE(fd.ok());
+
+  std::string wrong_version = EncodeRequest(WireRequest{});
+  wrong_version[0] = static_cast<char>(kWireVersion + 1);
+  ASSERT_TRUE(WriteFrame(fd->get(), wrong_version).ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd->get(), &payload).ok());
+  auto error = DecodeResponse(payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_NE(error->code, StatusCode::kOk);
+
+  OmqClient client(std::move(*fd));
+  auto ping = client.Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->body, "pong");
+  EXPECT_EQ(server.counters().malformed_frames, 1u);
+}
+
+// ---------- Tenant isolation ----------
+
+TEST(ServerTest, MemoryTrippedTenantDoesNotDisturbSiblings) {
+  ServerConfig config;
+  config.worker_threads = 4;
+  OmqServer server(std::move(config));
+
+  std::atomic<int> good_failures{0};
+  std::thread good_thread([&server, &good_failures]() {
+    OmqClient client = MakeClient(server);
+    for (int i = 0; i < 5; ++i) {
+      auto response = client.Eval(kUniversityProgram, "FacultyQ", "good");
+      if (!response.ok() || response->code != StatusCode::kOk) {
+        good_failures.fetch_add(1);
+      }
+    }
+  });
+
+  OmqClient greedy = MakeClient(server);
+  WireRequest request;
+  request.type = RequestType::kEval;
+  request.tenant = "greedy";
+  request.max_memory_bytes = 1;  // first chase charge trips
+  request.program = kUniversityProgram;
+  request.query = "FacultyQ";
+  auto response = greedy.Call(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kResourceExhausted)
+      << response->message;
+
+  good_thread.join();
+  EXPECT_EQ(good_failures.load(), 0);
+
+  ASSERT_TRUE(WaitFor([&] {
+    auto snapshot = server.TenantSnapshots();
+    return snapshot.count("greedy") != 0 &&
+           snapshot.at("greedy").counters.memory_trips >= 1;
+  }));
+  auto snapshot = server.TenantSnapshots();
+  EXPECT_EQ(snapshot.at("good").counters.failed, 0u);
+  EXPECT_FALSE(snapshot.at("good").tripped);
+  server.Shutdown();
+}
+
+TEST(ServerTest, DeadlineTrippedTenantDoesNotDisturbSiblings) {
+  ServerConfig config;
+  config.worker_threads = 4;
+  OmqServer server(std::move(config));
+  std::string slow_program = SlowProgramText();
+
+  std::atomic<int> fast_failures{0};
+  std::thread fast_thread([&server, &fast_failures]() {
+    OmqClient client = MakeClient(server);
+    for (int i = 0; i < 5; ++i) {
+      auto response = client.Eval(kUniversityProgram, "FacultyQ", "fast");
+      if (!response.ok() || response->code != StatusCode::kOk) {
+        fast_failures.fetch_add(1);
+      }
+    }
+  });
+
+  OmqClient slow = MakeClient(server);
+  WireRequest request;
+  request.type = RequestType::kContain;
+  request.tenant = "slow";
+  request.deadline_ms = 50;
+  request.program = slow_program;
+  request.query = "Q";
+  request.query2 = "Q";
+  auto response = slow.Call(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded)
+      << response->message;
+
+  fast_thread.join();
+  EXPECT_EQ(fast_failures.load(), 0);
+
+  ASSERT_TRUE(WaitFor([&] {
+    auto snapshot = server.TenantSnapshots();
+    return snapshot.count("slow") != 0 &&
+           snapshot.at("slow").counters.deadline_trips >= 1 &&
+           snapshot.count("fast") != 0 &&
+           snapshot.at("fast").counters.completed == 5;
+  }));
+  auto snapshot = server.TenantSnapshots();
+  EXPECT_EQ(snapshot.at("fast").counters.failed, 0u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, TrippedTenantGovernorIsReplacedAfterDrain) {
+  ServerConfig config;
+  config.tenant_quota.memory_quota_bytes = 1;  // every tenant trips fast
+  OmqServer server(std::move(config));
+  OmqClient client = MakeClient(server);
+
+  auto first = client.Eval(kUniversityProgram, "FacultyQ", "capped");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->code, StatusCode::kResourceExhausted) << first->message;
+
+  // Throttled, not bricked: once the trip drains the tenant gets a fresh
+  // governor (and promptly trips it again — the quota is 1 byte).
+  ASSERT_TRUE(WaitFor([&] {
+    auto snapshot = server.TenantSnapshots();
+    return snapshot.at("capped").counters.governor_resets >= 1 &&
+           !snapshot.at("capped").tripped;
+  }));
+  auto second = client.Eval(kUniversityProgram, "FacultyQ", "capped");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->code, StatusCode::kResourceExhausted);
+  server.Shutdown();
+}
+
+// ---------- Admission batching ----------
+
+TEST(ServerTest, BatchedRequestsShareOneCompilation) {
+  // Baseline: one cold containment on a fresh server = the per-request
+  // cold compilation cost in cache misses.
+  size_t cold_misses = 0;
+  {
+    ServerConfig config;
+    config.admission.linger_ms = 0;
+    OmqServer baseline(std::move(config));
+    OmqClient client = MakeClient(baseline);
+    auto response =
+        client.Contain(kUniversityProgram, "TeachersQ", "FacultyQ");
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->code, StatusCode::kOk) << response->message;
+    cold_misses = baseline.cache()->Stats().counters.misses;
+    baseline.Shutdown();
+  }
+  ASSERT_GT(cold_misses, 0u);
+
+  // Four concurrent identical requests on a fresh server: the admission
+  // queue holds them into one batch, the leader compiles cold, the
+  // followers hit the shared cache.
+  ServerConfig config;
+  config.worker_threads = 4;
+  config.admission.max_batch = 4;
+  config.admission.linger_ms = 2000;  // batch closes by count, not time
+  OmqServer server(std::move(config));
+
+  constexpr int kRequests = 4;
+  std::vector<std::string> bodies(kRequests);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kRequests; ++i) {
+    OmqClient client = MakeClient(server);
+    workers.emplace_back(
+        [i, &bodies, &failures, client = std::move(client)]() mutable {
+          auto response = client.Contain(kUniversityProgram, "TeachersQ",
+                                         "FacultyQ",
+                                         "t" + std::to_string(i % 2));
+          if (!response.ok() || response->code != StatusCode::kOk ||
+              response->batch_size != static_cast<uint32_t>(kRequests)) {
+            failures.fetch_add(1);
+          } else {
+            bodies[i] = response->body;
+          }
+        });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 1; i < kRequests; ++i) EXPECT_EQ(bodies[i], bodies[0]);
+
+  AdmissionStats admission = server.admission_stats();
+  EXPECT_EQ(admission.batches_dispatched, 1u);
+  EXPECT_EQ(admission.batched_requests, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(admission.max_batch_size, static_cast<uint64_t>(kRequests));
+
+  OmqCacheStats cache = server.cache()->Stats();
+  // The followers hit where serial one-shots would each compile cold.
+  EXPECT_GE(cache.counters.hits, 1u);
+  EXPECT_LT(cache.counters.misses, kRequests * cold_misses);
+
+  // Hit/miss attribution reaches the tenants that rode the batch.
+  ASSERT_TRUE(WaitFor([&] {
+    auto snapshot = server.TenantSnapshots();
+    return snapshot.count("t0") != 0 && snapshot.count("t1") != 0 &&
+           snapshot.at("t0").counters.batched_requests +
+                   snapshot.at("t1").counters.batched_requests ==
+               static_cast<uint64_t>(kRequests);
+  }));
+  server.Shutdown();
+}
+
+// ---------- Chaos: dropped batches ----------
+
+TEST(ServerTest, DroppedBatchCompletesRequestsAndLeaksNothing) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.admission.max_batch = 2;
+  config.admission.linger_ms = 2000;
+  OmqServer server(std::move(config));
+
+  // Two clients first (ConnectInProcess starts the pipeline), then the
+  // injector: drop the first dispatched batch.
+  OmqClient client_a = MakeClient(server);
+  OmqClient client_b = MakeClient(server);
+  FaultPlan plan;
+  plan.drop_batch_at = 1;
+  FaultInjector injector(plan);
+  server.set_fault_injector(&injector);
+
+  std::vector<StatusCode> codes(2, StatusCode::kOk);
+  std::vector<std::string> messages(2);
+  {
+    std::vector<std::thread> workers;
+    OmqClient* clients[2] = {&client_a, &client_b};
+    for (int i = 0; i < 2; ++i) {
+      workers.emplace_back([i, &clients, &codes, &messages]() {
+        auto response = clients[i]->Contain(kUniversityProgram, "TeachersQ",
+                                            "FacultyQ", "chaos");
+        ASSERT_TRUE(response.ok());
+        codes[i] = response->code;
+        messages[i] = response->message;
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  EXPECT_TRUE(injector.fired());
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(codes[i], StatusCode::kCancelled) << messages[i];
+    EXPECT_NE(messages[i].find("dropped"), std::string::npos);
+  }
+
+  // The queue stays serviceable: the next batch executes normally.
+  {
+    std::vector<std::thread> workers;
+    std::atomic<int> ok{0};
+    OmqClient* clients[2] = {&client_a, &client_b};
+    for (int i = 0; i < 2; ++i) {
+      workers.emplace_back([i, &clients, &ok]() {
+        auto response = clients[i]->Contain(kUniversityProgram, "TeachersQ",
+                                            "FacultyQ", "chaos");
+        if (response.ok() && response->code == StatusCode::kOk) {
+          ok.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(ok.load(), 2);
+  }
+
+  AdmissionStats admission = server.admission_stats();
+  EXPECT_EQ(admission.batches_dropped, 1u);
+  EXPECT_EQ(admission.dropped_requests, 2u);
+  EXPECT_EQ(admission.current_depth, 0u);
+
+  // No governor charge leaks: once the tenant drains, the server-wide
+  // accounting is back to zero.
+  ASSERT_TRUE(WaitFor([&] {
+    auto snapshot = server.TenantSnapshots();
+    return snapshot.at("chaos").inflight == 0 &&
+           server.governor()->local_charged_bytes() == 0;
+  }));
+  auto snapshot = server.TenantSnapshots();
+  EXPECT_EQ(snapshot.at("chaos").counters.cancel_trips, 2u);
+  EXPECT_EQ(snapshot.at("chaos").charged_bytes, 0u);
+  server.set_fault_injector(nullptr);
+  server.Shutdown();
+}
+
+// ---------- Shutdown ----------
+
+TEST(ServerTest, ShutdownRequestWakesTheDaemonLoop) {
+  OmqServer server((ServerConfig()));
+  OmqClient client = MakeClient(server);
+  EXPECT_FALSE(
+      server.WaitForShutdownRequest(std::chrono::milliseconds(0)));
+  auto response = client.Shutdown();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kOk);
+  EXPECT_TRUE(
+      server.WaitForShutdownRequest(std::chrono::milliseconds(2000)));
+  server.Shutdown();
+}
+
+TEST(ServerTest, StatsEndpointServesTheMetricsDocument) {
+  OmqServer server((ServerConfig()));
+  OmqClient client = MakeClient(server);
+  ASSERT_TRUE(client.Eval(kUniversityProgram, "FacultyQ", "acme").ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->code, StatusCode::kOk);
+  EXPECT_NE(stats->body.find("\"server\""), std::string::npos);
+  EXPECT_NE(stats->body.find("\"admission\""), std::string::npos);
+  EXPECT_NE(stats->body.find("\"cache\""), std::string::npos);
+  EXPECT_NE(stats->body.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(stats->body.find("\"acme\""), std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace omqc
