@@ -20,6 +20,9 @@
 //   --tenant-memory-mb=N   per-tenant memory quota (default 0 = none)
 //   --tenant-deadline-ms=N per-tenant default request deadline
 //                          (default 0 = none)
+//   --tenant-max-concurrent=N  per-tenant concurrent-request cap; excess
+//                          requests queue FIFO instead of tripping
+//                          (default 0 = unlimited)
 //   --contain-threads=N    intra-request containment parallelism
 //                          (default 1; the pool parallelizes across
 //                          requests)
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
   uint64_t linger_ms = 2;
   uint64_t tenant_memory_mb = 0;
   uint64_t tenant_deadline_ms = 0;
+  uint64_t tenant_max_concurrent = 0;
   uint64_t contain_threads = 1;
   std::string address = "127.0.0.1";
   std::string port_file;
@@ -94,6 +98,8 @@ int main(int argc, char** argv) {
         ParseLocalFlag(arg, "--tenant-memory-mb", &tenant_memory_mb, &ok) ||
         ParseLocalFlag(arg, "--tenant-deadline-ms", &tenant_deadline_ms,
                        &ok) ||
+        ParseLocalFlag(arg, "--tenant-max-concurrent",
+                       &tenant_max_concurrent, &ok) ||
         ParseLocalFlag(arg, "--contain-threads", &contain_threads, &ok)) {
       if (!ok) return 2;
       continue;
@@ -110,7 +116,7 @@ int main(int argc, char** argv) {
                  "unknown flag '%s'\nusage: %s [--port=N] [--address=A] "
                  "[--port-file=PATH] [--max-batch=N] [--linger-ms=N] "
                  "[--tenant-memory-mb=N] [--tenant-deadline-ms=N] "
-                 "[--contain-threads=N] %s\n",
+                 "[--tenant-max-concurrent=N] [--contain-threads=N] %s\n",
                  arg.c_str(), argv[0], EngineFlagsUsage());
     return 2;
   }
@@ -131,6 +137,7 @@ int main(int argc, char** argv) {
   config.tenant_quota.memory_quota_bytes =
       static_cast<size_t>(tenant_memory_mb) << 20;
   config.tenant_quota.default_deadline_ms = tenant_deadline_ms;
+  config.tenant_quota.max_concurrent = tenant_max_concurrent;
   config.contain_threads = static_cast<size_t>(contain_threads);
   config.chase = flags.chase;
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env sh
+# Differential soak smoke: a fixed-seed scenario corpus through every
+# engine configuration (threads 1/2/8, cache off, governed with random
+# budgets, live TCP server), three acceptance checks:
+#
+#   1. Clean corpus: no configuration ever disagrees with another or with
+#      the construction polarity oracle.
+#   2. Determinism: two identical invocations produce byte-identical
+#      stdout (the wall-clock-dependent tallies go to stderr).
+#   3. Planted bug: with --plant-flip the harness must catch the flipped
+#      verdict on every scenario, minimize one to <= 10 tgds, and the
+#      emitted repro must replay through `omqc_cli contain`.
+#
+# Repro files land in ./soak-artifacts for CI upload on failure.
+#
+# Usage: scripts/soak_smoke.sh
+# Env: BUILD_DIR (default: build) — must already be configured and built.
+#      COUNT (default: 200) — corpus size; the ASan job uses a smaller one.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+COUNT="${COUNT:-200}"
+SEED=20240817
+for bin in omqc_soak omqc_cli; do
+  if [ ! -x "$BUILD_DIR/examples/$bin" ]; then
+    echo "error: $BUILD_DIR/examples/$bin not found (build the project first)" >&2
+    exit 1
+  fi
+done
+
+artifacts="$(pwd)/soak-artifacts"
+rm -rf "$artifacts"
+mkdir -p "$artifacts"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+# 1 + 2. Clean corpus, twice: zero discrepancies and identical stdout.
+echo "soak run 1/2 (seed=$SEED count=$COUNT)..."
+"$BUILD_DIR/examples/omqc_soak" --seed="$SEED" --count="$COUNT" \
+  --repro-dir="$artifacts" >"$workdir/run1.txt" 2>"$workdir/run1.err"
+echo "soak run 2/2..."
+"$BUILD_DIR/examples/omqc_soak" --seed="$SEED" --count="$COUNT" \
+  --repro-dir="$artifacts" >"$workdir/run2.txt" 2>"$workdir/run2.err"
+if ! diff -u "$workdir/run1.txt" "$workdir/run2.txt" >&2; then
+  echo "error: soak stdout is not deterministic across identical runs" >&2
+  cp "$workdir"/run1.txt "$workdir"/run2.txt "$artifacts"/
+  exit 1
+fi
+echo "determinism: OK ($(wc -l <"$workdir/run1.txt") identical lines)"
+
+# 3. Planted verdict flip: every scenario must flag, one repro must shrink
+# to <= 10 tgds and replay through the CLI. Local configs only — the flip
+# is in-process, and minimization probes would hammer the server for
+# nothing.
+echo "planted-flip run..."
+set +e
+"$BUILD_DIR/examples/omqc_soak" --seed="$SEED" --count=3 --server=off \
+  --governed=off --plant-flip=threads1 --max-repros=1 \
+  --repro-dir="$artifacts" >"$workdir/flip.txt" 2>&1
+flip_status=$?
+set -e
+if [ "$flip_status" -ne 1 ]; then
+  echo "error: planted flip should exit 1, got $flip_status" >&2
+  cat "$workdir/flip.txt" >&2
+  exit 1
+fi
+flagged="$(grep -c DISCREPANCY "$workdir/flip.txt")"
+if [ "$flagged" -ne 3 ]; then
+  echo "error: planted flip flagged $flagged of 3 scenarios" >&2
+  cat "$workdir/flip.txt" >&2
+  exit 1
+fi
+repro="$artifacts/soak_repro_0.dlgp"
+if [ ! -s "$repro" ]; then
+  echo "error: no minimized repro was written" >&2
+  exit 1
+fi
+tgds="$(grep -c -- '->' "$repro" || true)"
+if [ "$tgds" -gt 10 ]; then
+  echo "error: minimized repro still has $tgds tgds (> 10)" >&2
+  cat "$repro" >&2
+  exit 1
+fi
+"$BUILD_DIR/examples/omqc_cli" contain "$repro" Q1 Q2 >"$workdir/replay.txt"
+grep -q "Q1 ⊆ Q2:" "$workdir/replay.txt" || {
+  echo "error: repro did not replay through omqc_cli contain" >&2
+  cat "$workdir/replay.txt" >&2
+  exit 1
+}
+echo "planted flip: caught on 3/3 scenarios, repro has $tgds tgds, replays OK"
+
+# The planted-flip repros are expected artifacts of a healthy run; only a
+# *clean-corpus* repro means a real discrepancy escaped.
+rm -f "$artifacts"/soak_repro_*.dlgp
+echo "soak smoke: OK"

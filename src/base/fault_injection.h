@@ -54,6 +54,18 @@ struct FaultPlan {
   uint64_t stall_millis = 0;
 };
 
+class SplitMix64;
+
+/// Draws a randomized plan for chaos sweeps from `rng`: at most one
+/// governor-level fault (deadline trip, cancellation, or memory-charge
+/// failure) plus an independent chance of a dropped cache insert. Batch
+/// drops and worker stalls are left to dedicated tests — they change
+/// *which* requests run, not just their outcomes, which would make
+/// differential soak verdicts depend on the plan. The drawn plan records
+/// the rng state it was derived from in `seed` so a failing sweep
+/// iteration reproduces from its log line.
+FaultPlan RandomFaultPlan(SplitMix64& rng);
+
 /// Compiles a FaultPlan into hooks. All hooks are thread-safe; event
 /// counters are global across threads (atomic), so indices refer to the
 /// interleaved event order. One injector instance serves one faulted run.

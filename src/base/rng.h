@@ -1,0 +1,65 @@
+// SplitMix64: the one seedable random stream of the repo.
+//
+// Everything that wants randomness — the scenario factory, the random OMQ
+// generators, fault-plan draws, client backoff jitter — takes a SplitMix64
+// *by value*. Value semantics make determinism local: a callee advances
+// its own copy, so inserting or removing a consumer in one code path can
+// never shift the draws seen by another, and a (seed, index) pair alone
+// reproduces an instance bit-for-bit across platforms (the generator is
+// pure 64-bit integer arithmetic; no libstdc++/libc++ distribution
+// divergence as with std::mt19937 + std::uniform_int_distribution).
+//
+// Streams: Fork(i) derives the i-th decorrelated child stream without
+// advancing the parent — the soak runner forks one stream per scenario id
+// so scenarios are independently reproducible.
+
+#ifndef OMQC_BASE_RNG_H_
+#define OMQC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace omqc {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits (Steele, Lea & Flood's SplitMix64 finalizer).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish draw in [0, bound); 0 for bound == 0. The modulo bias is
+  /// ~bound/2^64 — irrelevant for workload shaping, and kept because the
+  /// exact draw sequence is part of the determinism contract.
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  /// Draw in [lo, hi] (inclusive); requires lo <= hi.
+  uint64_t Between(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// True with probability `percent`/100.
+  bool Chance(uint32_t percent) { return Below(100) < percent; }
+
+  /// The i-th child stream: deterministic, does not advance this stream,
+  /// and decorrelated from it (the child's first output already passes
+  /// through the full finalizer).
+  SplitMix64 Fork(uint64_t stream) const {
+    SplitMix64 child(state_ ^ (0xbf58476d1ce4e5b9ULL * (stream + 1)));
+    child.Next();  // burn one output so child 0 != a copy of the parent
+    return child;
+  }
+
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_BASE_RNG_H_

@@ -166,9 +166,10 @@ TgdSet MakeEliChainOntology(int k) {
 }
 
 Omq MakeRandomOmq(const RandomOmqConfig& config) {
-  std::mt19937 rng(config.seed);
+  SplitMix64 rng(config.seed);
   auto pick = [&rng](int bound) {
-    return static_cast<int>(rng() % static_cast<uint32_t>(std::max(bound, 1)));
+    return static_cast<int>(
+        rng.Below(static_cast<uint64_t>(std::max(bound, 1))));
   };
   // Predicates D0.. (data) with random arities in [1, max_arity].
   std::vector<Predicate> preds;

@@ -10,8 +10,8 @@
 #define OMQC_GENERATORS_FAMILIES_H_
 
 #include <cstdint>
-#include <random>
 
+#include "base/rng.h"
 #include "core/omq.h"
 
 namespace omqc {
@@ -46,7 +46,10 @@ struct RandomOmqConfig {
   int num_tgds = 4;
   int query_atoms = 3;
   int num_variables = 4;
-  uint32_t seed = 0;
+  /// Seeds a private SplitMix64 stream (base/rng.h): the seed alone
+  /// reproduces the OMQ bit-for-bit across platforms and standard
+  /// libraries.
+  uint64_t seed = 0;
 };
 
 /// Generates a pseudo-random OMQ in the requested class (kLinear,

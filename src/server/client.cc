@@ -1,16 +1,97 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace omqc {
+
+namespace {
+
+/// One jittered backoff draw: uniform over [backoff/2, backoff].
+uint64_t JitteredMs(uint64_t backoff, SplitMix64& rng) {
+  uint64_t half = std::max<uint64_t>(backoff / 2, 1);
+  return half + rng.Below(backoff - half + 1);
+}
+
+}  // namespace
 
 Result<OmqClient> OmqClient::Connect(const std::string& host,
                                      uint16_t port) {
   OMQC_ASSIGN_OR_RETURN(OwnedFd fd, ConnectTcp(host, port));
-  return OmqClient(std::move(fd));
+  OmqClient client(std::move(fd));
+  client.host_ = host;
+  client.port_ = port;
+  return client;
+}
+
+Result<OmqClient> OmqClient::Connect(const std::string& host, uint16_t port,
+                                     const RetryPolicy& policy) {
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  SplitMix64 jitter(policy.jitter_seed);
+  uint64_t backoff = std::max<uint64_t>(policy.initial_backoff_ms, 1);
+  Result<OwnedFd> fd = ConnectTcp(host, port);
+  for (int attempt = 1; !fd.ok() && attempt < max_attempts; ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(JitteredMs(backoff, jitter)));
+    backoff = std::min(backoff * 2,
+                       std::max<uint64_t>(policy.max_backoff_ms, 1));
+    fd = ConnectTcp(host, port);
+  }
+  if (!fd.ok()) return fd.status();
+  OmqClient client(std::move(*fd));
+  client.host_ = host;
+  client.port_ = port;
+  client.policy_ = policy;
+  client.jitter_ = SplitMix64(policy.jitter_seed);
+  return client;
 }
 
 Result<WireResponse> OmqClient::Call(WireRequest request) {
   if (request.request_id == 0) request.request_id = next_request_id_;
   next_request_id_ = request.request_id + 1;
+  const int max_attempts = std::max(policy_.max_attempts, 1);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t backoff = std::max<uint64_t>(policy_.initial_backoff_ms, 1);
+  for (int attempt = 1;; ++attempt) {
+    Result<WireResponse> result = Status::InvalidArgument("not connected");
+    if (fd_.get() >= 0) {
+      result = CallOnce(request);
+    } else if (!host_.empty()) {
+      auto fd = ConnectTcp(host_, port_);
+      if (fd.ok()) {
+        fd_ = std::move(*fd);
+        ++counters_.reconnects;
+        result = CallOnce(request);
+      } else {
+        result = fd.status();
+      }
+    }
+    if (result.ok()) return result;
+    // Transport failure: the connection state is unknown (a request may
+    // be half-written), so drop it. Resending is safe — every request
+    // type is idempotent (see header).
+    fd_ = OwnedFd();
+    if (host_.empty() || attempt >= max_attempts) return result;
+    uint64_t sleep_ms = JitteredMs(backoff, jitter_);
+    if (request.deadline_ms > 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      // No point retrying past the request's own deadline: the server
+      // would refuse it on arrival.
+      if (static_cast<uint64_t>(elapsed) + sleep_ms >= request.deadline_ms) {
+        return result;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    ++counters_.backoffs;
+    backoff = std::min(backoff * 2,
+                       std::max<uint64_t>(policy_.max_backoff_ms, 1));
+  }
+}
+
+Result<WireResponse> OmqClient::CallOnce(const WireRequest& request) {
   OMQC_RETURN_IF_ERROR(WriteFrame(fd_.get(), EncodeRequest(request)));
   std::string payload;
   for (;;) {

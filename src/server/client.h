@@ -1,9 +1,21 @@
 // OmqClient: a minimal blocking client for the omqc wire protocol, used
-// by omqc_load, scripts/server_smoke.sh (via omqc_load) and the server
-// tests. One outstanding request per connection: Call() writes the
-// request and reads frames until the response with the matching
+// by omqc_load, omqc_soak, scripts/server_smoke.sh (via omqc_load) and
+// the server tests. One outstanding request per connection: Call() writes
+// the request and reads frames until the response with the matching
 // request_id arrives (the server may interleave other ids only when the
 // caller itself pipelined, which this client never does).
+//
+// Transient-failure retry: a TCP client (Connect) with a RetryPolicy of
+// max_attempts > 1 transparently reconnects and resends a request whose
+// transport failed (refused connect, peer reset, truncated frame). Every
+// request type is idempotent server-side — eval/contain/classify are pure
+// and ping/stats/shutdown are safe to repeat — so a resend after a
+// failure whose response was lost is harmless. Backoff between attempts
+// is exponential with deterministic jitter (seeded SplitMix64) and is
+// clipped to the request's deadline_ms budget: the client never sleeps
+// past the point where the server would refuse the request anyway.
+// In-process clients (socketpair fds) have no address to redial and never
+// retry.
 
 #ifndef OMQC_SERVER_CLIENT_H_
 #define OMQC_SERVER_CLIENT_H_
@@ -11,25 +23,56 @@
 #include <cstdint>
 #include <string>
 
+#include "base/rng.h"
 #include "base/socket.h"
 #include "server/wire.h"
 
 namespace omqc {
 
+/// Retry schedule for transient transport failures (see file comment).
+struct RetryPolicy {
+  /// Total tries per Call (1 = no retry).
+  int max_attempts = 1;
+  /// First inter-attempt backoff; doubles per retry up to max_backoff_ms.
+  uint64_t initial_backoff_ms = 5;
+  uint64_t max_backoff_ms = 250;
+  /// Seeds the jitter stream (each sleep lands in [backoff/2, backoff]).
+  uint64_t jitter_seed = 1;
+};
+
+/// Monotone tallies of the retry machinery, for tests and soak reports.
+struct ClientRetryCounters {
+  uint64_t reconnects = 0;  ///< successful re-dials after a failure
+  uint64_t backoffs = 0;    ///< sleeps taken between attempts
+};
+
 class OmqClient {
  public:
   /// Wraps an already-connected fd (e.g. OmqServer::ConnectInProcess).
+  /// Such a client cannot reconnect, so Call never retries.
   explicit OmqClient(OwnedFd fd) : fd_(std::move(fd)) {}
 
   /// Connects over TCP.
   static Result<OmqClient> Connect(const std::string& host, uint16_t port);
 
+  /// Connects over TCP, retrying the initial dial under `policy` (for
+  /// clients racing server startup). The policy sticks to the client for
+  /// later Call retries.
+  static Result<OmqClient> Connect(const std::string& host, uint16_t port,
+                                   const RetryPolicy& policy);
+
   OmqClient(OmqClient&&) = default;
   OmqClient& operator=(OmqClient&&) = default;
 
+  /// Retry schedule for subsequent Call failures (TCP clients only).
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const ClientRetryCounters& retry_counters() const { return counters_; }
+
   /// Sends `request` (request_id assigned here if 0) and blocks for its
   /// response. Transport-level failure is the returned error; a server-
-  /// side failure arrives as a WireResponse with code != kOk.
+  /// side failure arrives as a WireResponse with code != kOk. TCP clients
+  /// with a multi-attempt policy reconnect and resend on transport
+  /// failure, honoring request.deadline_ms as the total retry budget.
   Result<WireResponse> Call(WireRequest request);
 
   /// Convenience wrappers.
@@ -49,8 +92,17 @@ class OmqClient {
   int fd() const { return fd_.get(); }
 
  private:
+  /// One write-request / read-response exchange on the current fd.
+  Result<WireResponse> CallOnce(const WireRequest& request);
+
   OwnedFd fd_;
   uint64_t next_request_id_ = 1;
+  /// TCP endpoint for redials; empty host = not reconnectable.
+  std::string host_;
+  uint16_t port_ = 0;
+  RetryPolicy policy_;
+  SplitMix64 jitter_{1};
+  ClientRetryCounters counters_;
 };
 
 }  // namespace omqc

@@ -230,8 +230,14 @@ void OmqServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   pending->program = std::move(*program);
   pending->schema = InferProgramDataSchema(pending->program);
   pending->conn = conn;
-  pending->lease = tenants_.Admit(request.tenant);
   pending->request = std::move(request);
+
+  // Over the tenant's concurrency quota the request parks in the
+  // registry; a later completion re-dispatches it via SettleLease.
+  auto admission =
+      tenants_.AdmitOrQueue(pending->request.tenant, pending);
+  if (admission.queued) return;
+  pending->lease = std::move(admission.lease);
 
   // A tenant whose governor is tripped (e.g. blew its memory quota) fails
   // fast until its in-flight requests drain and the governor is replaced.
@@ -404,8 +410,8 @@ void OmqServer::Execute(const std::shared_ptr<PendingRequest>& pending,
 
   StatusCode code = response.code;
   SendResponse(pending->conn, std::move(response));
-  tenants_.Complete(pending->lease, req_gov.local_charged_bytes(), code,
-                    stats, batch_size > 1);
+  SettleLease(pending, req_gov.local_charged_bytes(), code, stats,
+              batch_size > 1);
 }
 
 void OmqServer::FailPending(const std::shared_ptr<PendingRequest>& pending,
@@ -419,8 +425,49 @@ void OmqServer::FailPending(const std::shared_ptr<PendingRequest>& pending,
   response.batch_size = batch_size;
   response.admission_wait_us = pending->admission_wait_us;
   SendResponse(pending->conn, std::move(response));
-  tenants_.Complete(pending->lease, /*residual_bytes=*/0, code,
-                    EngineStats(), batch_size > 1);
+  SettleLease(pending, /*residual_bytes=*/0, code, EngineStats(),
+              batch_size > 1);
+}
+
+void OmqServer::SettleLease(const std::shared_ptr<PendingRequest>& pending,
+                            size_t residual_bytes, StatusCode code,
+                            const EngineStats& stats, bool batched) {
+  std::vector<TenantRegistry::Resumed> work =
+      tenants_.Complete(pending->lease, residual_bytes, code, stats,
+                        batched);
+  // Dispatch everything the completion released. A resumed request that
+  // cannot run (tripped governor, admission refused) is answered right
+  // here and its own settlement may release more work — hence the
+  // worklist, so an arbitrarily long failing cascade stays iterative.
+  while (!work.empty()) {
+    TenantRegistry::Resumed resumed = std::move(work.back());
+    work.pop_back();
+    auto next = std::static_pointer_cast<PendingRequest>(resumed.payload);
+    next->lease = std::move(resumed.lease);
+    Status refusal = next->lease.governor->TripStatus();
+    if (!refusal.ok()) {
+      refusal = Status(refusal.code(),
+                       StrCat("tenant governor tripped: ",
+                              refusal.message()));
+    } else {
+      BatchKey key;
+      key.ontology = FingerprintTgdSet(next->program.tgds);
+      key.kind = static_cast<uint8_t>(next->request.type);
+      if (!admission_->Submit(key, next)) {
+        refusal = Status::Cancelled("server shutting down");
+      }
+    }
+    if (refusal.ok()) continue;
+    WireResponse response;
+    response.request_id = next->request.request_id;
+    response.code = refusal.code();
+    response.message = refusal.message();
+    SendResponse(next->conn, std::move(response));
+    auto more = tenants_.Complete(next->lease, /*residual_bytes=*/0,
+                                  refusal.code(), EngineStats(),
+                                  /*batched=*/false);
+    for (auto& m : more) work.push_back(std::move(m));
+  }
 }
 
 void OmqServer::SendResponse(const std::shared_ptr<Connection>& conn,
@@ -469,6 +516,21 @@ void OmqServer::Shutdown() {
   //    every execution — all responses are written after this.
   if (admission_ != nullptr) admission_->Shutdown();
   if (pool_ != nullptr) pool_->Wait();
+  // 2b. Requests still parked in tenant concurrency queues can no longer
+  //     be dequeued by a completion (the pool is drained): answer them
+  //     kCancelled while their connections are still up. Stragglers that
+  //     race in before the sessions join are swept again below.
+  auto drain_queued = [this] {
+    for (auto& payload : tenants_.DrainQueued()) {
+      auto pending = std::static_pointer_cast<PendingRequest>(payload);
+      WireResponse response;
+      response.request_id = pending->request.request_id;
+      response.code = StatusCode::kCancelled;
+      response.message = "server shutting down";
+      SendResponse(pending->conn, std::move(response));
+    }
+  };
+  drain_queued();
   // 3. Unblock session readers and join them.
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -484,6 +546,7 @@ void OmqServer::Shutdown() {
   for (std::thread& t : sessions) {
     if (t.joinable()) t.join();
   }
+  drain_queued();
 }
 
 void OmqServer::set_fault_injector(FaultInjector* injector) {
@@ -556,7 +619,10 @@ std::string OmqServer::StatsJson() const {
     w.Field("cache_hits", snap.counters.cache_hits);
     w.Field("cache_misses", snap.counters.cache_misses);
     w.Field("governor_resets", snap.counters.governor_resets);
+    w.Field("queued_requests", snap.counters.queued_requests);
+    w.Field("queue_peak", snap.counters.queue_peak);
     w.Field("inflight", snap.inflight);
+    w.Field("queued", snap.queued);
     w.Field("charged_bytes", static_cast<uint64_t>(snap.charged_bytes));
     w.Field("tripped", snap.tripped);
     w.EndObject();

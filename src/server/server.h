@@ -166,6 +166,13 @@ class OmqServer {
   void FailPending(const std::shared_ptr<PendingRequest>& pending,
                    StatusCode code, const std::string& message,
                    uint64_t batch_id, uint32_t batch_size);
+  /// Settles a finished request's tenant lease, then dispatches any
+  /// requests its completion released from the tenant's concurrency
+  /// queue (trip-check + admission submit, answering failures inline).
+  /// Iterative — a cascade of failing resumed requests cannot recurse.
+  void SettleLease(const std::shared_ptr<PendingRequest>& pending,
+                   size_t residual_bytes, StatusCode code,
+                   const EngineStats& stats, bool batched);
 
   ServerConfig config_;
   ResourceGovernor governor_;  ///< server-wide root governor

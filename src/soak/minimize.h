@@ -1,0 +1,50 @@
+// Failing-case minimization: greedy delta debugging over a Program.
+//
+// Given a discrepancy predicate (normally "RunDifferential still
+// disagrees", with the construction oracles disabled — deletion voids
+// them), MinimizeProgram repeatedly deletes one tgd, one fact, or one
+// query body atom while the predicate stays true, looping until a fixed
+// point. The result is 1-minimal: removing any single remaining element
+// makes the discrepancy vanish. RenderRepro turns the survivor into a
+// self-contained DLGP file replayable with
+// `omqc_cli contain <file> Q1 Q2`.
+
+#ifndef OMQC_SOAK_MINIMIZE_H_
+#define OMQC_SOAK_MINIMIZE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "tgd/parser.h"
+
+namespace omqc {
+
+/// Returns true while the failure being chased still reproduces on
+/// `candidate`. Must be deterministic; a candidate the engines cannot
+/// even run should return false (the deletion is then rejected).
+using ReproPredicate = std::function<bool(const Program&)>;
+
+struct MinimizeStats {
+  size_t initial_tgds = 0, final_tgds = 0;
+  size_t initial_facts = 0, final_facts = 0;
+  size_t initial_query_atoms = 0, final_query_atoms = 0;
+  size_t probes = 0;  ///< predicate evaluations
+  size_t rounds = 0;  ///< sweeps until the fixed point
+};
+
+/// Greedily 1-minimizes `start` under `persists`. `start` itself must
+/// satisfy the predicate (otherwise it is returned unchanged). Queries are
+/// never deleted outright — a repro must keep Q1/Q2 addressable — but
+/// their bodies shrink as long as every answer variable stays bound and
+/// at least one atom remains.
+Program MinimizeProgram(const Program& start, const ReproPredicate& persists,
+                        MinimizeStats* stats = nullptr);
+
+/// A replayable repro file: each line of `header` as a '%' comment,
+/// then the serialized program.
+std::string RenderRepro(const Program& program, const std::string& header);
+
+}  // namespace omqc
+
+#endif  // OMQC_SOAK_MINIMIZE_H_

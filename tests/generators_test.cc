@@ -6,6 +6,7 @@
 #include "core/containment.h"
 #include "core/eval.h"
 #include "generators/families.h"
+#include "tgd/classify.h"
 #include "tgd/parser.h"
 
 namespace omqc {
@@ -173,6 +174,67 @@ TEST(RandomOmqTest, ValidatesAndSelfContains) {
 TEST(ChainDatabaseTest, Shape) {
   Database db = MakeChainDatabase(5);
   EXPECT_EQ(db.size(), 7u);  // A + 5 edges + B
+}
+
+// ---------- Polarity sweep: weakening vs. marker-strengthening. ----------
+
+// Every random OMQ yields two containments of known polarity: dropping a
+// body atom (keeping all answer variables bound) weakens the query, so
+// q ⊆ q' must hold; conjoining an atom over a predicate no tgd derives
+// and no fact mentions strengthens it, so q ⊆ q'' must fail (the frozen
+// body of q is a counterexample database). Swept over every class the
+// rewriting engine decides outright.
+TEST(RandomOmqTest, PolaritySweepMatchesConstruction) {
+  const TgdClass kClasses[] = {TgdClass::kLinear, TgdClass::kSticky,
+                               TgdClass::kNonRecursive};
+  for (TgdClass target : kClasses) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      RandomOmqConfig config;
+      config.seed = seed;
+      config.target = target;
+      Omq q1 = MakeRandomOmq(config);
+
+      // A body atom is droppable when every answer variable still occurs
+      // in some other atom afterwards.
+      int droppable = -1;
+      for (size_t i = 0; i < q1.query.body.size() && droppable < 0; ++i) {
+        if (q1.query.body.size() < 2) break;
+        bool keeps_bound = true;
+        for (const Term& v : q1.query.answer_vars) {
+          if (!v.IsVariable()) continue;
+          bool bound = false;
+          for (size_t j = 0; j < q1.query.body.size(); ++j) {
+            if (j == i) continue;
+            for (const Term& t : q1.query.body[j].args) {
+              if (t == v) bound = true;
+            }
+          }
+          if (!bound) keeps_bound = false;
+        }
+        if (keeps_bound) droppable = static_cast<int>(i);
+      }
+      if (droppable >= 0) {
+        Omq weaker = q1;
+        weaker.query.body.erase(weaker.query.body.begin() + droppable);
+        auto contained = CheckContainment(q1, weaker);
+        ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+        EXPECT_EQ(contained->outcome, ContainmentOutcome::kContained)
+            << TgdClassToString(target) << " seed " << seed;
+      }
+
+      Omq stronger = q1;
+      std::vector<Term> marker_args;
+      marker_args.push_back(stronger.query.answer_vars.empty()
+                                ? Term::Constant("m")
+                                : stronger.query.answer_vars[0]);
+      stronger.query.body.push_back(
+          Atom::Make("SweepMarker", std::move(marker_args)));
+      auto not_contained = CheckContainment(q1, stronger);
+      ASSERT_TRUE(not_contained.ok()) << not_contained.status().ToString();
+      EXPECT_EQ(not_contained->outcome, ContainmentOutcome::kNotContained)
+          << TgdClassToString(target) << " seed " << seed;
+    }
+  }
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "chase/chase.h"
 #include "core/containment.h"
 #include "core/reductions.h"

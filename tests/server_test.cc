@@ -559,6 +559,176 @@ TEST(ServerTest, ShutdownRequestWakesTheDaemonLoop) {
   server.Shutdown();
 }
 
+// ---------- Tenant concurrency quota ----------
+
+TEST(ServerTest, ConcurrencyQuotaQueuesExcessRequests) {
+  ServerConfig config;
+  config.worker_threads = 4;
+  config.tenant_quota.max_concurrent = 1;
+  OmqServer server(std::move(config));
+
+  std::string slow_program = SlowProgramText();
+  OmqClient slow_client = MakeClient(server);
+  OmqClient fast_client = MakeClient(server);
+  OmqClient cold_client = MakeClient(server);
+
+  std::atomic<bool> fast_done{false};
+  std::thread slow_thread([&] {
+    auto response = slow_client.Contain(slow_program, "Q", "Q", "hot");
+    EXPECT_TRUE(response.ok());
+    if (response.ok()) {
+      EXPECT_EQ(response->code, StatusCode::kOk);
+    }
+  });
+  // The slow request occupies the tenant's only slot...
+  ASSERT_TRUE(WaitFor([&] {
+    auto snaps = server.TenantSnapshots();
+    auto it = snaps.find("hot");
+    return it != snaps.end() && it->second.inflight == 1;
+  }));
+  std::thread fast_thread([&] {
+    auto response = fast_client.Eval(kUniversityProgram, "FacultyQ", "hot");
+    EXPECT_TRUE(response.ok());
+    if (response.ok()) {
+      EXPECT_EQ(response->code, StatusCode::kOk);
+    }
+    fast_done = true;
+  });
+  // ...so the fast same-tenant request parks in the concurrency queue
+  // instead of reaching the pool...
+  ASSERT_TRUE(WaitFor([&] {
+    auto snaps = server.TenantSnapshots();
+    auto it = snaps.find("hot");
+    return it != snaps.end() && it->second.queued == 1;
+  }));
+  EXPECT_FALSE(fast_done.load());
+  // ...while a sibling tenant sails through untouched.
+  auto cold = cold_client.Eval(kUniversityProgram, "FacultyQ", "cold");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->code, StatusCode::kOk);
+  EXPECT_FALSE(fast_done.load());
+
+  slow_thread.join();
+  fast_thread.join();
+  ASSERT_TRUE(WaitFor([&] {
+    auto snaps = server.TenantSnapshots();
+    auto it = snaps.find("hot");
+    return it != snaps.end() && it->second.counters.completed == 2;
+  }));
+  auto snaps = server.TenantSnapshots();
+  EXPECT_EQ(snaps.at("hot").counters.queued_requests, 1u);
+  EXPECT_EQ(snaps.at("hot").counters.queue_peak, 1u);
+  EXPECT_EQ(snaps.at("hot").queued, 0u);
+  EXPECT_EQ(snaps.at("cold").counters.queued_requests, 0u);
+  server.Shutdown();
+}
+
+// ---------- Client retry ----------
+
+TEST(ClientRetryTest, ConnectRetriesUntilTheListenerIsUp) {
+  // Reserve an ephemeral port, then release it for the server to claim
+  // (SO_REUSEADDR makes the rebind race-free against TIME_WAIT).
+  auto reservation = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(reservation.ok()) << reservation.status().ToString();
+  auto port = LocalPort(reservation->get());
+  ASSERT_TRUE(port.ok());
+  reservation->Reset();
+
+  OmqServer server((ServerConfig()));
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    auto bound = server.ListenAndStart(*port);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 40;
+  policy.initial_backoff_ms = 20;
+  policy.max_backoff_ms = 50;
+  auto client = OmqClient::Connect("127.0.0.1", *port, policy);
+  starter.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto pong = client->Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->code, StatusCode::kOk);
+  server.Shutdown();
+}
+
+TEST(ClientRetryTest, ReconnectsAndResendsAfterAPeerReset) {
+  auto listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = LocalPort(listener->get());
+  ASSERT_TRUE(port.ok());
+
+  std::thread flaky([fd = listener->get()] {
+    // First connection: accepted and dropped on the floor.
+    auto first = AcceptConnection(fd);
+    if (first.ok()) first->Reset();
+    // Second connection: speak the protocol for one request.
+    auto second = AcceptConnection(fd);
+    if (!second.ok()) return;
+    std::string payload;
+    if (!ReadFrame(second->get(), &payload).ok()) return;
+    auto request = DecodeRequest(payload);
+    if (!request.ok()) return;
+    WireResponse response;
+    response.request_id = request->request_id;
+    response.body = "pong";
+    Status written = WriteFrame(second->get(), EncodeResponse(response));
+    (void)written;
+  });
+
+  auto client = OmqClient::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 5;
+  client->set_retry_policy(policy);
+  auto pong = client->Ping();
+  flaky.join();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->body, "pong");
+  EXPECT_EQ(client->retry_counters().reconnects, 1u);
+  EXPECT_GE(client->retry_counters().backoffs, 1u);
+}
+
+TEST(ClientRetryTest, RetryStopsAtTheRequestDeadline) {
+  auto listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = LocalPort(listener->get());
+  ASSERT_TRUE(port.ok());
+  std::thread dropper([fd = listener->get()] {
+    // Drop every connection until the listener is shut down.
+    for (;;) {
+      auto conn = AcceptConnection(fd);
+      if (!conn.ok()) return;
+      conn->Reset();
+    }
+  });
+
+  auto client = OmqClient::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(client.ok());
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_ms = 30;
+  policy.max_backoff_ms = 30;
+  client->set_retry_policy(policy);
+  WireRequest request;
+  request.type = RequestType::kPing;
+  request.deadline_ms = 120;
+  auto start = std::chrono::steady_clock::now();
+  auto response = client->Call(std::move(request));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_FALSE(response.ok());
+  // The deadline bounds the whole retry loop: nowhere near the ~1.5s
+  // that 100 attempts at 30ms backoff would take.
+  EXPECT_LT(elapsed, 1000);
+  EXPECT_LE(client->retry_counters().backoffs, 8u);
+  ShutdownSocket(listener->get());
+  dropper.join();
+}
+
 TEST(ServerTest, StatsEndpointServesTheMetricsDocument) {
   OmqServer server((ServerConfig()));
   OmqClient client = MakeClient(server);
@@ -571,6 +741,7 @@ TEST(ServerTest, StatsEndpointServesTheMetricsDocument) {
   EXPECT_NE(stats->body.find("\"cache\""), std::string::npos);
   EXPECT_NE(stats->body.find("\"tenants\""), std::string::npos);
   EXPECT_NE(stats->body.find("\"acme\""), std::string::npos);
+  EXPECT_NE(stats->body.find("\"queue_peak\""), std::string::npos);
   server.Shutdown();
 }
 

@@ -1,0 +1,228 @@
+// Tests for the soak subsystem (src/soak): scenario-factory determinism
+// and class/polarity certificates, the differential runner's agreement on
+// clean corpora, planted-bug detection via the flip hook, and the
+// minimizer's convergence to a small 1-minimal repro.
+
+#include "soak/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/eval.h"
+#include "core/frontend.h"
+#include "soak/differential.h"
+#include "soak/minimize.h"
+#include "tgd/parser.h"
+
+namespace omqc {
+namespace {
+
+// ---------- Factory determinism ----------
+
+TEST(ScenarioFactoryTest, SameSpecYieldsByteIdenticalPrograms) {
+  for (uint64_t i = 0; i < 16; ++i) {
+    ScenarioSpec spec = SpecForIndex(42, i);
+    Scenario a = MakeScenario(spec);
+    Scenario b = MakeScenario(spec);
+    EXPECT_EQ(a.program_text, b.program_text) << "index " << i;
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.tiles, b.tiles);
+    EXPECT_EQ(a.witness_tuple, b.witness_tuple);
+  }
+}
+
+TEST(ScenarioFactoryTest, SpecStreamIsAFunctionOfSeedAndIndex) {
+  for (uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(SpecForIndex(7, i).ToString(), SpecForIndex(7, i).ToString());
+  }
+  // Different master seeds decorrelate (at least one spec differs).
+  bool differs = false;
+  for (uint64_t i = 0; i < 8; ++i) {
+    if (SpecForIndex(1, i).ToString() != SpecForIndex(2, i).ToString()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioFactoryTest, CorpusMixesClassesAndPolarities) {
+  std::set<TgdClass> classes;
+  std::set<bool> polarities;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ScenarioSpec spec = SpecForIndex(5, i);
+    classes.insert(spec.tgd_class);
+    polarities.insert(spec.contained);
+  }
+  EXPECT_GE(classes.size(), 3u);
+  EXPECT_EQ(polarities.size(), 2u);
+}
+
+// ---------- Certificates ----------
+
+TEST(ScenarioFactoryTest, OntologyLandsInItsTargetClass) {
+  for (uint64_t i = 0; i < 24; ++i) {
+    ScenarioSpec spec = SpecForIndex(9, i);
+    Scenario s = MakeScenario(spec);
+    EXPECT_TRUE(SatisfiesClass(s.program.tgds, spec.tgd_class))
+        << spec.ToString() << "\n" << s.program_text;
+  }
+}
+
+TEST(ScenarioFactoryTest, WitnessTupleIsACertainAnswer) {
+  for (uint64_t i = 0; i < 12; ++i) {
+    Scenario s = MakeScenario(SpecForIndex(13, i));
+    Schema schema = InferProgramDataSchema(s.program);
+    auto q1 = SingleQueryNamed(s.program, schema, kLhsQuery);
+    ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+    auto holds = EvalTuple(*q1, s.program.facts, s.witness_tuple);
+    ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+    EXPECT_TRUE(*holds) << s.spec.ToString() << "\n" << s.program_text;
+  }
+}
+
+TEST(ScenarioFactoryTest, PolarityCertificatesMatchTheReferenceEngine) {
+  for (uint64_t i = 0; i < 12; ++i) {
+    Scenario s = MakeScenario(SpecForIndex(21, i));
+    Schema schema = InferProgramDataSchema(s.program);
+    auto q1 = SingleQueryNamed(s.program, schema, kLhsQuery);
+    auto q2 = SingleQueryNamed(s.program, schema, kRhsQuery);
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    ContainmentOptions copts;
+    copts.rewrite.max_queries = 120;
+    copts.rewrite.max_steps = 20000;
+    copts.rewrite.prune_subsumed = true;
+    auto result = CheckContainment(*q1, *q2, copts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Budget-limited guarded scenarios may come back kUnknown; a definite
+    // engine verdict must match the construction oracle.
+    if (result->outcome != ContainmentOutcome::kUnknown) {
+      EXPECT_EQ(result->outcome, s.expected)
+          << s.spec.ToString() << "\n" << s.program_text;
+    }
+  }
+}
+
+// ---------- Differential runner ----------
+
+TEST(DifferentialTest, CleanCorpusHasNoDiscrepancies) {
+  OmqCache cache;
+  for (uint64_t i = 0; i < 10; ++i) {
+    Scenario s = MakeScenario(SpecForIndex(33, i));
+    DifferentialOptions options;
+    options.thread_counts = {1, 2};
+    options.cache = &cache;
+    options.fault_seed = 1000 + i;
+    auto verdict = RunDifferential(s, options);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_FALSE(verdict->discrepancy)
+        << verdict->description << "\n" << s.program_text;
+  }
+}
+
+TEST(DifferentialTest, PlantedFlipIsCaught) {
+  ScenarioSpec spec;
+  spec.seed = 99;
+  spec.tgd_class = TgdClass::kLinear;
+  spec.contained = true;
+  Scenario s = MakeScenario(spec);
+  DifferentialOptions options;
+  options.thread_counts = {1, 2};
+  options.flip_config = "threads1";
+  auto verdict = RunDifferential(s, options);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->discrepancy);
+  EXPECT_NE(verdict->description.find("threads1"), std::string::npos)
+      << verdict->description;
+}
+
+TEST(DifferentialTest, GovernedConfigReproducesTheDefiniteVerdict) {
+  // Whatever budget/fault plan the seed draws, the governed config's
+  // reported outcome must match the other configs (a trip retries
+  // ungoverned), so no seed below may flag a discrepancy.
+  Scenario s = MakeScenario(SpecForIndex(3, 1));
+  for (uint64_t fault_seed = 1; fault_seed <= 8; ++fault_seed) {
+    DifferentialOptions options;
+    options.thread_counts = {1};
+    options.with_cache_off = false;
+    options.fault_seed = fault_seed;
+    auto verdict = RunDifferential(s, options);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_FALSE(verdict->discrepancy)
+        << "fault seed " << fault_seed << ": " << verdict->description;
+  }
+}
+
+// ---------- Minimizer ----------
+
+TEST(MinimizeTest, ConvergesOnAPlantedDiscrepancy) {
+  ScenarioSpec spec;
+  spec.seed = 77;
+  spec.tgd_class = TgdClass::kNonRecursive;
+  spec.length = 5;
+  spec.decoy_tiles = 2;
+  spec.contained = true;
+  Scenario s = MakeScenario(spec);
+
+  DifferentialOptions options;
+  options.thread_counts = {1, 2};
+  options.with_cache_off = false;
+  options.flip_config = "threads1";
+  auto verdict = RunDifferential(s.program, options);
+  ASSERT_TRUE(verdict.ok());
+  ASSERT_TRUE(verdict->discrepancy);
+
+  MinimizeStats stats;
+  Program minimized = MinimizeProgram(
+      s.program,
+      [&options](const Program& candidate) {
+        auto probe = RunDifferential(candidate, options);
+        return probe.ok() && probe->discrepancy;
+      },
+      &stats);
+
+  // The acceptance bar: the planted verdict flip shrinks to <= 10 tgds.
+  EXPECT_LE(minimized.tgds.size(), 10u);
+  EXPECT_LT(minimized.tgds.size(), s.program.tgds.size());
+  EXPECT_GT(stats.probes, 0u);
+  // The survivor still reproduces...
+  auto still = RunDifferential(minimized, options);
+  ASSERT_TRUE(still.ok());
+  EXPECT_TRUE(still->discrepancy);
+  // ...and 1-minimality: deleting any remaining tgd kills the repro only
+  // if the predicate says so — spot-check that the minimizer reached a
+  // fixed point by re-running it.
+  MinimizeStats again;
+  Program twice = MinimizeProgram(
+      minimized,
+      [&options](const Program& candidate) {
+        auto probe = RunDifferential(candidate, options);
+        return probe.ok() && probe->discrepancy;
+      },
+      &again);
+  EXPECT_EQ(twice.tgds.size(), minimized.tgds.size());
+  EXPECT_EQ(twice.facts.size(), minimized.facts.size());
+}
+
+TEST(MinimizeTest, RenderReproIsReparsable) {
+  Scenario s = MakeScenario(SpecForIndex(55, 2));
+  std::string repro = RenderRepro(s.program, "line one\nline two");
+  EXPECT_NE(repro.find("% line one"), std::string::npos);
+  EXPECT_NE(repro.find("% line two"), std::string::npos);
+  auto parsed = ParseProgram(repro);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tgds.size(), s.program.tgds.size());
+  EXPECT_EQ(parsed->queries.size(), s.program.queries.size());
+}
+
+TEST(MinimizeTest, StartThatDoesNotReproduceIsReturnedUnchanged) {
+  Scenario s = MakeScenario(SpecForIndex(55, 3));
+  MinimizeStats stats;
+  Program same = MinimizeProgram(
+      s.program, [](const Program&) { return false; }, &stats);
+  EXPECT_EQ(SerializeProgram(same), s.program_text);
+}
+
+}  // namespace
+}  // namespace omqc
