@@ -24,6 +24,12 @@
 //                            `eval` and `contain` (default: on)
 //   --cache-capacity=N       total cache entries across shards
 //                            (default: 1024)
+//   --cache-dir=PATH         persistent artifact store: warm-start the
+//                            cache from PATH (created if absent) and
+//                            flush new artifacts back on exit, so a
+//                            second process re-running a command serves
+//                            compilations from disk instead of redoing
+//                            them. Verdicts are byte-identical either way.
 //   --deadline-ms=N          wall-clock deadline for `eval` / `contain`
 //                            (0 = none, default). A tripped deadline
 //                            reports the partial result and exits 3.
@@ -94,7 +100,7 @@ int Classify(const Program& program) {
 
 int Eval(const Program& program, const Schema& schema,
          const std::string& name, const EngineFlags& flags,
-         OmqCache* cache) {
+         ArtifactStore* cache) {
   auto omq = SingleQueryNamed(program, schema, name);
   if (!omq.ok()) return Fail(omq.status().ToString());
   EngineStats stats;
@@ -130,7 +136,7 @@ int Rewrite(const Program& program, const Schema& schema,
 
 int Contain(const Program& program, const Schema& schema,
             const std::string& lhs, const std::string& rhs,
-            const EngineFlags& flags, OmqCache* cache) {
+            const EngineFlags& flags, ArtifactStore* cache) {
   auto q1 = SingleQueryNamed(program, schema, lhs);
   auto q2 = SingleQueryNamed(program, schema, rhs);
   if (!q1.ok()) return Fail(q1.status().ToString());
@@ -207,7 +213,17 @@ int main(int argc, char** argv) {
   auto program = LoadProgramFile(args[1]);
   if (!program.ok()) return Fail(program.status().ToString());
   Schema schema = InferProgramDataSchema(*program);
-  std::unique_ptr<OmqCache> cache = MakeCacheFromFlags(flags);
+  auto cache_or = MakeCacheFromFlags(flags);
+  if (!cache_or.ok()) return Fail(cache_or.status().ToString());
+  std::unique_ptr<ArtifactStore> cache = std::move(cache_or).value();
+  // Seal everything this run compiled into the on-disk store (no-op for
+  // the memory-only cache) so the next process warm-starts.
+  struct FlushOnExit {
+    ArtifactStore* store;
+    ~FlushOnExit() {
+      if (store != nullptr) store->Flush();
+    }
+  } flush_on_exit{cache.get()};
 
   const std::string& command = args[0];
   if (command == "classify") return Classify(*program);

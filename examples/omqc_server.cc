@@ -29,10 +29,12 @@
 //
 // Shared engine flags (src/core/frontend.h): --threads=N sizes the worker
 // pool (0 = hardware concurrency), --cache-capacity / --cache=on|off shape
-// the shared compilation cache, --deadline-ms / --max-memory-mb set the
-// server-wide request default deadline and total memory budget, --chase
-// picks the chase strategy. --stats-json prints the final metrics document
-// on shutdown.
+// the shared compilation cache, --cache-dir=PATH warm-starts the cache
+// from a persistent artifact store at boot and flushes new compilations
+// back on drain (an unusable directory degrades to memory-only),
+// --deadline-ms / --max-memory-mb set the server-wide request default
+// deadline and total memory budget, --chase picks the chase strategy.
+// --stats-json prints the final metrics document on shutdown.
 //
 // The daemon runs until a kShutdown request or SIGINT/SIGTERM, then
 // drains: queued batches execute, responses flush, sessions join.
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
   config.listen_address = address;
   config.worker_threads = flags.threads;
   config.cache_capacity = flags.cache ? flags.cache_capacity : 0;
+  config.cache_dir = flags.cache ? flags.cache_dir : "";
   config.admission.max_batch = static_cast<size_t>(max_batch);
   config.admission.linger_ms = linger_ms;
   config.default_deadline_ms = flags.deadline_ms;

@@ -24,6 +24,11 @@
 //   --minimize=on|off minimize discrepancies (default on)
 //   --repro-dir=PATH  where repro files land (default ".")
 //   --max-repros=N    stop minimizing after N repros (default 3)
+//   --persist-dir=PATH  include the persistent-cache config: containment
+//                     over a TieredStore rooted at PATH, warm-reloaded
+//                     (flush + close + reopen from disk) every 25
+//                     scenarios so later scenarios exercise artifacts
+//                     decoded from segments written by earlier ones
 //   --fail-fast       exit at the first discrepancy
 //   --plant-flip=CFG  test hook: flip config CFG's definite verdict (e.g.
 //                     "threads1") — every scenario then fails, proving
@@ -97,6 +102,7 @@ int main(int argc, char** argv) {
   bool fail_fast = false;
   std::string repro_dir = ".";
   std::string plant_flip;
+  std::string persist_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -123,12 +129,16 @@ int main(int argc, char** argv) {
       plant_flip = arg.substr(13);
       continue;
     }
+    if (arg.rfind("--persist-dir=", 0) == 0) {
+      persist_dir = arg.substr(14);
+      continue;
+    }
     std::fprintf(stderr,
                  "unknown flag '%s'\nusage: %s [--seed=S] [--count=N] "
                  "[--server=on|off] [--governed=on|off] "
                  "[--rewrite-budget=N] [--minimize=on|off] "
                  "[--repro-dir=PATH] [--max-repros=N] [--fail-fast] "
-                 "[--plant-flip=CFG]\n",
+                 "[--plant-flip=CFG] [--persist-dir=PATH]\n",
                  arg.c_str(), argv[0]);
     return 2;
   }
@@ -161,6 +171,25 @@ int main(int argc, char** argv) {
   }
 
   OmqCache cache;  // shared by the cached configs, across scenarios
+
+  // Persistent-cache config: a TieredStore warm-reloaded (flush + close +
+  // reopen) every kPersistReloadEvery scenarios, so the configs after a
+  // reload run over artifacts decoded from disk segments rather than the
+  // in-memory originals.
+  constexpr uint64_t kPersistReloadEvery = 25;
+  std::unique_ptr<TieredStore> persist_store;
+  auto open_persist = [&]() -> bool {
+    auto store = TieredStore::Open(TieredStoreConfig{{}, persist_dir});
+    if (!store.ok()) {
+      std::fprintf(stderr, "error: --persist-dir: %s\n",
+                   store.status().ToString().c_str());
+      return false;
+    }
+    persist_store = std::move(store).value();
+    return true;
+  };
+  if (!persist_dir.empty() && !open_persist()) return 2;
+
   SplitMix64 fault_master = SplitMix64(seed).Fork(0xFA);
 
   uint64_t discrepancies = 0;
@@ -171,9 +200,16 @@ int main(int argc, char** argv) {
     ScenarioSpec spec = SpecForIndex(seed, i);
     Scenario scenario = MakeScenario(spec);
 
+    if (persist_store != nullptr && i > 0 && i % kPersistReloadEvery == 0) {
+      persist_store->Flush();
+      persist_store.reset();  // close before reopening the same directory
+      if (!open_persist()) return 2;
+    }
+
     DifferentialOptions options;
     options.rewrite_max_queries = static_cast<size_t>(rewrite_budget);
     options.cache = &cache;
+    options.persist_cache = persist_store.get();
     if (with_governed) {
       uint64_t fault_seed = fault_master.Next();
       options.fault_seed = fault_seed == 0 ? 1 : fault_seed;
@@ -217,6 +253,8 @@ int main(int argc, char** argv) {
       probe_options.expected.reset();
       probe_options.expected_class.reset();
       probe_options.witness.clear();
+      // Don't pollute the on-disk store with mutated-candidate artifacts.
+      probe_options.persist_cache = nullptr;
       MinimizeStats stats;
       Program minimized = MinimizeProgram(
           scenario.program,
@@ -263,6 +301,20 @@ int main(int argc, char** argv) {
         stderr, "soak: client reconnects=%llu backoffs=%llu\n",
         static_cast<unsigned long long>(client->retry_counters().reconnects),
         static_cast<unsigned long long>(client->retry_counters().backoffs));
+  }
+  if (persist_store != nullptr) {
+    OmqCacheStats pstats = persist_store->Stats();
+    std::fprintf(stderr,
+                 "soak: persist hits=%llu writes=%llu entries=%llu "
+                 "corrupt=%llu\n",
+                 static_cast<unsigned long long>(
+                     pstats.counters.persist_hits),
+                 static_cast<unsigned long long>(
+                     pstats.counters.persist_writes),
+                 static_cast<unsigned long long>(pstats.persist_entries),
+                 static_cast<unsigned long long>(
+                     pstats.persist_corrupt_records));
+    persist_store.reset();  // flushes
   }
   if (server != nullptr) {
     client.reset();

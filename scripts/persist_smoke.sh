@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Persistent-store smoke test: the cross-process warm-start acceptance
+# check for src/cache/persist. Three checks per CLI command (eval and
+# contain over examples/data/university.dlgp):
+#
+#   1. Byte-identical verdicts: a second process on the same --cache-dir
+#      prints exactly what the cold process printed.
+#   2. Warm means warm: the second process reports persist_hits > 0 and
+#      zero rewriting work (rewriting_steps == 0, queries_generated == 0)
+#      in --stats-json — it decoded artifacts from disk, it did not
+#      recompile them.
+#   3. The store is real: the directory holds a MANIFEST and at least one
+#      sealed segment after the cold process exits.
+#
+# Usage: scripts/persist_smoke.sh
+# Env: BUILD_DIR (default: build) — must already be configured and built.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CLI="$BUILD_DIR/examples/omqc_cli"
+PROGRAM="examples/data/university.dlgp"
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not found (build the project first)" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT HUP INT TERM
+store="$workdir/store"
+
+# Warm-run stats contract, asserted on the JSON document that --stats-json
+# prints as the last stdout line.
+check_warm_stats() {
+  python3 -c '
+import json, sys
+engine = json.loads(sys.stdin.readlines()[-1])["engine"]
+cache, rewrite = engine["cache"], engine["rewrite"]
+assert cache["persist_hits"] > 0, f"no persist hits: {cache}"
+assert rewrite["rewriting_steps"] == 0, f"warm run rewrote: {rewrite}"
+assert rewrite["queries_generated"] == 0, f"warm run rewrote: {rewrite}"
+print("    persist_hits=" + str(cache["persist_hits"]))
+' <"$1"
+}
+
+run_command() {
+  # $1 = tag, rest = CLI args. Cold process, warm process, stats process.
+  tag="$1"
+  shift
+  echo "[$tag] cold process..."
+  "$CLI" "$@" --cache-dir="$store" >"$workdir/$tag.cold.txt"
+  echo "[$tag] warm process (same --cache-dir)..."
+  "$CLI" "$@" --cache-dir="$store" >"$workdir/$tag.warm.txt"
+  if ! diff -u "$workdir/$tag.cold.txt" "$workdir/$tag.warm.txt" >&2; then
+    echo "error: $tag verdict differs between cold and warm process" >&2
+    exit 1
+  fi
+  "$CLI" "$@" --cache-dir="$store" --stats-json >"$workdir/$tag.stats.txt"
+  check_warm_stats "$workdir/$tag.stats.txt"
+  echo "[$tag] byte-identical across processes, warm stats OK"
+}
+
+run_command eval eval "$PROGRAM" FacultyQ
+run_command contain contain "$PROGRAM" TeachersQ FacultyQ
+
+# 3. The store directory must hold a sealed manifest and segment(s).
+if [ ! -s "$store/MANIFEST" ]; then
+  echo "error: no MANIFEST in $store after cold runs" >&2
+  ls -la "$store" >&2 || true
+  exit 1
+fi
+segments="$(ls "$store" | grep -c '^seg-' || true)"
+if [ "$segments" -eq 0 ]; then
+  echo "error: no segments in $store after cold runs" >&2
+  ls -la "$store" >&2 || true
+  exit 1
+fi
+echo "store: MANIFEST + $segments segment(s)"
+echo "persist smoke: OK"

@@ -4,7 +4,9 @@
 # omqc_load (--verify asserts per-shape response consistency), then diff
 # every response body against what omqc_cli prints for the same request —
 # the "server is byte-identical to the CLI" acceptance check — and finally
-# assert a clean daemon shutdown.
+# assert a clean daemon shutdown. The daemon runs with a persistent
+# --cache-dir and --stats-json, so the shutdown metrics document must
+# carry the persistent-store counters.
 #
 # Usage: scripts/server_smoke.sh
 # Env: BUILD_DIR (default: build) — must already be configured and built.
@@ -28,10 +30,13 @@ cleanup() {
   fi
   rm -rf "$workdir"
 }
-trap cleanup EXIT INT TERM
+trap cleanup EXIT HUP INT TERM
 
 # 1. Daemon on an ephemeral port; the port file sidesteps the startup race.
+# The persistent --cache-dir + --stats-json exercise the warm-boot path
+# (empty store: open, serve, flush-on-drain) and the shutdown metrics.
 "$BUILD_DIR/examples/omqc_server" --port=0 --port-file="$workdir/port" \
+  --cache-dir="$workdir/cache" --stats-json \
   >"$workdir/server.log" 2>&1 &
 server_pid=$!
 tries=0
@@ -94,6 +99,20 @@ server_pid=""
 grep -q "clean shutdown" "$workdir/server.log" || {
   echo "error: daemon did not report a clean shutdown" >&2
   cat "$workdir/server.log" >&2
+  exit 1
+}
+
+# 5. The shutdown metrics document must carry the persistent-store
+# counters, and the drain must have sealed the compiled artifacts so a
+# restart would warm-start.
+grep -q '"persist_entries"' "$workdir/server.log" || {
+  echo "error: shutdown stats are missing the persistent-store counters" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+}
+[ -s "$workdir/cache/MANIFEST" ] || {
+  echo "error: daemon drain did not seal the persistent store" >&2
+  ls -la "$workdir/cache" >&2 || true
   exit 1
 }
 echo "server smoke: OK"

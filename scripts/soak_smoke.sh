@@ -7,7 +7,10 @@
 #      the construction polarity oracle.
 #   2. Determinism: two identical invocations produce byte-identical
 #      stdout (the wall-clock-dependent tallies go to stderr).
-#   3. Planted bug: with --plant-flip the harness must catch the flipped
+#   3. Persistent store: two runs over the same --persist-dir produce
+#      byte-identical stdout (artifacts decoded from disk segments never
+#      change a verdict) and the warm run actually serves from disk.
+#   4. Planted bug: with --plant-flip the harness must catch the flipped
 #      verdict on every scenario, minimize one to <= 10 tgds, and the
 #      emitted repro must replay through `omqc_cli contain`.
 #
@@ -49,7 +52,35 @@ if ! diff -u "$workdir/run1.txt" "$workdir/run2.txt" >&2; then
 fi
 echo "determinism: OK ($(wc -l <"$workdir/run1.txt") identical lines)"
 
-# 3. Planted verdict flip: every scenario must flag, one repro must shrink
+# 3. Persistent-store differential: cold run seeds the store (and warm-
+# reloads it every 25 scenarios), warm run replays the same corpus from
+# disk. Stdout must not move by a byte, and the warm run's stderr tally
+# must show artifacts actually served from segments. Local configs only —
+# the persist config is in-process by construction.
+persist_count=40
+echo "persist soak run 1/2 (count=$persist_count)..."
+"$BUILD_DIR/examples/omqc_soak" --seed="$SEED" --count="$persist_count" \
+  --server=off --governed=off --persist-dir="$workdir/persist-store" \
+  --repro-dir="$artifacts" >"$workdir/persist1.txt" 2>"$workdir/persist1.err"
+echo "persist soak run 2/2 (same --persist-dir)..."
+"$BUILD_DIR/examples/omqc_soak" --seed="$SEED" --count="$persist_count" \
+  --server=off --governed=off --persist-dir="$workdir/persist-store" \
+  --repro-dir="$artifacts" >"$workdir/persist2.txt" 2>"$workdir/persist2.err"
+if ! diff -u "$workdir/persist1.txt" "$workdir/persist2.txt" >&2; then
+  echo "error: warm-start soak stdout differs from cold-start" >&2
+  cp "$workdir"/persist1.txt "$workdir"/persist2.txt "$artifacts"/
+  exit 1
+fi
+hits="$(sed -n 's/^soak: persist hits=\([0-9][0-9]*\).*/\1/p' \
+  "$workdir/persist2.err")"
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "error: warm soak run served nothing from disk (hits=${hits:-none})" >&2
+  cat "$workdir/persist2.err" >&2
+  exit 1
+fi
+echo "persist differential: byte-identical stdout, warm run hits=$hits"
+
+# 4. Planted verdict flip: every scenario must flag, one repro must shrink
 # to <= 10 tgds and replay through the CLI. Local configs only — the flip
 # is in-process, and minimization probes would hammer the server for
 # nothing.

@@ -1,0 +1,28 @@
+#include "cache/artifact_store.h"
+
+#include "base/string_util.h"
+
+namespace omqc {
+
+std::string CacheCounters::ToString() const {
+  return StrCat("lookups=", lookups, " hits=", hits, " misses=", misses,
+                " insertions=", insertions, " evictions=", evictions,
+                " bytes_inserted=", bytes_inserted, " persist_hits=",
+                persist_hits, " persist_writes=", persist_writes,
+                " promotions=", promotions);
+}
+
+std::string OmqCacheStats::ToString() const {
+  std::string out = StrCat("cache stats: entries=", entries, " bytes=", bytes,
+                           " ", counters.ToString());
+  if (persist_segments > 0 || persist_entries > 0 ||
+      persist_corrupt_records > 0 || persist_version_rejects > 0) {
+    out = StrCat(out, " persist_entries=", persist_entries,
+                 " persist_segments=", persist_segments,
+                 " persist_corrupt_records=", persist_corrupt_records,
+                 " persist_version_rejects=", persist_version_rejects);
+  }
+  return out;
+}
+
+}  // namespace omqc

@@ -1,0 +1,161 @@
+// ArtifactStore: the abstract interface every compiled-artifact cache
+// implements — the process-local sharded LRU (cache/omq_cache.h) and the
+// tiered memory+disk store (cache/persist.h). The cache key and counter
+// types live here so both implementations and every consumer
+// (cache/cached_ops.h, src/core, src/server) share one vocabulary.
+//
+// Contract (inherited from the original OmqCache and unchanged by
+// tiering): a store never changes semantics. Every consumer falls back to
+// a fresh compilation on miss (or a null store pointer), only *saturated*
+// artifacts are inserted, and a served artifact is observationally
+// identical to what the fallback would compute for the same key. This is
+// what makes verdicts byte-identical cold vs warm vs cross-process.
+
+#ifndef OMQC_CACHE_ARTIFACT_STORE_H_
+#define OMQC_CACHE_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cache/canonical.h"
+
+namespace omqc {
+
+class FaultInjector;
+
+/// What a cache entry holds. Part of the key: the same fingerprint may
+/// cache several artifact kinds side by side.
+enum class ArtifactKind : uint8_t {
+  kRewriting = 0,       ///< CachedRewriting (cache/cached_ops.h)
+  kClassification = 1,  ///< TgdProfile (cache/cached_ops.h)
+  kRhsEvaluator = 2,    ///< RhsEvaluator (src/core/containment.cc)
+  kChasedInstance = 3,  ///< CachedChase (cache/cached_ops.h)
+};
+
+struct CacheKey {
+  Fingerprint fingerprint;
+  uint64_t options_digest = 0;
+  ArtifactKind kind = ArtifactKind::kRewriting;
+
+  bool operator==(const CacheKey& other) const {
+    return fingerprint == other.fingerprint &&
+           options_digest == other.options_digest && kind == other.kind;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    size_t h = FingerprintHash{}(key.fingerprint);
+    h ^= (key.options_digest + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    return h ^ (static_cast<size_t>(key.kind) << 1);
+  }
+};
+
+/// Tallies of cache traffic. Used both per-run (embedded in EngineStats,
+/// merged across worker threads) and as the cache-global aggregate.
+/// `lookups`/`hits`/`misses` describe the in-memory tier; the persist_*
+/// fields describe the on-disk tier of a TieredStore (always zero for a
+/// plain OmqCache).
+struct CacheCounters {
+  size_t lookups = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t bytes_inserted = 0;
+  /// L2 traffic: lookups served from the on-disk segment store after an L1
+  /// miss, records appended to it, and L2 hits promoted into L1.
+  size_t persist_hits = 0;
+  size_t persist_writes = 0;
+  size_t promotions = 0;
+
+  void Merge(const CacheCounters& other) {
+    lookups += other.lookups;
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    bytes_inserted += other.bytes_inserted;
+    persist_hits += other.persist_hits;
+    persist_writes += other.persist_writes;
+    promotions += other.promotions;
+  }
+
+  std::string ToString() const;
+};
+
+/// Aggregate snapshot across all shards (plus, for a TieredStore, the
+/// on-disk tier's occupancy and load-time health counters).
+struct OmqCacheStats {
+  CacheCounters counters;
+  size_t entries = 0;  ///< live in-memory entries
+  size_t bytes = 0;    ///< approximate bytes held by live entries
+  /// On-disk tier (zero for a memory-only store):
+  size_t persist_entries = 0;   ///< records indexed from the segment files
+  size_t persist_segments = 0;  ///< sealed segments referenced by the manifest
+  size_t persist_corrupt_records = 0;  ///< records rejected by checksum/bounds
+  size_t persist_version_rejects = 0;  ///< segments/manifests of a foreign
+                                       ///< format version or build epoch
+
+  std::string ToString() const;
+};
+
+/// Abstract compiled-artifact store. Implementations must be safe for
+/// concurrent use from many threads; values are immutable objects handed
+/// out as shared_ptr<const T> that stay alive while any reader holds
+/// them, even after eviction or invalidation.
+class ArtifactStore {
+ public:
+  virtual ~ArtifactStore() = default;
+
+  /// Looks up `key`. Returns nullptr on miss. If `counters` is non-null
+  /// the traffic is tallied into it as well as into store-global counters.
+  virtual std::shared_ptr<const void> GetErased(
+      const CacheKey& key, CacheCounters* counters = nullptr) = 0;
+
+  /// Inserts (or replaces) `key`. `bytes` is the caller's size estimate,
+  /// used only for accounting/eviction. `tgd_tag` is the canonical
+  /// fingerprint of the tgd set the artifact was compiled from — the
+  /// incremental-invalidation handle (TieredStore::InvalidateTgdSet drops
+  /// exactly the entries carrying a given tag); memory-only stores ignore
+  /// it. Stores may drop an insert (capacity, fault injection, kind not
+  /// persistable): callers must treat Put as advisory.
+  virtual void PutErased(const CacheKey& key, std::shared_ptr<const void> value,
+                         size_t bytes, CacheCounters* counters = nullptr,
+                         const Fingerprint& tgd_tag = Fingerprint{}) = 0;
+
+  /// Drops every in-memory entry (counters are kept).
+  virtual void Clear() = 0;
+
+  /// Aggregated counters + occupancy.
+  virtual OmqCacheStats Stats() const = 0;
+
+  /// Makes pending state durable (no-op for memory-only stores). Called
+  /// by the CLI on exit and the server on drain.
+  virtual void Flush() {}
+
+  /// Test-only: installs a fault injector whose OnCacheInsert hook may
+  /// drop inserts. Default no-op; pass nullptr to detach.
+  virtual void set_fault_injector(FaultInjector* injector) { (void)injector; }
+
+  /// Typed convenience wrappers. The ArtifactKind in the key is the type
+  /// tag: every producer/consumer of a kind must agree on T.
+  template <typename T>
+  std::shared_ptr<const T> Get(const CacheKey& key,
+                               CacheCounters* counters = nullptr) {
+    return std::static_pointer_cast<const T>(GetErased(key, counters));
+  }
+  template <typename T>
+  void Put(const CacheKey& key, std::shared_ptr<const T> value, size_t bytes,
+           CacheCounters* counters = nullptr,
+           const Fingerprint& tgd_tag = Fingerprint{}) {
+    PutErased(key, std::static_pointer_cast<const void>(std::move(value)),
+              bytes, counters, tgd_tag);
+  }
+};
+
+}  // namespace omqc
+
+#endif  // OMQC_CACHE_ARTIFACT_STORE_H_

@@ -53,15 +53,16 @@ size_t ApproxBytes(const ConjunctiveQuery& q) {
 
 }  // namespace
 
-TgdProfile GetTgdProfile(OmqCache* cache, const TgdSet& tgds,
+TgdProfile GetTgdProfile(ArtifactStore* cache, const TgdSet& tgds,
                          CacheCounters* counters) {
   if (cache == nullptr) return ComputeProfile(tgds);
-  CacheKey key{FingerprintTgdSet(tgds), 0, ArtifactKind::kClassification};
+  Fingerprint tgd_tag = FingerprintTgdSet(tgds);
+  CacheKey key{tgd_tag, 0, ArtifactKind::kClassification};
   if (auto hit = cache->Get<TgdProfile>(key, counters)) return *hit;
   auto profile = std::make_shared<TgdProfile>(ComputeProfile(tgds));
   TgdProfile result = *profile;
   cache->Put(key, std::shared_ptr<const TgdProfile>(std::move(profile)),
-             sizeof(TgdProfile), counters);
+             sizeof(TgdProfile), counters, tgd_tag);
   return result;
 }
 
@@ -86,6 +87,18 @@ CacheKey RewritingCacheKey(const Schema& data_schema, const TgdSet& tgds,
                   XRewriteOptionsDigest(options), ArtifactKind::kRewriting};
 }
 
+CacheKey ChaseCacheKey(const Database& db, const TgdSet& tgds,
+                       uint64_t chase_options_digest) {
+  Fingerprint d = FingerprintDatabase(db);
+  Fingerprint t = FingerprintTgdSet(tgds);
+  // Pairwise-combine the two 128-bit fingerprints (order-sensitive: the
+  // database and ontology roles are distinct).
+  Fingerprint fp;
+  fp.hi = DigestCombine(DigestCombine(d.hi, t.hi), 0xC0DEC0DE01ULL);
+  fp.lo = DigestCombine(DigestCombine(d.lo, t.lo), 0xC0DEC0DE02ULL);
+  return CacheKey{fp, chase_options_digest, ArtifactKind::kChasedInstance};
+}
+
 size_t ApproxBytes(const UnionOfCQs& ucq) {
   size_t bytes = sizeof(UnionOfCQs);
   for (const ConjunctiveQuery& d : ucq.disjuncts) bytes += ApproxBytes(d);
@@ -93,7 +106,7 @@ size_t ApproxBytes(const UnionOfCQs& ucq) {
 }
 
 Result<std::shared_ptr<const UnionOfCQs>> CachedXRewrite(
-    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    ArtifactStore* cache, const Schema& data_schema, const TgdSet& tgds,
     const ConjunctiveQuery& q, const XRewriteOptions& options,
     XRewriteStats* stats, CacheCounters* counters) {
   if (cache == nullptr) {
@@ -114,12 +127,13 @@ Result<std::shared_ptr<const UnionOfCQs>> CachedXRewrite(
       XRewrite(data_schema, tgds, q, options, &computed->compute_stats));
   if (stats != nullptr) stats->Merge(computed->compute_stats);
   std::shared_ptr<const CachedRewriting> entry = std::move(computed);
-  cache->Put(key, entry, ApproxBytes(entry->ucq), counters);
+  cache->Put(key, entry, ApproxBytes(entry->ucq), counters,
+             FingerprintTgdSet(tgds));
   return std::shared_ptr<const UnionOfCQs>(entry, &entry->ucq);
 }
 
 Result<RewriteEnumeration> CachedEnumerateRewritings(
-    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    ArtifactStore* cache, const Schema& data_schema, const TgdSet& tgds,
     const ConjunctiveQuery& q, const XRewriteOptions& options,
     const std::function<bool(const ConjunctiveQuery&)>& on_disjunct,
     XRewriteStats* stats, CacheCounters* counters) {
@@ -146,7 +160,8 @@ Result<RewriteEnumeration> CachedEnumerateRewritings(
   if (stats != nullptr) stats->Merge(collected->compute_stats);
   if (outcome == RewriteEnumeration::kSaturated) {
     size_t bytes = ApproxBytes(collected->ucq);
-    cache->Put<CachedRewriting>(key, std::move(collected), bytes, counters);
+    cache->Put<CachedRewriting>(key, std::move(collected), bytes, counters,
+                                FingerprintTgdSet(tgds));
   }
   return outcome;
 }

@@ -5,13 +5,20 @@
 // never branch on caching themselves. All wrappers are safe to call
 // concurrently with a shared cache (per-run tallies go to the caller's
 // CacheCounters, which must not be shared across threads).
+//
+// The store parameter is the abstract ArtifactStore: a plain OmqCache, or
+// a TieredStore (cache/persist.h) that transparently consults and fills
+// its on-disk tier. Inserts carry the tgd set's fingerprint as the
+// invalidation tag so a tiered store can drop exactly the artifacts
+// compiled from an ontology that changed.
 
 #ifndef OMQC_CACHE_CACHED_OPS_H_
 #define OMQC_CACHE_CACHED_OPS_H_
 
 #include <memory>
 
-#include "cache/omq_cache.h"
+#include "cache/artifact_store.h"
+#include "logic/instance.h"
 #include "rewrite/xrewrite.h"
 #include "tgd/classify.h"
 
@@ -33,7 +40,7 @@ struct TgdProfile {
 
 /// Classifies `tgds`, consulting/filling `cache` (keyed by the tgd set's
 /// canonical fingerprint) when non-null.
-TgdProfile GetTgdProfile(OmqCache* cache, const TgdSet& tgds,
+TgdProfile GetTgdProfile(ArtifactStore* cache, const TgdSet& tgds,
                          CacheCounters* counters = nullptr);
 
 /// A cached (complete) UCQ rewriting together with the stats of the run
@@ -41,6 +48,15 @@ TgdProfile GetTgdProfile(OmqCache* cache, const TgdSet& tgds,
 struct CachedRewriting {
   UnionOfCQs ucq;
   XRewriteStats compute_stats;
+};
+
+/// A cached chase result: the *saturated* (fixpoint) instance of chasing
+/// a database under a tgd set. Only complete chases are ever cached —
+/// truncated chases depend on the budget that stopped them and are
+/// recomputed. Keyed by ChaseCacheKey (src/core/eval.cc wires this into
+/// the certain-answer chase path).
+struct CachedChase {
+  Instance instance;
 };
 
 /// Digest of every XRewriteOptions field that can change the rewriting.
@@ -51,6 +67,13 @@ CacheKey RewritingCacheKey(const Schema& data_schema, const TgdSet& tgds,
                            const ConjunctiveQuery& q,
                            const XRewriteOptions& options);
 
+/// Cache key for the chase of `db` under `tgds`. The fingerprint combines
+/// the database's fact-multiset hash with the tgd set's canonical
+/// fingerprint; `chase_options_digest` folds every chase option that can
+/// change the result (variant, strategy, budgets).
+CacheKey ChaseCacheKey(const Database& db, const TgdSet& tgds,
+                       uint64_t chase_options_digest);
+
 /// Rough byte footprint of a UCQ (for cache accounting only).
 size_t ApproxBytes(const UnionOfCQs& ucq);
 
@@ -60,7 +83,7 @@ size_t ApproxBytes(const UnionOfCQs& ucq);
 /// (EngineStats counters mean work performed; the saved compilation shows
 /// up as a hit in `counters` instead).
 Result<std::shared_ptr<const UnionOfCQs>> CachedXRewrite(
-    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    ArtifactStore* cache, const Schema& data_schema, const TgdSet& tgds,
     const ConjunctiveQuery& q, const XRewriteOptions& options,
     XRewriteStats* stats = nullptr, CacheCounters* counters = nullptr);
 
@@ -70,7 +93,7 @@ Result<std::shared_ptr<const UnionOfCQs>> CachedXRewrite(
 /// enumeration saturates. Budget-exhausted and stopped enumerations are
 /// not cached (they are incomplete).
 Result<RewriteEnumeration> CachedEnumerateRewritings(
-    OmqCache* cache, const Schema& data_schema, const TgdSet& tgds,
+    ArtifactStore* cache, const Schema& data_schema, const TgdSet& tgds,
     const ConjunctiveQuery& q, const XRewriteOptions& options,
     const std::function<bool(const ConjunctiveQuery&)>& on_disjunct,
     XRewriteStats* stats = nullptr, CacheCounters* counters = nullptr);

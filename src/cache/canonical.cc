@@ -31,6 +31,7 @@ enum Tag : uint64_t {
   kTagSchema = 0xD3,
   kTagUCQ = 0xD4,
   kTagOmq = 0xD5,
+  kTagDatabase = 0xD6,
 };
 
 /// FNV-1a over bytes; stable across processes (never hash interned ids).
@@ -443,6 +444,24 @@ Fingerprint FingerprintUcqOmqParts(const Schema& data_schema,
   Fingerprint t = FingerprintTgdSet(tgds);
   Fingerprint u = FingerprintUCQ(ucq);
   return HashTokens(kTagOmq, {s.hi, s.lo, t.hi, t.lo, u.hi, u.lo});
+}
+
+Fingerprint FingerprintDatabase(const Database& db) {
+  std::vector<uint64_t> tokens;
+  tokens.reserve(db.size());
+  for (AtomId id = 0; id < db.size(); ++id) {
+    AtomView v = db.view(static_cast<AtomId>(id));
+    uint64_t h = Mix64(HashBytes(v.predicate().name()),
+                       static_cast<uint64_t>(v.arity()));
+    for (const Term& t : v) {
+      // Facts are null-free, so every argument has a stable name.
+      h = Mix64(h, HashBytes(t.ToString()));
+    }
+    tokens.push_back(h);
+  }
+  // Set semantics: sort so insertion order does not matter.
+  std::sort(tokens.begin(), tokens.end());
+  return HashTokens(kTagDatabase, tokens);
 }
 
 }  // namespace omqc

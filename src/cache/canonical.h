@@ -22,6 +22,7 @@
 #include <string>
 
 #include "logic/cq.h"
+#include "logic/instance.h"
 #include "tgd/tgd.h"
 
 namespace omqc {
@@ -92,6 +93,14 @@ Fingerprint FingerprintOmqParts(const Schema& data_schema, const TgdSet& tgds,
 /// disjuncts).
 Fingerprint FingerprintUcqOmqParts(const Schema& data_schema,
                                    const TgdSet& tgds, const UnionOfCQs& ucq);
+
+/// Order-insensitive fingerprint of a null-free database: the sorted
+/// multiset of per-fact hashes over predicate and constant *names*. Keys
+/// the chase-result cache (the chase of D under Σ is determined by D as a
+/// set of facts). Not isomorphism-invariant across constant renamings —
+/// constants are named individuals — and not defined for instances with
+/// nulls (null ids are process-local; callers pass databases only).
+Fingerprint FingerprintDatabase(const Database& db);
 
 }  // namespace omqc
 

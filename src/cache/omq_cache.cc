@@ -3,20 +3,8 @@
 #include <algorithm>
 
 #include "base/fault_injection.h"
-#include "base/string_util.h"
 
 namespace omqc {
-
-std::string CacheCounters::ToString() const {
-  return StrCat("lookups=", lookups, " hits=", hits, " misses=", misses,
-                " insertions=", insertions, " evictions=", evictions,
-                " bytes_inserted=", bytes_inserted);
-}
-
-std::string OmqCacheStats::ToString() const {
-  return StrCat("cache stats: entries=", entries, " bytes=", bytes, " ",
-                counters.ToString());
-}
 
 OmqCache::OmqCache(OmqCacheConfig config)
     : capacity_(std::max<size_t>(config.capacity, 1)) {
@@ -49,7 +37,8 @@ std::shared_ptr<const void> OmqCache::GetErased(const CacheKey& key,
 }
 
 void OmqCache::PutErased(const CacheKey& key, std::shared_ptr<const void> value,
-                         size_t bytes, CacheCounters* counters) {
+                         size_t bytes, CacheCounters* counters,
+                         const Fingerprint& /*tgd_tag*/) {
   if (FaultInjector* fi = fault_injector_.load(std::memory_order_acquire)) {
     // A dropped insert is indistinguishable from an immediate eviction:
     // the caller keeps its freshly computed value, only reuse is lost.

@@ -1,10 +1,15 @@
 // OmqCache: a fixed-capacity, sharded, thread-safe LRU cache for compiled
 // OMQ artifacts — UCQ rewritings (XRewrite output), ontology
-// classifications (src/tgd/classify) and prepared RHS evaluators
-// (src/core/containment.cc). Entries are keyed by the 128-bit structural
-// fingerprint of the compiled object (src/cache/canonical.h) plus a digest
-// of the options that shaped the compilation, so queries equal up to
-// variable renaming share one entry and different budgets never alias.
+// classifications (src/tgd/classify), prepared RHS evaluators
+// (src/core/containment.cc) and chased instances (src/core/eval.cc).
+// Entries are keyed by the 128-bit structural fingerprint of the compiled
+// object (src/cache/canonical.h) plus a digest of the options that shaped
+// the compilation, so queries equal up to variable renaming share one
+// entry and different budgets never alias.
+//
+// This is the memory-only ArtifactStore implementation — the L1 tier of
+// cache/persist.h's TieredStore, and the whole store when no --cache-dir
+// is configured.
 //
 // Concurrency: keys hash to one of `shards` independent shards, each with
 // its own mutex, LRU list and counters; the parallel containment engine
@@ -30,69 +35,10 @@
 #include <utility>
 #include <vector>
 
+#include "cache/artifact_store.h"
 #include "cache/canonical.h"
 
 namespace omqc {
-
-class FaultInjector;
-
-/// What a cache entry holds. Part of the key: the same fingerprint may
-/// cache several artifact kinds side by side.
-enum class ArtifactKind : uint8_t {
-  kRewriting = 0,       ///< CachedRewriting (cache/cached_ops.h)
-  kClassification = 1,  ///< TgdProfile (cache/cached_ops.h)
-  kRhsEvaluator = 2,    ///< RhsEvaluator (src/core/containment.cc)
-};
-
-struct CacheKey {
-  Fingerprint fingerprint;
-  uint64_t options_digest = 0;
-  ArtifactKind kind = ArtifactKind::kRewriting;
-
-  bool operator==(const CacheKey& other) const {
-    return fingerprint == other.fingerprint &&
-           options_digest == other.options_digest && kind == other.kind;
-  }
-};
-
-struct CacheKeyHash {
-  size_t operator()(const CacheKey& key) const {
-    size_t h = FingerprintHash{}(key.fingerprint);
-    h ^= (key.options_digest + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
-    return h ^ (static_cast<size_t>(key.kind) << 1);
-  }
-};
-
-/// Tallies of cache traffic. Used both per-run (embedded in EngineStats,
-/// merged across worker threads) and as the cache-global aggregate.
-struct CacheCounters {
-  size_t lookups = 0;
-  size_t hits = 0;
-  size_t misses = 0;
-  size_t insertions = 0;
-  size_t evictions = 0;
-  size_t bytes_inserted = 0;
-
-  void Merge(const CacheCounters& other) {
-    lookups += other.lookups;
-    hits += other.hits;
-    misses += other.misses;
-    insertions += other.insertions;
-    evictions += other.evictions;
-    bytes_inserted += other.bytes_inserted;
-  }
-
-  std::string ToString() const;
-};
-
-/// Aggregate snapshot across all shards.
-struct OmqCacheStats {
-  CacheCounters counters;
-  size_t entries = 0;  ///< live entries
-  size_t bytes = 0;    ///< approximate bytes held by live entries
-
-  std::string ToString() const;
-};
 
 struct OmqCacheConfig {
   /// Total entry capacity, split evenly across shards (each shard holds at
@@ -102,7 +48,7 @@ struct OmqCacheConfig {
   size_t num_shards = 8;
 };
 
-class OmqCache {
+class OmqCache : public ArtifactStore {
  public:
   explicit OmqCache(OmqCacheConfig config = OmqCacheConfig());
 
@@ -113,33 +59,22 @@ class OmqCache {
   /// If `counters` is non-null the lookup is tallied into it as well as
   /// into the cache-global counters.
   std::shared_ptr<const void> GetErased(const CacheKey& key,
-                                        CacheCounters* counters = nullptr);
+                                        CacheCounters* counters =
+                                            nullptr) override;
 
   /// Inserts (or replaces) `key`, evicting least-recently-used entries of
   /// the shard while it is over capacity. `bytes` is the caller's size
-  /// estimate, used only for accounting.
+  /// estimate, used only for accounting. `tgd_tag` is ignored: a
+  /// memory-only cache is invalidated wholesale via Clear().
   void PutErased(const CacheKey& key, std::shared_ptr<const void> value,
-                 size_t bytes, CacheCounters* counters = nullptr);
-
-  /// Typed convenience wrappers. The ArtifactKind in the key is the type
-  /// tag: every producer/consumer of a kind must agree on T.
-  template <typename T>
-  std::shared_ptr<const T> Get(const CacheKey& key,
-                               CacheCounters* counters = nullptr) {
-    return std::static_pointer_cast<const T>(GetErased(key, counters));
-  }
-  template <typename T>
-  void Put(const CacheKey& key, std::shared_ptr<const T> value, size_t bytes,
-           CacheCounters* counters = nullptr) {
-    PutErased(key, std::static_pointer_cast<const void>(std::move(value)),
-              bytes, counters);
-  }
+                 size_t bytes, CacheCounters* counters = nullptr,
+                 const Fingerprint& tgd_tag = Fingerprint{}) override;
 
   /// Drops every entry (counters are kept).
-  void Clear();
+  void Clear() override;
 
   /// Aggregated counters + occupancy across shards.
-  OmqCacheStats Stats() const;
+  OmqCacheStats Stats() const override;
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -149,7 +84,7 @@ class OmqCache {
   /// drop inserts (PutErased becomes a no-op for the designated insert —
   /// indistinguishable from an immediate eviction, which callers must
   /// already tolerate). Pass nullptr to detach.
-  void set_fault_injector(FaultInjector* injector) {
+  void set_fault_injector(FaultInjector* injector) override {
     fault_injector_.store(injector, std::memory_order_release);
   }
 

@@ -1,0 +1,137 @@
+#include "cache/serialize.h"
+
+#include <utility>
+
+#include "cache/cached_ops.h"
+#include "logic/instance.h"
+#include "logic/serialize.h"
+
+namespace omqc {
+namespace {
+
+void SerializeXRewriteStats(const XRewriteStats& s, ByteWriter& out) {
+  out.U64(s.rewriting_steps);
+  out.U64(s.factorization_steps);
+  out.U64(s.queries_generated);
+  out.U64(s.max_disjunct_atoms);
+  out.U64(s.dedup_hits);
+  out.U64(s.subsumption_prunes);
+}
+
+XRewriteStats DeserializeXRewriteStats(ByteReader& in) {
+  XRewriteStats s;
+  s.rewriting_steps = in.U64();
+  s.factorization_steps = in.U64();
+  s.queries_generated = in.U64();
+  s.max_disjunct_atoms = in.U64();
+  s.dedup_hits = in.U64();
+  s.subsumption_prunes = in.U64();
+  return s;
+}
+
+Result<DecodedArtifact> DecodeRewriting(ByteReader& in) {
+  auto entry = std::make_shared<CachedRewriting>();
+  OMQC_ASSIGN_OR_RETURN(entry->ucq, DeserializeUCQ(in));
+  entry->compute_stats = DeserializeXRewriteStats(in);
+  if (!in.ok()) return Status::InvalidArgument("truncated rewriting stats");
+  size_t bytes = ApproxBytes(entry->ucq);
+  return DecodedArtifact{std::move(entry), bytes};
+}
+
+Result<DecodedArtifact> DecodeProfile(ByteReader& in) {
+  auto profile = std::make_shared<TgdProfile>();
+  uint8_t primary = in.U8();
+  uint8_t flags = in.U8();
+  if (!in.ok() || primary > static_cast<uint8_t>(TgdClass::kGeneral) ||
+      (flags & ~0x1Fu) != 0) {
+    return Status::InvalidArgument("bad tgd profile");
+  }
+  profile->primary = static_cast<TgdClass>(primary);
+  profile->linear = (flags & 0x01) != 0;
+  profile->guarded = (flags & 0x02) != 0;
+  profile->full = (flags & 0x04) != 0;
+  profile->non_recursive = (flags & 0x08) != 0;
+  profile->sticky = (flags & 0x10) != 0;
+  return DecodedArtifact{std::move(profile), sizeof(TgdProfile)};
+}
+
+Result<DecodedArtifact> DecodeChase(ByteReader& in) {
+  auto chase = std::make_shared<CachedChase>();
+  OMQC_ASSIGN_OR_RETURN(chase->instance, Instance::Restore(in));
+  size_t bytes = chase->instance.MemoryBytes();
+  return DecodedArtifact{std::move(chase), bytes};
+}
+
+}  // namespace
+
+bool ArtifactKindPersistable(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kRewriting:
+    case ArtifactKind::kClassification:
+    case ArtifactKind::kChasedInstance:
+      return true;
+    case ArtifactKind::kRhsEvaluator:
+      return false;
+  }
+  return false;
+}
+
+void SerializeFingerprint(const Fingerprint& fp, ByteWriter& out) {
+  out.U64(fp.hi);
+  out.U64(fp.lo);
+}
+
+Fingerprint DeserializeFingerprint(ByteReader& in) {
+  Fingerprint fp;
+  fp.hi = in.U64();
+  fp.lo = in.U64();
+  return fp;
+}
+
+bool SerializeArtifact(ArtifactKind kind, const void* value, ByteWriter& out) {
+  switch (kind) {
+    case ArtifactKind::kRewriting: {
+      const auto* entry = static_cast<const CachedRewriting*>(value);
+      SerializeUCQ(entry->ucq, out);
+      SerializeXRewriteStats(entry->compute_stats, out);
+      return true;
+    }
+    case ArtifactKind::kClassification: {
+      const auto* profile = static_cast<const TgdProfile*>(value);
+      out.U8(static_cast<uint8_t>(profile->primary));
+      uint8_t flags = 0;
+      if (profile->linear) flags |= 0x01;
+      if (profile->guarded) flags |= 0x02;
+      if (profile->full) flags |= 0x04;
+      if (profile->non_recursive) flags |= 0x08;
+      if (profile->sticky) flags |= 0x10;
+      out.U8(flags);
+      return true;
+    }
+    case ArtifactKind::kChasedInstance: {
+      const auto* chase = static_cast<const CachedChase*>(value);
+      chase->instance.Snapshot(out);
+      return true;
+    }
+    case ArtifactKind::kRhsEvaluator:
+      return false;
+  }
+  return false;
+}
+
+Result<DecodedArtifact> DeserializeArtifact(ArtifactKind kind,
+                                            ByteReader& in) {
+  switch (kind) {
+    case ArtifactKind::kRewriting:
+      return DecodeRewriting(in);
+    case ArtifactKind::kClassification:
+      return DecodeProfile(in);
+    case ArtifactKind::kChasedInstance:
+      return DecodeChase(in);
+    case ArtifactKind::kRhsEvaluator:
+      break;
+  }
+  return Status::InvalidArgument("artifact kind has no on-disk form");
+}
+
+}  // namespace omqc

@@ -85,7 +85,7 @@ struct ContainmentOptions {
   /// the prepared RHS evaluator; also propagated into `eval.cache` when
   /// that is null. Shared safely across threads and calls; outcomes are
   /// identical with and without it (only compilation work is reused).
-  OmqCache* cache = nullptr;
+  ArtifactStore* cache = nullptr;
   /// Optional shared request governor (base/governor.h) bounding the whole
   /// containment request — LHS enumeration, freezing, and every RHS check,
   /// serial or pooled — by wall-clock deadline, cooperative cancellation

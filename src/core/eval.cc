@@ -101,6 +101,21 @@ uint64_t Fold(uint64_t h, uint64_t v) {
          0x00000100000001b3ULL;
 }
 
+/// Digest of every ChaseOptions field that can change the chase result
+/// (governor and counter pointers excluded, exactly like EvalOptionsDigest:
+/// they bound resources or tally work, and only *complete* chases are
+/// cached — a fixpoint is the same fixpoint under any governor that let it
+/// finish).
+uint64_t ChaseOptionsDigestFor(const ChaseOptions& chase) {
+  uint64_t h = 0xa0761d6478bd642fULL;
+  h = Fold(h, static_cast<uint64_t>(chase.variant));
+  h = Fold(h, static_cast<uint64_t>(chase.strategy));
+  h = Fold(h, chase.max_steps);
+  h = Fold(h, chase.max_atoms);
+  h = Fold(h, static_cast<uint64_t>(static_cast<int64_t>(chase.max_level)));
+  return h;
+}
+
 }  // namespace
 
 uint64_t EvalOptionsDigest(const EvalOptions& options) {
@@ -216,16 +231,42 @@ Result<std::vector<std::vector<Term>>> EvalAll(const Omq& omq,
   }
   ChaseOptions chase_options = ChaseOptionsFor(profile, options);
   chase_options.hom_counters = hom_options.counters;
-  OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
-                        Chase(database, omq.tgds, chase_options));
-  RecordChase(chased, database.size(), stats);
-  if (!chased.complete) {
-    if (!chased.interrupt.ok()) return chased.interrupt;
-    return Status::ResourceExhausted(
-        StrCat("chase budget exhausted (", chased.instance.size(),
-               " atoms); the answer set may be incomplete"));
+  // Chase-result caching: the chase of D under Σ is determined by (D, Σ,
+  // chase options), and answers over an equal restored instance are
+  // identical because EvaluateCQ only emits constant tuples ("nulls are
+  // not answers") and constants are interned by name. Only complete
+  // (fixpoint) chases are cached; truncated chases depend on what stopped
+  // them and are recomputed.
+  std::shared_ptr<const CachedChase> chase_entry;
+  CacheKey chase_key;
+  if (options.cache != nullptr) {
+    chase_key = ChaseCacheKey(database, omq.tgds,
+                              ChaseOptionsDigestFor(chase_options));
+    chase_entry = options.cache->Get<CachedChase>(chase_key, cache_counters);
   }
-  auto answers = EvaluateCQ(omq.query, chased.instance, hom_options);
+  if (chase_entry == nullptr) {
+    OMQC_ASSIGN_OR_RETURN(ChaseResult chased,
+                          Chase(database, omq.tgds, chase_options));
+    RecordChase(chased, database.size(), stats);
+    if (!chased.complete) {
+      if (!chased.interrupt.ok()) return chased.interrupt;
+      return Status::ResourceExhausted(
+          StrCat("chase budget exhausted (", chased.instance.size(),
+                 " atoms); the answer set may be incomplete"));
+    }
+    auto computed = std::make_shared<CachedChase>();
+    computed->instance = std::move(chased.instance);
+    if (options.cache != nullptr) {
+      options.cache->Put<CachedChase>(chase_key, computed,
+                                      computed->instance.MemoryBytes(),
+                                      cache_counters,
+                                      FingerprintTgdSet(omq.tgds));
+    }
+    chase_entry = std::move(computed);
+  }
+  // On a hit no chase ran: the chase counters stay untouched (EngineStats
+  // counters mean work performed; the saved chase shows up in `cache`).
+  auto answers = EvaluateCQ(omq.query, chase_entry->instance, hom_options);
   if (options.governor != nullptr && options.governor->tripped()) {
     return options.governor->TripStatus();
   }

@@ -11,7 +11,7 @@ namespace omqc {
 const char* EngineFlagsUsage() {
   return "[--threads=N] [--stats] [--stats-json] "
          "[--chase=naive|seminaive] [--cache=on|off] [--cache-capacity=N] "
-         "[--deadline-ms=N] [--max-memory-mb=N]";
+         "[--cache-dir=PATH] [--deadline-ms=N] [--max-memory-mb=N]";
 }
 
 Result<uint64_t> ParseUnsignedFlagValue(const std::string& flag,
@@ -102,6 +102,14 @@ Result<bool> ParseEngineFlag(const std::string& arg, EngineFlags* flags) {
       return true;
     }
   }
+  if (arg.rfind("--cache-dir=", 0) == 0) {
+    std::string dir = arg.substr(12);
+    if (dir.empty()) {
+      return Status::InvalidArgument("--cache-dir expects a directory path");
+    }
+    flags->cache_dir = dir;
+    return true;
+  }
   {
     auto r = ConsumeUnsigned(arg, "--deadline-ms", &value);
     if (!r.ok()) return r.status();
@@ -121,9 +129,17 @@ Result<bool> ParseEngineFlag(const std::string& arg, EngineFlags* flags) {
   return false;
 }
 
-std::unique_ptr<OmqCache> MakeCacheFromFlags(const EngineFlags& flags) {
-  if (!flags.cache) return nullptr;
-  return std::make_unique<OmqCache>(OmqCacheConfig{flags.cache_capacity, 8});
+Result<std::unique_ptr<ArtifactStore>> MakeCacheFromFlags(
+    const EngineFlags& flags) {
+  if (!flags.cache) return std::unique_ptr<ArtifactStore>();
+  OmqCacheConfig l1{flags.cache_capacity, 8};
+  if (flags.cache_dir.empty()) {
+    return std::unique_ptr<ArtifactStore>(std::make_unique<OmqCache>(l1));
+  }
+  OMQC_ASSIGN_OR_RETURN(std::unique_ptr<TieredStore> store,
+                        TieredStore::Open(TieredStoreConfig{l1,
+                                                            flags.cache_dir}));
+  return std::unique_ptr<ArtifactStore>(std::move(store));
 }
 
 void ApplyGovernorFlags(const EngineFlags& flags,

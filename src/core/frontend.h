@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "base/governor.h"
-#include "cache/omq_cache.h"
+#include "cache/persist.h"
 #include "chase/chase.h"
 #include "core/containment.h"
 #include "core/omq.h"
@@ -39,6 +39,7 @@ struct EngineFlags {
   ChaseStrategy chase = ChaseStrategy::kSemiNaive;  ///< --chase=...
   bool cache = true;             ///< --cache=on|off
   size_t cache_capacity = 1024;  ///< --cache-capacity=N (> 0)
+  std::string cache_dir;         ///< --cache-dir=PATH ("" = memory only)
   uint64_t deadline_ms = 0;      ///< --deadline-ms=N (0 = none)
   size_t max_memory_mb = 0;      ///< --max-memory-mb=N (0 = none)
 };
@@ -59,9 +60,13 @@ Result<uint64_t> ParseUnsignedFlagValue(const std::string& flag,
 /// flag with a malformed value.
 Result<bool> ParseEngineFlag(const std::string& arg, EngineFlags* flags);
 
-/// The process-wide compilation cache the flags ask for (null when
-/// --cache=off).
-std::unique_ptr<OmqCache> MakeCacheFromFlags(const EngineFlags& flags);
+/// The process-wide compilation cache the flags ask for: null when
+/// --cache=off, a plain in-memory OmqCache by default, or a TieredStore
+/// warm-started from --cache-dir (created if absent). Fails only when the
+/// cache directory cannot be created — bad segment contents degrade to a
+/// cold cache, never to an error.
+Result<std::unique_ptr<ArtifactStore>> MakeCacheFromFlags(
+    const EngineFlags& flags);
 
 /// Applies the deadline/memory flags to `governor`.
 void ApplyGovernorFlags(const EngineFlags& flags, ResourceGovernor* governor);

@@ -21,6 +21,9 @@ void AppendCacheCountersJson(JsonWriter& w, std::string_view key,
   w.Field("insertions", cache.insertions);
   w.Field("evictions", cache.evictions);
   w.Field("bytes_inserted", cache.bytes_inserted);
+  w.Field("persist_hits", cache.persist_hits);
+  w.Field("persist_writes", cache.persist_writes);
+  w.Field("promotions", cache.promotions);
   w.EndObject();
 }
 
@@ -30,6 +33,10 @@ void AppendOmqCacheStatsJson(JsonWriter& w, std::string_view key,
   AppendCacheCountersJson(w, "counters", stats.counters);
   w.Field("entries", stats.entries);
   w.Field("bytes", stats.bytes);
+  w.Field("persist_entries", stats.persist_entries);
+  w.Field("persist_segments", stats.persist_segments);
+  w.Field("persist_corrupt_records", stats.persist_corrupt_records);
+  w.Field("persist_version_rejects", stats.persist_version_rejects);
   w.EndObject();
 }
 

@@ -32,9 +32,13 @@
 #include <utility>
 #include <vector>
 
+#include "base/status.h"
 #include "logic/atom.h"
 
 namespace omqc {
+
+class ByteWriter;
+class ByteReader;
 
 /// Index of an atom within one Instance's arena: dense, assigned in
 /// insertion order, stable for the lifetime of the instance.
@@ -234,6 +238,20 @@ class Instance {
                (sizeof(AtomRecord) + sizeof(AtomId) + sizeof(uint32_t)) +
            slots_.size() * (sizeof(AtomId) + sizeof(uint16_t));
   }
+
+  /// Serializes the arena into `out` (logic/serialize.cc): a predicate
+  /// dictionary, a term dictionary (constants and variables by *name*,
+  /// nulls by id) and the atom records in insertion order. The dedup
+  /// table and the postings indexes are NOT stored — Restore rebuilds
+  /// them by re-inserting the atoms in order, which reproduces the exact
+  /// AtomId assignment and index contents of the original.
+  void Snapshot(ByteWriter& out) const;
+
+  /// Inverse of Snapshot. Terms are re-interned by name (so the snapshot
+  /// is stable across processes and interning orders); restored null ids
+  /// are reserved via Term::ReserveNullIds so later FreshNull calls never
+  /// collide. Fails (without crashing) on truncated or malformed input.
+  static Result<Instance> Restore(ByteReader& in);
 
   /// Multi-line listing "R(a,b). S(b)." sorted for stable output.
   std::string ToString() const;

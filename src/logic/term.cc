@@ -67,6 +67,15 @@ Term Term::FreshNull() {
 
 Term Term::NullWithId(int32_t id) { return Term(TermKind::kNull, id); }
 
+void Term::ReserveNullIds(int32_t bound) {
+  std::atomic<int32_t>& counter = NullCounter();
+  int32_t current = counter.load(std::memory_order_relaxed);
+  while (current < bound &&
+         !counter.compare_exchange_weak(current, bound,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 std::string Term::ToString() const {
   switch (kind_) {
     case TermKind::kConstant:

@@ -34,8 +34,13 @@ class Term {
   static Term Variable(const std::string& name);
   /// Creates a fresh labeled null, distinct from all existing nulls.
   static Term FreshNull();
-  /// Returns the null with the given id (for deterministic test setups).
+  /// Returns the null with the given id (for deterministic test setups and
+  /// arena snapshot restore).
   static Term NullWithId(int32_t id);
+  /// Bumps the fresh-null counter to at least `bound`, so nulls restored
+  /// from a snapshot (whose ids were allocated by another process) can
+  /// never collide with nulls this process creates afterwards.
+  static void ReserveNullIds(int32_t bound);
 
   TermKind kind() const { return kind_; }
   int32_t id() const { return id_; }

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "base/string_util.h"
@@ -57,7 +58,22 @@ OmqServer::OmqServer(ServerConfig config)
     OmqCacheConfig cache_config;
     cache_config.capacity = config_.cache_capacity;
     cache_config.num_shards = std::max<size_t>(1, config_.cache_shards);
-    cache_ = std::make_unique<OmqCache>(cache_config);
+    if (!config_.cache_dir.empty()) {
+      auto store =
+          TieredStore::Open(TieredStoreConfig{cache_config, config_.cache_dir});
+      if (store.ok()) {
+        cache_ = std::move(store).value();
+      } else {
+        // Persistence is an accelerator, not a dependency: come up
+        // memory-only rather than refuse to serve.
+        std::fprintf(stderr, "omqc_server: --cache-dir unusable (%s); "
+                             "running memory-only\n",
+                     store.status().ToString().c_str());
+        cache_ = std::make_unique<OmqCache>(cache_config);
+      }
+    } else {
+      cache_ = std::make_unique<OmqCache>(cache_config);
+    }
   }
 }
 
@@ -547,6 +563,9 @@ void OmqServer::Shutdown() {
     if (t.joinable()) t.join();
   }
   drain_queued();
+  // 4. Every response is out; seal what this run compiled into the
+  //    persistent store (no-op for the memory-only cache).
+  if (cache_ != nullptr) cache_->Flush();
 }
 
 void OmqServer::set_fault_injector(FaultInjector* injector) {

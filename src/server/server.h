@@ -43,7 +43,7 @@
 #include "base/governor.h"
 #include "base/socket.h"
 #include "base/thread_pool.h"
-#include "cache/omq_cache.h"
+#include "cache/persist.h"
 #include "chase/chase.h"
 #include "server/admission.h"
 #include "server/tenant.h"
@@ -59,6 +59,11 @@ struct ServerConfig {
   /// Shared compilation cache (0 capacity = caching off).
   size_t cache_capacity = 1024;
   size_t cache_shards = 8;
+  /// Persistent artifact store directory ("" = memory only). The server
+  /// warm-starts the cache from it at boot and flushes new artifacts to
+  /// it on drain; an unopenable directory degrades to memory-only with a
+  /// warning on stderr (the server still comes up).
+  std::string cache_dir;
   AdmissionConfig admission;
   /// Deadline for requests that carry none (0 = tenant default, then
   /// unlimited).
@@ -125,7 +130,7 @@ class OmqServer {
   std::string StatsJson() const;
 
   const ServerConfig& config() const { return config_; }
-  OmqCache* cache() { return cache_.get(); }
+  ArtifactStore* cache() { return cache_.get(); }
   ResourceGovernor* governor() { return &governor_; }
 
   /// Point-in-time admission-queue tallies ({} before Start()).
@@ -176,7 +181,7 @@ class OmqServer {
 
   ServerConfig config_;
   ResourceGovernor governor_;  ///< server-wide root governor
-  std::unique_ptr<OmqCache> cache_;
+  std::unique_ptr<ArtifactStore> cache_;
   TenantRegistry tenants_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<AdmissionQueue> admission_;

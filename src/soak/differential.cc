@@ -57,7 +57,7 @@ Result<SoakVerdict> RunDifferential(const Program& program,
   SoakVerdict verdict;
   verdict.primary_class = PrimaryClass(program.tgds);
 
-  auto contain = [&](size_t threads, OmqCache* cache,
+  auto contain = [&](size_t threads, ArtifactStore* cache,
                      ResourceGovernor* governor) {
     ContainmentOptions copts;
     copts.rewrite.max_queries = options.rewrite_max_queries;
@@ -73,7 +73,7 @@ Result<SoakVerdict> RunDifferential(const Program& program,
     return CheckContainment(q1, q2, copts);
   };
 
-  auto eval_witness = [&](OmqCache* cache, ConfigOutcome* co) {
+  auto eval_witness = [&](ArtifactStore* cache, ConfigOutcome* co) {
     if (options.witness.empty()) return;
     EvalOptions eopts;
     eopts.chase_strategy = options.chase;
@@ -125,6 +125,24 @@ Result<SoakVerdict> RunDifferential(const Program& program,
       co.detail = result->detail;
     }
     eval_witness(nullptr, &co);
+    finish(std::move(co));
+  }
+
+  if (options.persist_cache != nullptr) {
+    // Persistent-cache config: same engine, but the compilation cache is
+    // a TieredStore whose entries may have round-tripped through on-disk
+    // segments (the soak driver warm-reloads it between batches). A
+    // decode bug shows up here as a verdict disagreement.
+    ConfigOutcome co;
+    co.config = "persist";
+    auto result = contain(1, options.persist_cache, nullptr);
+    if (!result.ok()) {
+      co.detail = StrCat("error: ", result.status().message());
+    } else {
+      co.outcome = result->outcome;
+      co.detail = result->detail;
+    }
+    eval_witness(options.persist_cache, &co);
     finish(std::move(co));
   }
 

@@ -4,8 +4,10 @@
 // Configurations: containment at threads 1/2/8 over the shared cache,
 // cache-off, governed-with-random-budgets (deadline/memory budgets and a
 // seeded FaultPlan; a trip or budget-starved kUnknown is retried
-// ungoverned, and the retry must reproduce the definite verdict), and —
-// when a client is supplied — a live OmqServer. Eval of the certified
+// ungoverned, and the retry must reproduce the definite verdict), a
+// persistent-cache config over a TieredStore when one is supplied
+// (artifacts decoded from on-disk segments must agree with fresh
+// compilations), and — when a client is supplied — a live OmqServer. Eval of the certified
 // witness tuple runs on the cached and uncached configs. Every pair of
 // definite outcomes must agree, definite outcomes must match the
 // scenario's polarity oracle, the witness tuple must evaluate true, and
@@ -25,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/omq_cache.h"
+#include "cache/artifact_store.h"
 #include "chase/chase.h"
 #include "core/containment.h"
 #include "server/client.h"
@@ -47,7 +49,12 @@ struct DifferentialOptions {
   bool with_cache_off = true;
   /// Shared compilation cache for the cached configs (null = all configs
   /// effectively uncached).
-  OmqCache* cache = nullptr;
+  ArtifactStore* cache = nullptr;
+  /// Persistent-cache config when non-null (not owned): containment at 1
+  /// thread over a TieredStore, typically warm-reloaded between scenario
+  /// batches by the caller. Artifacts decoded from disk segments must
+  /// yield the same verdict as freshly compiled ones.
+  ArtifactStore* persist_cache = nullptr;
   ChaseStrategy chase = ChaseStrategy::kSemiNaive;
   /// Run the governed config: random deadline/memory budgets plus a
   /// RandomFaultPlan drawn from this seed stream. 0 disables it.
